@@ -1,0 +1,358 @@
+// Benchmarks regenerating every figure and analytic result of the
+// paper's evaluation (one benchmark per figure, reporting the final SDM
+// as a custom metric), the ablation benches called out in DESIGN.md §5,
+// and micro-benchmarks of the hot paths.
+//
+// Figure benches run at a reduced scale so the whole suite completes in
+// minutes; cmd/slicesim regenerates the same experiments at paper scale.
+package slicing_test
+
+import (
+	"strconv"
+	"testing"
+
+	slicing "github.com/gossipkit/slicing"
+	"github.com/gossipkit/slicing/internal/experiments"
+)
+
+const benchScale = 0.02 // 200 nodes, proportional cycle counts
+
+func reportFinal(b *testing.B, res *experiments.Result) {
+	b.Helper()
+	for _, s := range res.Series {
+		if p, ok := s.Last(); ok {
+			b.ReportMetric(p.Value, "final-"+s.Name)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, name string) {
+	fn, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := fn(experiments.Options{Scale: benchScale, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportFinal(b, last)
+}
+
+// BenchmarkFig4a regenerates Figure 4(a): GDM vs SDM for mod-JK.
+func BenchmarkFig4a(b *testing.B) { benchFigure(b, "fig4a") }
+
+// BenchmarkFig4b regenerates Figure 4(b): JK vs mod-JK convergence.
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, "fig4b") }
+
+// BenchmarkFig4c regenerates Figure 4(c): unsuccessful swaps under
+// concurrency.
+func BenchmarkFig4c(b *testing.B) { benchFigure(b, "fig4c") }
+
+// BenchmarkFig4d regenerates Figure 4(d): convergence under full
+// concurrency.
+func BenchmarkFig4d(b *testing.B) { benchFigure(b, "fig4d") }
+
+// BenchmarkFig6a regenerates Figure 6(a): ordering vs ranking, static.
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "fig6a") }
+
+// BenchmarkFig6b regenerates Figure 6(b): Cyclon views vs uniform oracle.
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "fig6b") }
+
+// BenchmarkFig6c regenerates Figure 6(c): churn burst recovery.
+func BenchmarkFig6c(b *testing.B) { benchFigure(b, "fig6c") }
+
+// BenchmarkFig6d regenerates Figure 6(d): sustained churn and the
+// sliding window.
+func BenchmarkFig6d(b *testing.B) { benchFigure(b, "fig6d") }
+
+// BenchmarkDrift regenerates the value-drift extension experiment.
+func BenchmarkDrift(b *testing.B) { benchFigure(b, "drift") }
+
+// BenchmarkLemma41 validates the Lemma 4.1 bound table.
+func BenchmarkLemma41(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lemma41(experiments.Options{Scale: 0.05, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThm51 validates the Theorem 5.1 sample-size table.
+func BenchmarkThm51(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Thm51(experiments.Options{Scale: 0.2, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvenSplit validates the §4.4 even-split probability table.
+func BenchmarkEvenSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EvenSplit(experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkSelectionPolicies ablates the swap-partner heuristic: random
+// neighbor vs random misplaced (JK) vs max gain (mod-JK). The final-sdm
+// metric after a fixed budget of cycles quantifies each heuristic's
+// contribution.
+func BenchmarkSelectionPolicies(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy any
+	}{
+		{"random", slicing.RandomPartner},
+		{"jk-random-misplaced", slicing.JK},
+		{"mod-jk-max-gain", slicing.ModJK},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				cfg := slicing.SimConfig{
+					N: 300, Slices: 10, ViewSize: 20,
+					Protocol: slicing.Ordering,
+					AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
+					Seed:     int64(i + 1),
+				}
+				switch tc.name {
+				case "random":
+					cfg.Policy = slicing.RandomPartner
+				case "jk-random-misplaced":
+					cfg.Policy = slicing.JK
+				default:
+					cfg.Policy = slicing.ModJK
+				}
+				res, err := slicing.Simulate(cfg, 15)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p, ok := res.SDM.Last(); ok {
+					final = p.Value
+				}
+			}
+			b.ReportMetric(final, "final-sdm")
+		})
+	}
+}
+
+// BenchmarkViewSize sweeps the gossip view capacity c: larger views find
+// misplaced partners (and attribute samples) faster per cycle at a
+// higher per-cycle cost.
+func BenchmarkViewSize(b *testing.B) {
+	for _, c := range []int{5, 10, 20, 40} {
+		b.Run(benchName("c", c), func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				res, err := slicing.Simulate(slicing.SimConfig{
+					N: 300, Slices: 10, ViewSize: c,
+					Protocol: slicing.Ordering, Policy: slicing.ModJK,
+					AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
+					Seed:     int64(i + 1),
+				}, 15)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p, ok := res.SDM.Last(); ok {
+					final = p.Value
+				}
+			}
+			b.ReportMetric(final, "final-sdm")
+		})
+	}
+}
+
+// BenchmarkBoundaryBias ablates the ranking protocol's boundary-closest
+// targeting (Fig. 5 j1) against two uniformly random targets.
+func BenchmarkBoundaryBias(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"boundary-biased", false},
+		{"random-targets", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				res, err := slicing.Simulate(slicing.SimConfig{
+					N: 300, Slices: 10, ViewSize: 10,
+					Protocol:            slicing.Ranking,
+					DisableBoundaryBias: tc.disable,
+					AttrDist:            slicing.UniformDist{Lo: 0, Hi: 1000},
+					Seed:                int64(i + 1),
+				}, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p, ok := res.SDM.Last(); ok {
+					final = p.Value
+				}
+			}
+			b.ReportMetric(final, "final-sdm")
+		})
+	}
+}
+
+// BenchmarkWindowSize sweeps the sliding-window size under sustained
+// correlated churn: small windows track drift but carry sampling noise;
+// large windows are smooth but stale.
+func BenchmarkWindowSize(b *testing.B) {
+	for _, w := range []int{200, 1000, 5000} {
+		b.Run(benchName("w", w), func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				res, err := slicing.Simulate(slicing.SimConfig{
+					N: 300, Slices: 10, ViewSize: 10,
+					Protocol:  slicing.Ranking,
+					Estimator: slicing.WindowEstimator, WindowSize: w,
+					AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
+					Schedule: slicing.PeriodicChurn{Rate: 0.002, Every: 5},
+					Pattern:  slicing.CorrelatedChurn{Spread: 10},
+					Seed:     int64(i + 1),
+				}, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p, ok := res.SDM.Last(); ok {
+					final = p.Value
+				}
+			}
+			b.ReportMetric(final, "final-sdm")
+		})
+	}
+}
+
+// BenchmarkEstimatorSources ablates the ranking estimator's inputs: view
+// scans + messages (the paper) vs messages only.
+func BenchmarkEstimatorSources(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"views-and-messages", false},
+		{"messages-only", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				res, err := slicing.Simulate(slicing.SimConfig{
+					N: 300, Slices: 10, ViewSize: 10,
+					Protocol:        slicing.Ranking,
+					DisableViewScan: tc.disable,
+					AttrDist:        slicing.UniformDist{Lo: 0, Hi: 1000},
+					Seed:            int64(i + 1),
+				}, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p, ok := res.SDM.Last(); ok {
+					final = p.Value
+				}
+			}
+			b.ReportMetric(final, "final-sdm")
+		})
+	}
+}
+
+// --- Micro-benchmarks ---
+
+// BenchmarkSimulationCycle measures one whole engine cycle (membership +
+// protocol + metrics) per protocol at n=1000.
+func BenchmarkSimulationCycle(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		protocol any
+	}{
+		{"ordering", nil},
+		{"ranking", nil},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := slicing.SimConfig{
+				N: 1000, Slices: 10, ViewSize: 20,
+				AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
+				Seed:     1,
+			}
+			if tc.name == "ordering" {
+				cfg.Protocol = slicing.Ordering
+				cfg.Policy = slicing.ModJK
+			} else {
+				cfg.Protocol = slicing.Ranking
+			}
+			engine, err := slicing.NewSimulation(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSDM measures the slice disorder computation on 10⁴ nodes.
+func BenchmarkSDM(b *testing.B) {
+	part, err := slicing.EqualSlices(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := make([]slicing.NodeState, 10000)
+	for i := range states {
+		states[i] = slicing.NodeState{
+			Member:     slicing.Member{ID: slicing.ID(i + 1), Attr: slicing.Attr(i * 7 % 1000)},
+			R:          float64(i%97) / 97,
+			SliceIndex: i % 100,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slicing.SDM(states, part)
+	}
+}
+
+// BenchmarkGDM measures the global disorder computation on 10⁴ nodes.
+func BenchmarkGDM(b *testing.B) {
+	states := make([]slicing.NodeState, 10000)
+	for i := range states {
+		states[i] = slicing.NodeState{
+			Member: slicing.Member{ID: slicing.ID(i + 1), Attr: slicing.Attr(i * 7 % 1000)},
+			R:      float64(i%97) / 97,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slicing.GDM(states)
+	}
+}
+
+// BenchmarkEstimators measures a single estimator observation.
+func BenchmarkEstimators(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		est := slicing.NewCounterEstimator()
+		for i := 0; i < b.N; i++ {
+			est.Observe(i%3 == 0)
+		}
+	})
+	b.Run("window-10k", func(b *testing.B) {
+		est, err := slicing.NewWindowEstimator(10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			est.Observe(i%3 == 0)
+		}
+	})
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

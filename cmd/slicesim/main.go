@@ -1,0 +1,156 @@
+// Command slicesim regenerates the figures and analytic results of
+// "Distributed Slicing in Dynamic Systems" (ICDCS 2007).
+//
+// Usage:
+//
+//	slicesim -exp fig4b                 # one experiment, paper scale
+//	slicesim -exp fig6d -scale 0.05     # scaled down for a quick look
+//	slicesim -exp all -scale 0.05       # everything
+//	slicesim -exp fig6a -format csv     # machine-readable series
+//
+// Figure experiments emit one column per curve of the paper's plot;
+// analytic experiments (lemma41, thm51, evensplit) emit validation
+// tables. Paper scale is n = 10⁴ nodes and up to 1000 cycles — expect
+// minutes per figure; -scale 0.05 finishes in seconds and preserves the
+// qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/gossipkit/slicing/internal/experiments"
+	"github.com/gossipkit/slicing/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slicesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("slicesim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment: fig4a|fig4b|fig4c|fig4d|fig6a|fig6b|fig6c|fig6d|drift|lemma41|thm51|evensplit|all")
+		scale  = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed   = fs.Int64("seed", 1, "random seed")
+		format = fs.String("format", "table", "output format: table|csv")
+		every  = fs.Int("every", 0, "thin series to every k-th cycle (0 = keep all)")
+		list   = fs.Bool("list", false, "list available experiments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp")
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		if err := runOne(name, opts, *format, *every, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(name string, opts experiments.Options, format string, every int, out io.Writer) error {
+	switch name {
+	case "lemma41", "thm51", "evensplit":
+		return runTable(name, opts, out)
+	}
+	fn, err := experiments.Lookup(name)
+	if err != nil {
+		return err
+	}
+	res, err := fn(opts)
+	if err != nil {
+		return err
+	}
+	res = res.Thin(every)
+	fmt.Fprintf(out, "# %s — %s\n", res.Name, res.Note)
+	if format == "csv" {
+		return metrics.WriteCSV(out, res.XLabel, res.Series...)
+	}
+	headers := make([]string, 0, len(res.Series)+1)
+	headers = append(headers, res.XLabel)
+	for _, s := range res.Series {
+		headers = append(headers, s.Name)
+	}
+	tab := metrics.NewTable(headers...)
+	cycles := map[int]bool{}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			cycles[p.Cycle] = true
+		}
+	}
+	ordered := make([]int, 0, len(cycles))
+	for c := range cycles {
+		ordered = append(ordered, c)
+	}
+	sort.Ints(ordered)
+	for _, c := range ordered {
+		row := make([]any, 0, len(res.Series)+1)
+		row = append(row, c)
+		for _, s := range res.Series {
+			if v, ok := s.At(c); ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "")
+			}
+		}
+		tab.AddRow(row...)
+	}
+	if _, err := tab.WriteTo(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runTable(name string, opts experiments.Options, out io.Writer) error {
+	var (
+		tr  *experiments.TableResult
+		err error
+	)
+	switch name {
+	case "lemma41":
+		tr, err = experiments.Lemma41(opts)
+	case "thm51":
+		tr, err = experiments.Thm51(opts)
+	case "evensplit":
+		tr, err = experiments.EvenSplit(opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# %s — %s\n", tr.Name, tr.Note)
+	tab := metrics.NewTable(tr.Headers...)
+	for _, row := range tr.Rows {
+		cells := make([]any, len(row))
+		for i, c := range row {
+			cells[i] = c
+		}
+		tab.AddRow(cells...)
+	}
+	if _, err := tab.WriteTo(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}

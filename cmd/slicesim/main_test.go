@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunListsExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig4a", "fig6d", "lemma41", "thm51", "evensplit", "drift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing -exp accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope", "-scale", "0.02"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFigureTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig4b", "-scale", "0.02", "-every", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# fig4b") {
+		t.Errorf("missing experiment header:\n%s", out)
+	}
+	if !strings.Contains(out, "jk") || !strings.Contains(out, "mod-jk") {
+		t.Errorf("missing series columns:\n%s", out)
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig4b", "-scale", "0.02", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("csv too short:\n%s", sb.String())
+	}
+	if lines[1] != "cycle,jk,mod-jk" {
+		t.Errorf("csv header = %q", lines[1])
+	}
+}
+
+func TestRunAnalyticTables(t *testing.T) {
+	for _, exp := range []string{"lemma41", "thm51", "evensplit"} {
+		var sb strings.Builder
+		if err := run([]string{"-exp", exp, "-scale", "0.05"}, &sb); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(sb.String(), "# "+exp) {
+			t.Errorf("%s output missing header:\n%s", exp, sb.String())
+		}
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig4b", "-scale", "7"}, &sb); err == nil {
+		t.Error("scale 7 accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Package slicing implements distributed ordered slicing for large-scale
+// dynamic peer-to-peer systems, reproducing "Distributed Slicing in
+// Dynamic Systems" (Fernández, Gramoli, Jiménez, Kermarrec, Raynal;
+// ICDCS 2007).
+//
+// # The problem
+//
+// n nodes each hold an attribute value (bandwidth, uptime, storage…).
+// The network must partition itself into slices — adjacent intervals of
+// the normalized rank domain (0,1], e.g. "the top 20% by bandwidth" —
+// with every node determining its own slice, with no central
+// coordination, under churn.
+//
+// # The protocols
+//
+// Two gossip protocols are provided:
+//
+//   - Ordering (JK and the paper's improved mod-JK): nodes draw uniform
+//     random values once and gossip-swap them until their order matches
+//     the attribute order; a node's slice is read off its random value.
+//     Fast, but the slice assignment inherits the unevenness of the
+//     random draw and cannot recover when churn is correlated with the
+//     attribute.
+//   - Ranking: nodes statistically estimate their own rank as the
+//     fraction of observed attribute values below their own (optionally
+//     over a sliding window). Converges more slowly but keeps improving,
+//     and tracks attribute-correlated churn.
+//
+// Both run over a peer-sampling substrate (a Cyclon variant or a
+// Newscast-like protocol) and are implemented as transport-agnostic
+// state machines, executable two ways:
+//
+//   - Simulated: a deterministic cycle-based engine (the paper's
+//     PeerSim model) via Simulate, reproducing every figure of the
+//     paper's evaluation — see cmd/slicesim.
+//   - Live: goroutine-per-node clusters over an in-memory or TCP
+//     transport via NewCluster / NewNode — see cmd/slicenode.
+//
+// # Quick start
+//
+//	part, _ := slicing.EqualSlices(10)
+//	res, _ := slicing.Simulate(slicing.SimConfig{
+//		N: 10000, Slices: 10, ViewSize: 20,
+//		Protocol: slicing.Ranking,
+//		AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
+//		Seed:     1,
+//	}, 200)
+//	last, _ := res.SDM.Last()
+//	fmt.Printf("slice disorder after 200 cycles: %.0f\n", last.Value)
+//	_ = part
+//
+// See the examples directory for live-cluster usage.
+package slicing

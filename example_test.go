@@ -1,0 +1,99 @@
+package slicing_test
+
+import (
+	"fmt"
+	"time"
+
+	slicing "github.com/gossipkit/slicing"
+)
+
+// Simulate a small network with the ranking protocol and read the slice
+// disorder at the end — runs are deterministic for a fixed seed.
+func ExampleSimulate() {
+	res, err := slicing.Simulate(slicing.SimConfig{
+		N: 100, Slices: 4, ViewSize: 10,
+		Protocol: slicing.Ranking,
+		AttrDist: slicing.UniformDist{Lo: 0, Hi: 100},
+		Seed:     7,
+	}, 60)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	start, _ := res.SDM.At(0)
+	end, _ := res.SDM.Last()
+	fmt.Printf("SDM fell: %v\n", end.Value < start)
+	fmt.Printf("population: %d\n", res.FinalN)
+	// Output:
+	// SDM fell: true
+	// population: 100
+}
+
+// Partitions are adjacent (l,u] intervals covering (0,1].
+func ExampleEqualSlices() {
+	part, err := slicing.EqualSlices(4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(part.Slice(0))
+	fmt.Println(part.Slice(3))
+	fmt.Println(part.Index(0.30))
+	// Output:
+	// (0,0.25]
+	// (0.75,1]
+	// 1
+}
+
+// CustomSlices builds asymmetric partitions, e.g. a top-20% slice.
+func ExampleCustomSlices() {
+	part, err := slicing.CustomSlices(0.8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(part.Len())
+	fmt.Println(part.Slice(1))
+	// Output:
+	// 2
+	// (0.8,1]
+}
+
+// Theorem 5.1: nodes near a slice boundary need more samples for a
+// confident assignment.
+func ExampleRequiredSamples() {
+	far, _ := slicing.RequiredSamples(0.05, 0.5, 0.2)
+	near, _ := slicing.RequiredSamples(0.05, 0.5, 0.02)
+	fmt.Printf("far from boundary: %d samples\n", far)
+	fmt.Printf("near the boundary: %d samples\n", near)
+	// Output:
+	// far from boundary: 25 samples
+	// near the boundary: 2401 samples
+}
+
+// A live in-memory cluster: every node is a goroutine gossiping over a
+// transport.
+func ExampleNewCluster() {
+	part, _ := slicing.EqualSlices(2)
+	cluster, err := slicing.NewCluster(slicing.ClusterConfig{
+		N: 10, Partition: part, ViewSize: 5,
+		Protocol: slicing.LiveRanking,
+		Period:   2 * time.Millisecond,
+		AttrDist: slicing.UniformDist{Lo: 0, Hi: 100},
+		Seed:     3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cluster.Stop()
+	if err := cluster.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, ok := cluster.AwaitSDM(2, 10*time.Second); ok {
+		fmt.Println("converged")
+	}
+	// Output:
+	// converged
+}

@@ -1,0 +1,181 @@
+// Package churn models the continuous arrival and departure of nodes
+// (§3.3 of the paper). A churn specification combines a Schedule — when
+// and how many nodes leave and join — with a Pattern — which nodes leave
+// and what attribute values joiners bring.
+//
+// The paper's dynamic experiments (§5.3.3) use churn correlated with the
+// attribute value: departing nodes are those with the lowest attribute
+// values and arriving nodes have attribute values higher than everyone
+// currently in the system, modelling an attribute such as uptime or
+// session duration. Fig. 6(c) applies it as a burst (0.1% join + 0.1%
+// leave per cycle for the first 200 cycles); Fig. 6(d) as a low regular
+// rate (0.1% every 10 cycles).
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+)
+
+// Event is the churn to apply at one cycle.
+type Event struct {
+	// Leave is the number of nodes departing.
+	Leave int
+	// Join is the number of nodes arriving.
+	Join int
+}
+
+// Schedule decides the churn volume per cycle. Implementations are pure
+// so a seeded simulation stays reproducible.
+type Schedule interface {
+	// At returns the event for a cycle, given the current system size.
+	At(cycle, n int) Event
+	fmt.Stringer
+}
+
+// None is the static system: no churn.
+type None struct{}
+
+// At implements Schedule.
+func (None) At(int, int) Event { return Event{} }
+
+// String implements fmt.Stringer.
+func (None) String() string { return "none" }
+
+// Burst applies Rate·n leaves and Rate·n joins every cycle while
+// cycle < Until (Fig. 6(c): Rate 0.001, Until 200).
+type Burst struct {
+	Rate  float64
+	Until int
+}
+
+// At implements Schedule.
+func (b Burst) At(cycle, n int) Event {
+	if cycle >= b.Until {
+		return Event{}
+	}
+	k := count(b.Rate, n)
+	return Event{Leave: k, Join: k}
+}
+
+// String implements fmt.Stringer.
+func (b Burst) String() string {
+	return fmt.Sprintf("burst(%.2g%%/cycle,until=%d)", b.Rate*100, b.Until)
+}
+
+// Periodic applies Rate·n leaves and joins every Every cycles,
+// indefinitely (Fig. 6(d): Rate 0.001, Every 10).
+type Periodic struct {
+	Rate  float64
+	Every int
+}
+
+// At implements Schedule.
+func (p Periodic) At(cycle, n int) Event {
+	if p.Every <= 0 || cycle == 0 || cycle%p.Every != 0 {
+		return Event{}
+	}
+	k := count(p.Rate, n)
+	return Event{Leave: k, Join: k}
+}
+
+// String implements fmt.Stringer.
+func (p Periodic) String() string {
+	return fmt.Sprintf("periodic(%.2g%% every %d cycles)", p.Rate*100, p.Every)
+}
+
+// count converts a fractional rate to a node count, rounding to nearest
+// and never below 1 for a positive rate on a non-empty system (the
+// paper's 0.1% of 10⁴ nodes is exactly 10).
+func count(rate float64, n int) int {
+	if rate <= 0 || n == 0 {
+		return 0
+	}
+	k := int(rate*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Pattern decides which nodes leave and what attributes joiners carry.
+type Pattern interface {
+	// PickLeavers returns the identifiers of count members to remove.
+	// members is sorted by the attribute-based total order.
+	PickLeavers(rng *rand.Rand, members []core.Member, count int) []core.ID
+	// JoinAttr draws the attribute value of one arriving node. members
+	// is sorted by the attribute-based total order and includes nodes
+	// that joined earlier in the same event.
+	JoinAttr(rng *rand.Rand, members []core.Member) core.Attr
+	fmt.Stringer
+}
+
+// Correlated is the paper's attribute-correlated churn: the nodes with
+// the lowest attribute values leave, and arriving nodes draw attribute
+// values strictly above the current maximum (max + Uniform(0, Spread]).
+type Correlated struct {
+	// Spread scales the gap between the current maximum attribute and a
+	// joiner's value. Any positive value preserves the paper's semantics.
+	Spread float64
+}
+
+// PickLeavers implements Pattern: the count lowest-attribute members.
+func (c Correlated) PickLeavers(_ *rand.Rand, members []core.Member, count int) []core.ID {
+	if count > len(members) {
+		count = len(members)
+	}
+	ids := make([]core.ID, count)
+	for i := 0; i < count; i++ {
+		ids[i] = members[i].ID
+	}
+	return ids
+}
+
+// JoinAttr implements Pattern: strictly above the current maximum.
+func (c Correlated) JoinAttr(rng *rand.Rand, members []core.Member) core.Attr {
+	spread := c.Spread
+	if spread <= 0 {
+		spread = 1
+	}
+	max := 0.0
+	if len(members) > 0 {
+		max = float64(members[len(members)-1].Attr)
+	}
+	return core.Attr(max + spread*(1-rng.Float64())) // (max, max+spread]
+}
+
+// String implements fmt.Stringer.
+func (c Correlated) String() string { return "correlated" }
+
+// Uniform is attribute-independent churn: uniformly random members
+// leave, and joiners draw from the same attribute distribution as the
+// initial population.
+type Uniform struct {
+	Dist dist.Source
+}
+
+// PickLeavers implements Pattern.
+func (u Uniform) PickLeavers(rng *rand.Rand, members []core.Member, count int) []core.ID {
+	if count > len(members) {
+		count = len(members)
+	}
+	perm := rng.Perm(len(members))[:count]
+	sort.Ints(perm)
+	ids := make([]core.ID, count)
+	for i, p := range perm {
+		ids[i] = members[p].ID
+	}
+	return ids
+}
+
+// JoinAttr implements Pattern.
+func (u Uniform) JoinAttr(rng *rand.Rand, _ []core.Member) core.Attr {
+	return core.Attr(u.Dist.Sample(rng))
+}
+
+// String implements fmt.Stringer.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v)", u.Dist) }

@@ -1,0 +1,11 @@
+// Package core defines the domain model of the distributed slicing
+// problem: node identities, attribute values, slices of the normalized
+// rank domain (0,1], partitions of that domain, and the attribute-based
+// total order ("A.sequence" in the paper) together with its rank oracle.
+//
+// The model follows "Distributed Slicing in Dynamic Systems"
+// (Fernández, Gramoli, Jiménez, Kermarrec, Raynal; ICDCS 2007):
+// a slice S_{l,u} contains every node i whose normalized rank α_i/n
+// satisfies l < α_i/n ≤ u, where α_i is the 1-based index of node i in
+// the attribute-based total order (ties broken by node identifier).
+package core

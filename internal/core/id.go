@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ID uniquely identifies a node. IDs are totally ordered; the order is
+// used to break ties between equal attribute values so that the
+// attribute-based sequence is a total order.
+type ID uint64
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return "n" + strconv.FormatUint(uint64(id), 10) }
+
+// Attr is a node attribute value: the capability metric the network is
+// sliced by (bandwidth, uptime, storage, ...). Any real value is legal;
+// distributions may be arbitrarily skewed.
+type Attr float64
+
+// Member pairs a node identity with its attribute value. It is the unit
+// of the attribute-based total order.
+type Member struct {
+	ID   ID
+	Attr Attr
+}
+
+// Less reports whether member a precedes member b in the attribute-based
+// total order: a_i < a_j, or a_i = a_j and i < j (paper §3.1).
+func Less(a, b Member) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.ID < b.ID
+}
+
+// SortMembers sorts members in place by the attribute-based total order.
+func SortMembers(members []Member) {
+	sort.Slice(members, func(i, j int) bool { return Less(members[i], members[j]) })
+}
+
+// Ranks returns the 1-based attribute rank α_i of every member: the index
+// of the member in the attribute-based sequence A.sequence. The input
+// slice is not modified.
+func Ranks(members []Member) map[ID]int {
+	sorted := make([]Member, len(members))
+	copy(sorted, members)
+	SortMembers(sorted)
+	ranks := make(map[ID]int, len(sorted))
+	for i, m := range sorted {
+		ranks[m.ID] = i + 1
+	}
+	return ranks
+}
+
+// NormalizedRanks returns α_i/n for every member. The result values lie
+// in (0,1]; the largest member maps to exactly 1.
+func NormalizedRanks(members []Member) map[ID]float64 {
+	n := float64(len(members))
+	ranks := Ranks(members)
+	norm := make(map[ID]float64, len(ranks))
+	for id, r := range ranks {
+		norm[id] = float64(r) / n
+	}
+	return norm
+}

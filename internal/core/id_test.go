@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessTotalOrder(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Member
+		want bool
+	}{
+		{"smaller attr", Member{1, 10}, Member{2, 20}, true},
+		{"larger attr", Member{1, 30}, Member{2, 20}, false},
+		{"tie smaller id", Member{1, 10}, Member{2, 10}, true},
+		{"tie larger id", Member{5, 10}, Member{2, 10}, false},
+		{"self", Member{1, 10}, Member{1, 10}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Less(tt.a, tt.b); got != tt.want {
+				t.Errorf("Less(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: Less is a strict total order (antisymmetric, total on
+// distinct members).
+func TestLessAntisymmetric(t *testing.T) {
+	f := func(id1, id2 uint64, a1, a2 float64) bool {
+		m1 := Member{ID(id1), Attr(a1)}
+		m2 := Member{ID(id2), Attr(a2)}
+		if m1 == m2 {
+			return !Less(m1, m2) && !Less(m2, m1)
+		}
+		return Less(m1, m2) != Less(m2, m1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksPaperExample(t *testing.T) {
+	// Paper §3.1: a1=50, a2=120, a3=25 → α_1 = 2.
+	members := []Member{{1, 50}, {2, 120}, {3, 25}}
+	ranks := Ranks(members)
+	want := map[ID]int{1: 2, 2: 3, 3: 1}
+	for id, w := range want {
+		if ranks[id] != w {
+			t.Errorf("rank of node %v = %d, want %d", id, ranks[id], w)
+		}
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	members := []Member{{7, 5}, {3, 5}, {9, 5}}
+	ranks := Ranks(members)
+	// Equal attributes: order by id 3 < 7 < 9.
+	want := map[ID]int{3: 1, 7: 2, 9: 3}
+	for id, w := range want {
+		if ranks[id] != w {
+			t.Errorf("rank of node %v = %d, want %d", id, ranks[id], w)
+		}
+	}
+}
+
+func TestRanksDoesNotMutateInput(t *testing.T) {
+	members := []Member{{1, 3}, {2, 1}, {3, 2}}
+	Ranks(members)
+	if members[0].ID != 1 || members[1].ID != 2 {
+		t.Error("Ranks mutated its input")
+	}
+}
+
+func TestNormalizedRanks(t *testing.T) {
+	members := []Member{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	norm := NormalizedRanks(members)
+	want := map[ID]float64{1: 0.25, 2: 0.5, 3: 0.75, 4: 1.0}
+	for id, w := range want {
+		if norm[id] != w {
+			t.Errorf("normalized rank of %v = %v, want %v", id, norm[id], w)
+		}
+	}
+}
+
+// Property: ranks are a permutation of 1..n regardless of attribute
+// distribution (including heavy duplication).
+func TestRanksArePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		members := make([]Member, n)
+		for i := range members {
+			// Coarse attributes force many ties.
+			members[i] = Member{ID(i), Attr(rng.Intn(5))}
+		}
+		ranks := Ranks(members)
+		if len(ranks) != n {
+			t.Fatalf("got %d ranks, want %d", len(ranks), n)
+		}
+		seen := make([]bool, n+1)
+		for _, r := range ranks {
+			if r < 1 || r > n || seen[r] {
+				t.Fatalf("rank %d invalid or duplicated", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got, want := ID(42).String(), "n42"; got != want {
+		t.Errorf("ID(42).String() = %q, want %q", got, want)
+	}
+}

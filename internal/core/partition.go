@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Partition errors.
+var (
+	// ErrNoSlices is returned when a partition with zero slices is requested.
+	ErrNoSlices = errors.New("core: partition needs at least one slice")
+	// ErrBadBoundary is returned when interior boundaries are not strictly
+	// increasing inside (0,1).
+	ErrBadBoundary = errors.New("core: boundaries must be strictly increasing in (0,1)")
+)
+
+// Partition is an ordered set of adjacent slices (l_1,u_1],(l_2,u_2],...
+// covering the whole normalized rank domain (0,1]. Per the paper (§3.2)
+// the partition is global knowledge: every node knows it.
+//
+// The zero value is not a usable partition; construct one with Equal or
+// NewPartition.
+type Partition struct {
+	// bounds holds the interior boundaries, strictly increasing, inside
+	// (0,1). A partition with k slices has k-1 interior boundaries.
+	bounds []float64
+}
+
+// Equal returns a partition of k equally sized slices.
+func Equal(k int) (Partition, error) {
+	if k < 1 {
+		return Partition{}, ErrNoSlices
+	}
+	bounds := make([]float64, k-1)
+	for i := 1; i < k; i++ {
+		bounds[i-1] = float64(i) / float64(k)
+	}
+	return Partition{bounds: bounds}, nil
+}
+
+// MustEqual is Equal for static configuration; it panics on error.
+func MustEqual(k int) Partition {
+	p, err := Equal(k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPartition builds a partition from interior boundaries. For example
+// NewPartition(0.8) defines two slices (0,0.8] and (0.8,1]: the "bottom
+// 80%" and the "top 20%". NewPartition() defines the single slice (0,1].
+func NewPartition(bounds ...float64) (Partition, error) {
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	sort.Float64s(sorted)
+	for i, b := range sorted {
+		if b <= 0 || b >= 1 || math.IsNaN(b) {
+			return Partition{}, fmt.Errorf("%w: boundary %v out of range", ErrBadBoundary, b)
+		}
+		if i > 0 && sorted[i-1] >= b {
+			return Partition{}, fmt.Errorf("%w: duplicate boundary %v", ErrBadBoundary, b)
+		}
+	}
+	return Partition{bounds: sorted}, nil
+}
+
+// Len returns the number of slices.
+func (p Partition) Len() int { return len(p.bounds) + 1 }
+
+// Slice returns the i-th slice (0-based).
+func (p Partition) Slice(i int) Slice {
+	low, high := 0.0, 1.0
+	if i > 0 {
+		low = p.bounds[i-1]
+	}
+	if i < len(p.bounds) {
+		high = p.bounds[i]
+	}
+	return Slice{Low: low, High: high}
+}
+
+// Slices returns all slices in order.
+func (p Partition) Slices() []Slice {
+	out := make([]Slice, p.Len())
+	for i := range out {
+		out[i] = p.Slice(i)
+	}
+	return out
+}
+
+// Index returns the index of the slice containing normalized rank r.
+// Values r ≤ 0 clamp to the first slice and r > 1 to the last, so that
+// degenerate estimates (an empty estimator reports 0) still map to a
+// slice, as every node must always report some slice.
+func (p Partition) Index(r float64) int {
+	// The slice containing r is the first one whose upper boundary is ≥ r,
+	// i.e. the number of interior boundaries strictly below r.
+	i := sort.SearchFloat64s(p.bounds, r)
+	// SearchFloat64s returns the first index with bounds[i] >= r. A rank
+	// exactly on a boundary belongs to the lower slice ((l,u] intervals),
+	// which is precisely index i. Ranks beyond 1 clamp automatically
+	// because i never exceeds len(bounds).
+	return i
+}
+
+// Of returns the slice containing normalized rank r (clamped like Index).
+func (p Partition) Of(r float64) Slice { return p.Slice(p.Index(r)) }
+
+// Boundaries returns the interior boundaries (a copy).
+func (p Partition) Boundaries() []float64 {
+	out := make([]float64, len(p.bounds))
+	copy(out, p.bounds)
+	return out
+}
+
+// NearestBoundary returns the interior boundary closest to rank r and the
+// distance to it. Ranking nodes use it to bias gossip toward nodes whose
+// estimate sits close to a boundary (paper §5.1); Theorem 5.1 expresses
+// the required sample count in terms of this distance.
+//
+// A partition with a single slice has no interior boundary; in that case
+// NearestBoundary returns (NaN, +Inf): no node is ever "close to a
+// boundary".
+func (p Partition) NearestBoundary(r float64) (boundary, dist float64) {
+	if len(p.bounds) == 0 {
+		return math.NaN(), math.Inf(1)
+	}
+	i := sort.SearchFloat64s(p.bounds, r)
+	boundary, dist = math.NaN(), math.Inf(1)
+	if i < len(p.bounds) {
+		boundary, dist = p.bounds[i], p.bounds[i]-r
+	}
+	if i > 0 && r-p.bounds[i-1] < dist {
+		boundary, dist = p.bounds[i-1], r-p.bounds[i-1]
+	}
+	return boundary, dist
+}
+
+// BoundaryDistance returns only the distance component of NearestBoundary.
+func (p Partition) BoundaryDistance(r float64) float64 {
+	_, d := p.NearestBoundary(r)
+	return d
+}
+
+// SliceDistance returns the slice disorder contribution of a node whose
+// actual slice is index act and whose estimated slice is index est:
+// 1/(u−l) · |mid(actual) − mid(estimated)| (paper §4.4). For equal-width
+// partitions this equals |act − est|.
+func (p Partition) SliceDistance(act, est int) float64 {
+	actual := p.Slice(act)
+	estimated := p.Slice(est)
+	return math.Abs(actual.Mid()-estimated.Mid()) / actual.Width()
+}
+
+// Validate checks internal invariants; it is primarily exercised by
+// property tests.
+func (p Partition) Validate() error {
+	for i, b := range p.bounds {
+		if b <= 0 || b >= 1 {
+			return fmt.Errorf("%w: %v", ErrBadBoundary, b)
+		}
+		if i > 0 && p.bounds[i-1] >= b {
+			return fmt.Errorf("%w: %v after %v", ErrBadBoundary, b, p.bounds[i-1])
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	parts := make([]string, p.Len())
+	for i := range parts {
+		parts[i] = p.Slice(i).String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualPartition(t *testing.T) {
+	tests := []struct {
+		k          int
+		wantSlices int
+		wantErr    error
+	}{
+		{1, 1, nil},
+		{2, 2, nil},
+		{10, 10, nil},
+		{100, 100, nil},
+		{0, 0, ErrNoSlices},
+		{-3, 0, ErrNoSlices},
+	}
+	for _, tt := range tests {
+		p, err := Equal(tt.k)
+		if !errors.Is(err, tt.wantErr) {
+			t.Errorf("Equal(%d) error = %v, want %v", tt.k, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got := p.Len(); got != tt.wantSlices {
+			t.Errorf("Equal(%d).Len() = %d, want %d", tt.k, got, tt.wantSlices)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Equal(%d).Validate() = %v", tt.k, err)
+		}
+	}
+}
+
+func TestMustEqualPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEqual(0) did not panic")
+		}
+	}()
+	MustEqual(0)
+}
+
+func TestNewPartition(t *testing.T) {
+	tests := []struct {
+		name    string
+		bounds  []float64
+		wantErr bool
+	}{
+		{"no interior boundary", nil, false},
+		{"top 20 percent", []float64{0.8}, false},
+		{"unsorted ok", []float64{0.7, 0.3}, false},
+		{"zero boundary", []float64{0}, true},
+		{"one boundary", []float64{1}, true},
+		{"negative", []float64{-0.5}, true},
+		{"duplicate", []float64{0.5, 0.5}, true},
+		{"nan", []float64{math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := NewPartition(tt.bounds...)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewPartition(%v) error = %v, wantErr %v", tt.bounds, err, tt.wantErr)
+			}
+			if err == nil {
+				if got := p.Len(); got != len(tt.bounds)+1 {
+					t.Errorf("Len() = %d, want %d", got, len(tt.bounds)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionIndex(t *testing.T) {
+	p := MustEqual(4) // (0,.25] (.25,.5] (.5,.75] (.75,1]
+	tests := []struct {
+		r    float64
+		want int
+	}{
+		{0.1, 0},
+		{0.25, 0}, // boundary belongs to the lower slice
+		{0.2500001, 1},
+		{0.5, 1},
+		{0.75, 2},
+		{0.99, 3},
+		{1, 3},
+		{0, 0},   // clamped
+		{-4, 0},  // clamped
+		{1.5, 3}, // clamped
+	}
+	for _, tt := range tests {
+		if got := p.Index(tt.r); got != tt.want {
+			t.Errorf("Index(%v) = %d, want %d", tt.r, got, tt.want)
+		}
+		if !p.Of(tt.r).Contains(math.Min(math.Max(tt.r, 1e-12), 1)) {
+			t.Errorf("Of(%v) = %v does not contain the clamped rank", tt.r, p.Of(tt.r))
+		}
+	}
+}
+
+func TestPartitionSlicesAdjacent(t *testing.T) {
+	p, err := NewPartition(0.2, 0.35, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices := p.Slices()
+	if slices[0].Low != 0 {
+		t.Errorf("first slice low = %v, want 0", slices[0].Low)
+	}
+	if slices[len(slices)-1].High != 1 {
+		t.Errorf("last slice high = %v, want 1", slices[len(slices)-1].High)
+	}
+	for i := 1; i < len(slices); i++ {
+		if slices[i].Low != slices[i-1].High {
+			t.Errorf("slice %d not adjacent: %v then %v", i, slices[i-1], slices[i])
+		}
+	}
+}
+
+func TestNearestBoundary(t *testing.T) {
+	p := MustEqual(4)
+	tests := []struct {
+		r        float64
+		wantB    float64
+		wantDist float64
+	}{
+		{0.3, 0.25, 0.05},
+		{0.25, 0.25, 0},
+		{0.5, 0.5, 0},
+		{0.01, 0.25, 0.24},
+		{0.99, 0.75, 0.24},
+		{0.625, 0.5, 0.125}, // equidistant rounds to the lower boundary? 0.625 is midway between .5 and .75
+	}
+	for _, tt := range tests {
+		b, d := p.NearestBoundary(tt.r)
+		if math.Abs(d-tt.wantDist) > 1e-12 {
+			t.Errorf("NearestBoundary(%v) dist = %v, want %v", tt.r, d, tt.wantDist)
+		}
+		if math.Abs(b-tt.wantB) > 1e-12 && math.Abs((1.25-b)-tt.wantB) > 1 { // allow either side when equidistant
+			t.Errorf("NearestBoundary(%v) boundary = %v, want %v", tt.r, b, tt.wantB)
+		}
+	}
+}
+
+func TestNearestBoundarySingleSlice(t *testing.T) {
+	p := MustEqual(1)
+	b, d := p.NearestBoundary(0.5)
+	if !math.IsNaN(b) || !math.IsInf(d, 1) {
+		t.Errorf("NearestBoundary on single slice = (%v,%v), want (NaN,+Inf)", b, d)
+	}
+}
+
+func TestSliceDistanceEqualWidths(t *testing.T) {
+	p := MustEqual(10)
+	tests := []struct {
+		act, est int
+		want     float64
+	}{
+		{0, 0, 0},
+		{0, 2, 2},
+		{2, 0, 2},
+		{9, 0, 9},
+	}
+	for _, tt := range tests {
+		if got := p.SliceDistance(tt.act, tt.est); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("SliceDistance(%d,%d) = %v, want %v", tt.act, tt.est, got, tt.want)
+		}
+	}
+}
+
+// Property: for any set of boundaries, every r in (0,1] maps to the slice
+// that contains it, and Index is consistent with Of.
+func TestPartitionIndexConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		bounds := make([]float64, 0, k)
+		for len(bounds) < k-1 {
+			b := rng.Float64()
+			if b > 0 && b < 1 {
+				bounds = append(bounds, b)
+			}
+		}
+		sort.Float64s(bounds)
+		dup := false
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] == bounds[i-1] {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		p, err := NewPartition(bounds...)
+		if err != nil {
+			t.Fatalf("NewPartition(%v): %v", bounds, err)
+		}
+		for probe := 0; probe < 50; probe++ {
+			r := rng.Float64()
+			if r == 0 {
+				continue
+			}
+			idx := p.Index(r)
+			if !p.Slice(idx).Contains(r) {
+				t.Fatalf("partition %v: Index(%v)=%d but slice %v does not contain it",
+					bounds, r, idx, p.Slice(idx))
+			}
+		}
+	}
+}
+
+// Property: slices of a random equal partition tile (0,1] exactly.
+func TestEqualPartitionTiles(t *testing.T) {
+	f := func(k8 uint8) bool {
+		k := int(k8%64) + 1
+		p := MustEqual(k)
+		total := 0.0
+		for _, s := range p.Slices() {
+			total += s.Width()
+		}
+		return math.Abs(total-1) < 1e-9 && p.Len() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

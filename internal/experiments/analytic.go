@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/sim"
+	"github.com/gossipkit/slicing/internal/stats"
+)
+
+// TableResult is the output of the analytic experiments: rows instead of
+// time series.
+type TableResult struct {
+	Name    string
+	Headers []string
+	Rows    [][]string
+	Note    string
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// Lemma41 validates Lemma 4.1: for several (slice width, β) pairs it
+// reports the Chernoff bound 2e^(−β²np/3), the exact binomial tail, and
+// a Monte-Carlo estimate — bound ≥ exact ≈ empirical must hold on every
+// row.
+func Lemma41(opts Options) (*TableResult, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(10000, scale, 500)
+	trials := scaledInt(2000, scale, 300)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rows := make([][]string, 0, 8)
+	for _, p := range []float64{0.01, 0.05, 0.1} {
+		for _, beta := range []float64{0.25, 0.5} {
+			bound, err := stats.SliceDeviationBound(n, p, beta)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := stats.BinomialTail(n, p, beta)
+			if err != nil {
+				return nil, err
+			}
+			mean := float64(n) * p
+			exceed := 0
+			for trial := 0; trial < trials; trial++ {
+				x := 0
+				for i := 0; i < n; i++ {
+					if rng.Float64() < p {
+						x++
+					}
+				}
+				if math.Abs(float64(x)-mean) >= beta*mean {
+					exceed++
+				}
+			}
+			empirical := float64(exceed) / float64(trials)
+			rows = append(rows, []string{
+				f(p), f(beta), f(bound), f(exact), f(empirical),
+			})
+		}
+	}
+	return &TableResult{
+		Name:    "lemma41",
+		Headers: []string{"slice-width", "beta", "chernoff-bound", "exact-tail", "empirical"},
+		Rows:    rows,
+		Note:    "Lemma 4.1: Pr[|X−np| ≥ βnp] ≤ 2e^(−β²np/3); bound ≥ exact ≈ empirical.",
+	}, nil
+}
+
+// Thm51 validates Theorem 5.1: for several distances d to the nearest
+// slice boundary it reports the required sample count k and the
+// empirical probability that a node with k samples names its slice
+// correctly — which must reach the requested confidence.
+func Thm51(opts Options) (*TableResult, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	const (
+		alpha    = 0.05
+		boundary = 0.5 // one boundary at 0.5: two equal slices
+	)
+	trials := scaledInt(3000, scale, 400)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rows := make([][]string, 0, 4)
+	for _, d := range []float64{0.1, 0.05, 0.02, 0.01} {
+		p := boundary - d // true rank this far below the boundary
+		k, err := stats.RequiredSamples(alpha, p, d)
+		if err != nil {
+			return nil, err
+		}
+		correct := 0
+		for trial := 0; trial < trials; trial++ {
+			lower := 0
+			for i := 0; i < k; i++ {
+				if rng.Float64() < p {
+					lower++
+				}
+			}
+			if float64(lower)/float64(k) <= boundary {
+				correct++
+			}
+		}
+		rows = append(rows, []string{
+			f(d), strconv.Itoa(k), f(float64(correct) / float64(trials)), f(1 - alpha),
+		})
+	}
+	return &TableResult{
+		Name:    "thm51",
+		Headers: []string{"boundary-dist", "required-k", "empirical-correct", "target"},
+		Rows:    rows,
+		Note: "Theorem 5.1: k = (Z_{α/2}·√(p̂(1−p̂))/d)² samples give a correct " +
+			"slice with confidence 1−α; closer to a boundary needs more samples.",
+	}, nil
+}
+
+// EvenSplit validates the §4.4 claim that the probability of splitting n
+// peers into two equal slices by uniform random values is below
+// √(2/(nπ)) — vanishing even for moderate n.
+func EvenSplit(opts Options) (*TableResult, error) {
+	if _, err := opts.scale(); err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, 6)
+	for _, n := range []int{10, 100, 1000, 10000, 100000} {
+		exact, err := stats.ExactEvenSplitProbability(n)
+		if err != nil {
+			return nil, err
+		}
+		asym, err := stats.EvenSplitAsymptotic(n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{strconv.Itoa(n), f(exact), f(asym)})
+	}
+	return &TableResult{
+		Name:    "evensplit",
+		Headers: []string{"n", "exact", "sqrt(2/(n·pi))"},
+		Rows:    rows,
+		Note: "§4.4: the probability of a perfect two-way split is < √(2/(nπ)), " +
+			"so random values almost never divide the network exactly.",
+	}, nil
+}
+
+// Drift is an extension experiment: under concurrency, one-sided swaps
+// duplicate some random values and lose others (§4.5.2 implies it; the
+// paper does not plot it). The series tracks the number of distinct
+// random values over time at full concurrency vs none — a second,
+// quantitative reason the ordering approach degrades outside the atomic
+// cycle model.
+func Drift(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(2000, scale, 200)
+	cycles := scaledInt(100, scale, 50)
+	run := func(conc float64, name string) (metrics.Series, error) {
+		cfg := sim.Config{
+			N: n, Slices: 10, ViewSize: 20,
+			Protocol: sim.Ordering, Policy: ordering.SelectMaxGain,
+			Concurrency:   conc,
+			StalePayloads: true, // the literal message-passing semantics under study
+			AttrDist:      attrDist(), Seed: opts.Seed,
+		}
+		e, err := sim.New(cfg)
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := metrics.Series{Name: name}
+		s.Add(0, float64(distinctR(e)))
+		for c := 1; c <= cycles; c++ {
+			e.Step()
+			s.Add(c, float64(distinctR(e)))
+		}
+		return s, nil
+	}
+	atomic, err := run(0, "distinct-r-atomic")
+	if err != nil {
+		return nil, err
+	}
+	full, err := run(1, "distinct-r-full-concurrency")
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:   "drift",
+		XLabel: "cycle",
+		Series: []metrics.Series{atomic, full},
+		Note: "extension: atomic cycles preserve the random-value multiset; " +
+			"concurrency duplicates and loses values over time.",
+	}, nil
+}
+
+func distinctR(e *sim.Engine) int {
+	seen := make(map[float64]bool)
+	for _, st := range e.States() {
+		seen[st.R] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,489 @@
+// Package experiments regenerates every figure and analytic result of
+// the paper's evaluation. Each experiment returns named series (or
+// table rows) shaped like the corresponding plot; cmd/slicesim renders
+// them and bench_test.go asserts their qualitative shape.
+//
+// Paper-scale defaults (n = 10⁴ nodes, 100 slices, 1000 cycles) can be
+// scaled down with Options.Scale for quick runs; the qualitative shape —
+// who wins, where curves cross, which floors exist — is preserved.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gossipkit/slicing/internal/churn"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// ErrScale is returned when Options.Scale is not positive.
+var ErrScale = errors.New("experiments: scale must be in (0,1]")
+
+// Options tune an experiment run. The zero value runs at paper scale.
+type Options struct {
+	// Scale shrinks the paper-scale population and cycle counts (for
+	// tests and quick demos). 1 (or 0) = paper scale; 0.05 = 5%.
+	Scale float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// SampleEvery thins recorded series to every k-th cycle in the
+	// rendered output (0 = keep everything).
+	SampleEvery int
+}
+
+func (o Options) scale() (float64, error) {
+	if o.Scale == 0 {
+		return 1, nil
+	}
+	if o.Scale < 0 || o.Scale > 1 {
+		return 0, ErrScale
+	}
+	return o.Scale, nil
+}
+
+// scaledInt shrinks a paper-scale quantity, keeping a sane floor.
+func scaledInt(v int, scale float64, floor int) int {
+	s := int(float64(v) * scale)
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// Result is a set of named series plus free-form table rows, ready for
+// rendering.
+type Result struct {
+	// Name identifies the experiment (e.g. "fig4b").
+	Name string
+	// XLabel names the x axis of the series (usually "cycle").
+	XLabel string
+	// Series holds one column per curve in the paper's plot.
+	Series []metrics.Series
+	// Note explains what to look for, mirroring the paper's claim.
+	Note string
+}
+
+// attrDist is the attribute distribution used by the figure experiments.
+// The paper does not prescribe one (the protocols are distribution-free);
+// a uniform spread keeps true slices trivially computable.
+func attrDist() dist.Source { return dist.Uniform{Lo: 0, Hi: 1000} }
+
+// Fig4a reproduces Figure 4(a): the trajectory of (GDM, SDM) for mod-JK
+// with 10⁴ nodes and 100 slices — GDM reaches 0 while SDM stalls at a
+// positive floor.
+func Fig4a(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		N:         scaledInt(10000, scale, 100),
+		Slices:    scaledInt(100, scale, 10),
+		ViewSize:  20,
+		Protocol:  sim.Ordering,
+		Policy:    ordering.SelectMaxGain,
+		AttrDist:  attrDist(),
+		Seed:      opts.Seed,
+		RecordGDM: true,
+	}
+	cycles := scaledInt(200, scale, 60)
+	res, err := sim.Run(cfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:   "fig4a",
+		XLabel: "cycle",
+		Series: []metrics.Series{res.GDM, res.SDM},
+		Note: "GDM reaches 0 (total order) while SDM floors above 0: " +
+			"perfectly sorted random values still misassign slices (§4.4).",
+	}, nil
+}
+
+// Fig4b reproduces Figure 4(b): SDM vs cycles for JK and mod-JK with 10
+// equally sized slices — mod-JK converges significantly faster; both
+// share the same final floor.
+func Fig4b(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	base := sim.Config{
+		N:        scaledInt(10000, scale, 100),
+		Slices:   10,
+		ViewSize: 20,
+		Protocol: sim.Ordering,
+		AttrDist: attrDist(),
+		Seed:     opts.Seed,
+	}
+	cycles := scaledInt(60, scale, 30)
+	jkCfg := base
+	jkCfg.Policy = ordering.SelectRandomMisplaced
+	jk, err := sim.Run(jkCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	modCfg := base
+	modCfg.Policy = ordering.SelectMaxGain
+	mod, err := sim.Run(modCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	jkS := jk.SDM
+	jkS.Name = "jk"
+	modS := mod.SDM
+	modS.Name = "mod-jk"
+	return &Result{
+		Name:   "fig4b",
+		XLabel: "cycle",
+		Series: []metrics.Series{jkS, modS},
+		Note:   "mod-JK's SDM falls faster than JK's; both settle at the same floor.",
+	}, nil
+}
+
+// Fig4c reproduces Figure 4(c): the percentage of unsuccessful swaps for
+// JK and mod-JK under half and full concurrency, reported at cycles 10,
+// 50 and 90 as in the paper.
+func Fig4c(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	cycles := scaledInt(100, scale, 100) // the paper reports up to cycle 90
+	variant := func(policy ordering.Policy, conc float64, name string) (metrics.Series, error) {
+		cfg := sim.Config{
+			N:           scaledInt(10000, scale, 100),
+			Slices:      10,
+			ViewSize:    20,
+			Protocol:    sim.Ordering,
+			Policy:      policy,
+			Concurrency: conc,
+			AttrDist:    attrDist(),
+			Seed:        opts.Seed,
+		}
+		res, err := sim.Run(cfg, cycles)
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := res.UnsuccessfulPct
+		s.Name = name
+		return s, nil
+	}
+	jkHalf, err := variant(ordering.SelectRandomMisplaced, 0.5, "jk-half")
+	if err != nil {
+		return nil, err
+	}
+	jkFull, err := variant(ordering.SelectRandomMisplaced, 1, "jk-full")
+	if err != nil {
+		return nil, err
+	}
+	modHalf, err := variant(ordering.SelectMaxGain, 0.5, "mod-jk-half")
+	if err != nil {
+		return nil, err
+	}
+	modFull, err := variant(ordering.SelectMaxGain, 1, "mod-jk-full")
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:   "fig4c",
+		XLabel: "cycle",
+		Series: []metrics.Series{jkHalf, jkFull, modHalf, modFull},
+		Note: "more concurrency → more unsuccessful swaps; mod-JK wastes more " +
+			"than JK because it concentrates messages on the most misplaced nodes.",
+	}, nil
+}
+
+// Fig4d reproduces Figure 4(d): SDM vs cycles for mod-JK with no
+// concurrency vs full concurrency — full concurrency slows convergence
+// only slightly.
+func Fig4d(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	cycles := scaledInt(100, scale, 50)
+	run := func(conc float64, name string) (metrics.Series, error) {
+		cfg := sim.Config{
+			N:           scaledInt(10000, scale, 100),
+			Slices:      scaledInt(100, scale, 10),
+			ViewSize:    20,
+			Protocol:    sim.Ordering,
+			Policy:      ordering.SelectMaxGain,
+			Concurrency: conc,
+			AttrDist:    attrDist(),
+			Seed:        opts.Seed,
+		}
+		res, err := sim.Run(cfg, cycles)
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := res.SDM
+		s.Name = name
+		return s, nil
+	}
+	atomic, err := run(0, "no-concurrency")
+	if err != nil {
+		return nil, err
+	}
+	full, err := run(1, "full-concurrency")
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:   "fig4d",
+		XLabel: "cycle",
+		Series: []metrics.Series{atomic, full},
+		Note:   "full concurrency impacts convergence speed only slightly.",
+	}, nil
+}
+
+// Fig6a reproduces Figure 6(a): SDM vs cycles for the ordering algorithm
+// and the ranking algorithm in a static system (10⁴ nodes, 100 slices,
+// view size 10) — the ordering SDM is lower-bounded, the ranking SDM
+// keeps decreasing below it.
+func Fig6a(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(10000, scale, 100)
+	slices := scaledInt(100, scale, 10)
+	cycles := scaledInt(1000, scale, 200)
+	ordCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ordering, Policy: ordering.SelectMaxGain,
+		AttrDist: attrDist(), Seed: opts.Seed,
+	}
+	ord, err := sim.Run(ordCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	rankCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ranking,
+		AttrDist: attrDist(), Seed: opts.Seed,
+	}
+	rank, err := sim.Run(rankCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordS := ord.SDM
+	ordS.Name = "ordering"
+	rankS := rank.SDM
+	rankS.Name = "ranking"
+	return &Result{
+		Name:   "fig6a",
+		XLabel: "cycle",
+		Series: []metrics.Series{ordS, rankS},
+		Note: "the ordering SDM is lower-bounded by the random draw; the ranking " +
+			"SDM keeps improving and ends below it.",
+	}, nil
+}
+
+// Fig6b reproduces Figure 6(b): the ranking algorithm over the Cyclon
+// variant vs over an idealized uniform sampler — the two SDM curves
+// nearly overlap (the paper reports within ±7%).
+func Fig6b(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(10000, scale, 100)
+	slices := scaledInt(100, scale, 10)
+	cycles := scaledInt(1000, scale, 200)
+	run := func(mk sim.MembershipKind, name string) (metrics.Series, error) {
+		cfg := sim.Config{
+			N: n, Slices: slices, ViewSize: 10,
+			Protocol: sim.Ranking, Membership: mk,
+			AttrDist: attrDist(), Seed: opts.Seed,
+		}
+		res, err := sim.Run(cfg, cycles)
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := res.SDM
+		s.Name = name
+		return s, nil
+	}
+	uniform, err := run(sim.UniformOracle, "sdm-uniform")
+	if err != nil {
+		return nil, err
+	}
+	views, err := run(sim.CyclonViews, "sdm-views")
+	if err != nil {
+		return nil, err
+	}
+	// Deviation percentage between the two curves, as plotted on the
+	// paper's left axis.
+	dev := metrics.Series{Name: "deviation%"}
+	for _, p := range uniform.Points {
+		if v, ok := views.At(p.Cycle); ok && p.Value > 0 {
+			dev.Add(p.Cycle, 100*(v-p.Value)/p.Value)
+		}
+	}
+	return &Result{
+		Name:   "fig6b",
+		XLabel: "cycle",
+		Series: []metrics.Series{dev, uniform, views},
+		Note:   "the Cyclon-variant curve tracks the uniform-sampler curve closely.",
+	}, nil
+}
+
+// Fig6c reproduces Figure 6(c): a churn burst correlated with the
+// attribute (0.1% join + 0.1% leave per cycle for the first 200 cycles)
+// — after the burst the ranking algorithm's SDM resumes decreasing while
+// the ordering algorithm's stays stuck.
+func Fig6c(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(10000, scale, 100)
+	slices := scaledInt(100, scale, 10)
+	cycles := scaledInt(1000, scale, 300)
+	burstEnd := scaledInt(200, scale, 60)
+	schedule := churn.Burst{Rate: 0.001, Until: burstEnd}
+	pattern := churn.Correlated{Spread: 10}
+	ordCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ordering, Policy: ordering.SelectRandomMisplaced,
+		AttrDist: attrDist(), Seed: opts.Seed,
+		Schedule: schedule, Pattern: pattern,
+	}
+	ord, err := sim.Run(ordCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	rankCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ranking,
+		AttrDist: attrDist(), Seed: opts.Seed,
+		Schedule: schedule, Pattern: pattern,
+	}
+	rank, err := sim.Run(rankCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordS := ord.SDM
+	ordS.Name = "jk"
+	rankS := rank.SDM
+	rankS.Name = "ranking"
+	return &Result{
+		Name:   "fig6c",
+		XLabel: "cycle",
+		Series: []metrics.Series{rankS, ordS},
+		Note: "after the churn burst stops the ranking SDM resumes its decrease; " +
+			"the ordering SDM stays stuck (unrecoverable random-value skew).",
+	}, nil
+}
+
+// Fig6d reproduces Figure 6(d): low regular churn (0.1% every 10 cycles)
+// — the ordering SDM starts rising early, the counter-based ranking much
+// later, and the sliding-window ranking resists throughout.
+func Fig6d(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	n := scaledInt(10000, scale, 100)
+	slices := scaledInt(100, scale, 10)
+	cycles := scaledInt(1000, scale, 400)
+	schedule := churn.Periodic{Rate: 0.001, Every: 10}
+	pattern := churn.Correlated{Spread: 10}
+	ordCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ordering, Policy: ordering.SelectMaxGain,
+		AttrDist: attrDist(), Seed: opts.Seed,
+		Schedule: schedule, Pattern: pattern,
+	}
+	ord, err := sim.Run(ordCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	rankCfg := sim.Config{
+		N: n, Slices: slices, ViewSize: 10,
+		Protocol: sim.Ranking,
+		AttrDist: attrDist(), Seed: opts.Seed,
+		Schedule: schedule, Pattern: pattern,
+	}
+	rank, err := sim.Run(rankCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	winCfg := rankCfg
+	winCfg.Estimator = sim.WindowEstimator
+	winCfg.WindowSize = scaledInt(10000, scale, 500)
+	win, err := sim.Run(winCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordS := ord.SDM
+	ordS.Name = "ordering"
+	rankS := rank.SDM
+	rankS.Name = "ranking"
+	winS := win.SDM
+	winS.Name = "sliding-window"
+	return &Result{
+		Name:   "fig6d",
+		XLabel: "cycle",
+		Series: []metrics.Series{ordS, rankS, winS},
+		Note: "under sustained correlated churn the ordering SDM rises first, " +
+			"counter-based ranking later; the sliding window prevents the rise.",
+	}, nil
+}
+
+// Thin returns a copy of the result with series thinned to every k-th
+// cycle (first and last points kept).
+func (r *Result) Thin(every int) *Result {
+	if every <= 1 {
+		return r
+	}
+	out := &Result{Name: r.Name, XLabel: r.XLabel, Note: r.Note}
+	for _, s := range r.Series {
+		t := metrics.Series{Name: s.Name}
+		for i, p := range s.Points {
+			if p.Cycle%every == 0 || i == len(s.Points)-1 {
+				t.Points = append(t.Points, p)
+			}
+		}
+		out.Series = append(out.Series, t)
+	}
+	return out
+}
+
+// Registry maps experiment names to their runners (the figures; the
+// analytic experiments live in analytic.go).
+var Registry = map[string]func(Options) (*Result, error){
+	"fig4a": Fig4a,
+	"fig4b": Fig4b,
+	"fig4c": Fig4c,
+	"fig4d": Fig4d,
+	"fig6a": Fig6a,
+	"fig6b": Fig6b,
+	"fig6c": Fig6c,
+	"fig6d": Fig6d,
+	"drift": Drift,
+}
+
+// Names returns the registered figure experiment names in a stable
+// order.
+func Names() []string {
+	return []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d", "drift",
+		"lemma41", "thm51", "evensplit"}
+}
+
+// ErrUnknown is returned for unrecognized experiment names.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Lookup finds a figure experiment by name.
+func Lookup(name string) (func(Options) (*Result, error), error) {
+	fn, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return fn, nil
+}

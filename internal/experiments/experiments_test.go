@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+)
+
+// small returns options scaled for fast test runs.
+func small() Options { return Options{Scale: 0.03, Seed: 1} }
+
+func lastValue(t *testing.T, r *Result, name string) float64 {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Name == name {
+			p, ok := s.Last()
+			if !ok {
+				t.Fatalf("series %q empty", name)
+			}
+			return p.Value
+		}
+	}
+	t.Fatalf("series %q not found in %v", name, r.Name)
+	return 0
+}
+
+func firstValue(t *testing.T, r *Result, name string) float64 {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Name == name {
+			if len(s.Points) == 0 {
+				t.Fatalf("series %q empty", name)
+			}
+			return s.Points[0].Value
+		}
+	}
+	t.Fatalf("series %q not found", name)
+	return 0
+}
+
+func TestOptionsScaleValidation(t *testing.T) {
+	for _, bad := range []float64{-1, 1.5} {
+		if _, err := Fig4a(Options{Scale: bad}); !errors.Is(err, ErrScale) {
+			t.Errorf("Scale=%v error = %v, want ErrScale", bad, err)
+		}
+	}
+}
+
+// Fig. 4(a): GDM collapses toward zero (by orders of magnitude) while
+// SDM ends above zero.
+func TestFig4aShape(t *testing.T) {
+	r, err := Fig4a(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdmStart := firstValue(t, r, "gdm")
+	gdmEnd := lastValue(t, r, "gdm")
+	// A residual adjacent transposition (GDM of 2/n) can survive a short
+	// scaled run; require a ≥10⁴× collapse rather than exact zero.
+	if gdmEnd > gdmStart/1e4 {
+		t.Errorf("final GDM = %v (from %v), want ≥10⁴× reduction", gdmEnd, gdmStart)
+	}
+	if got := lastValue(t, r, "sdm"); got <= 0 {
+		t.Errorf("final SDM = %v, want > 0 (the floor)", got)
+	}
+}
+
+// Fig. 4(b): mod-JK converges at least as fast as JK — its area under
+// the SDM curve is no larger (up to small-scale noise).
+func TestFig4bShape(t *testing.T) {
+	r, err := Fig4b(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := func(name string) float64 {
+		for _, s := range r.Series {
+			if s.Name != name {
+				continue
+			}
+			total := 0.0
+			for _, p := range s.Points {
+				total += p.Value
+			}
+			return total
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	jk, mod := auc("jk"), auc("mod-jk")
+	if mod > jk*1.05 {
+		t.Errorf("mod-JK SDM area %v above JK %v", mod, jk)
+	}
+}
+
+// Fig. 4(c): both policies waste messages under concurrency; full ≥ half
+// in the aggregate.
+func TestFig4cShape(t *testing.T) {
+	r, err := Fig4c(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(name string) float64 {
+		for _, s := range r.Series {
+			if s.Name != name {
+				continue
+			}
+			total := 0.0
+			for _, p := range s.Points {
+				total += p.Value
+			}
+			return total
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	if sum("jk-full") < sum("jk-half") {
+		t.Error("full concurrency wasted fewer JK messages than half")
+	}
+	if sum("mod-jk-full") <= 0 {
+		t.Error("mod-JK at full concurrency wasted no messages")
+	}
+}
+
+// Fig. 4(d): convergence survives full concurrency (final SDM within a
+// factor of the atomic run's).
+func TestFig4dShape(t *testing.T) {
+	r, err := Fig4d(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomic := lastValue(t, r, "no-concurrency")
+	full := lastValue(t, r, "full-concurrency")
+	start := firstValue(t, r, "full-concurrency")
+	if full >= start {
+		t.Errorf("no convergence under full concurrency: %v → %v", start, full)
+	}
+	_ = atomic // the atomic run may reach a lower floor; only convergence is asserted
+}
+
+// Fig. 6(a): ranking ends below ordering.
+func TestFig6aShape(t *testing.T) {
+	r, err := Fig6a(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk, ord := lastValue(t, r, "ranking"), lastValue(t, r, "ordering"); rk >= ord {
+		t.Errorf("ranking SDM %v not below ordering %v", rk, ord)
+	}
+}
+
+// Fig. 6(b): the view-based and uniform-sampler runs end close.
+func TestFig6bShape(t *testing.T) {
+	r, err := Fig6b(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := lastValue(t, r, "sdm-uniform")
+	v := lastValue(t, r, "sdm-views")
+	if u <= 0 || v <= 0 {
+		t.Skipf("degenerate small-scale SDM (u=%v v=%v)", u, v)
+	}
+	ratio := v / u
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("views SDM %v vs uniform %v: ratio %v too far from 1", v, u, ratio)
+	}
+}
+
+// Fig. 6(c): ranking ends below the ordering algorithm after a
+// correlated churn burst, and recovers after the burst stops.
+func TestFig6cShape(t *testing.T) {
+	r, err := Fig6c(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk, jk := lastValue(t, r, "ranking"), lastValue(t, r, "jk"); rk >= jk {
+		t.Errorf("ranking SDM %v not below jk %v after churn burst", rk, jk)
+	}
+}
+
+// Fig. 6(d): under sustained churn the sliding window ends at or below
+// the counter estimator, which ends below the ordering algorithm.
+func TestFig6dShape(t *testing.T) {
+	r, err := Fig6d(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := lastValue(t, r, "ordering")
+	rank := lastValue(t, r, "ranking")
+	win := lastValue(t, r, "sliding-window")
+	if rank >= ord {
+		t.Errorf("ranking %v not below ordering %v under sustained churn", rank, ord)
+	}
+	if win > rank*1.5 {
+		t.Errorf("sliding window %v much worse than counter %v", win, rank)
+	}
+}
+
+func TestDriftShape(t *testing.T) {
+	r, err := Drift(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomicEnd := lastValue(t, r, "distinct-r-atomic")
+	atomicStart := firstValue(t, r, "distinct-r-atomic")
+	if atomicEnd != atomicStart {
+		t.Errorf("atomic run lost random values: %v → %v", atomicStart, atomicEnd)
+	}
+	fullEnd := lastValue(t, r, "distinct-r-full-concurrency")
+	if fullEnd >= atomicEnd {
+		t.Errorf("full concurrency preserved all %v values; expected drift below %v",
+			fullEnd, atomicEnd)
+	}
+}
+
+func TestLemma41Table(t *testing.T) {
+	tr, err := Lemma41(Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tr.Rows {
+		bound, _ := strconv.ParseFloat(row[2], 64)
+		exact, _ := strconv.ParseFloat(row[3], 64)
+		if exact > bound+1e-9 {
+			t.Errorf("row %v: exact tail exceeds Chernoff bound", row)
+		}
+	}
+}
+
+func TestThm51Table(t *testing.T) {
+	tr, err := Thm51(Options{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevK := 0
+	for _, row := range tr.Rows {
+		k, _ := strconv.Atoi(row[1])
+		if k < prevK {
+			t.Errorf("required k decreased as d shrank: %v", tr.Rows)
+		}
+		prevK = k
+		correct, _ := strconv.ParseFloat(row[2], 64)
+		if correct < 0.9 {
+			t.Errorf("row %v: empirical correctness %v below target", row, correct)
+		}
+	}
+}
+
+func TestEvenSplitTable(t *testing.T) {
+	tr, err := EvenSplit(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tr.Rows {
+		exact, _ := strconv.ParseFloat(row[1], 64)
+		asym, _ := strconv.ParseFloat(row[2], 64)
+		if exact > asym {
+			t.Errorf("row %v: exact above the asymptotic bound", row)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d", "drift"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Lookup(nope) error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestThin(t *testing.T) {
+	r, err := Fig4b(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thinned := r.Thin(10)
+	for i, s := range thinned.Series {
+		if len(s.Points) >= len(r.Series[i].Points) {
+			t.Errorf("series %q not thinned: %d vs %d points",
+				s.Name, len(s.Points), len(r.Series[i].Points))
+		}
+	}
+	if r.Thin(0) != r {
+		t.Error("Thin(0) should return the receiver unchanged")
+	}
+}

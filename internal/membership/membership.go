@@ -1,0 +1,213 @@
+// Package membership implements the peer-sampling substrate the slicing
+// protocols gossip over: the Cyclon variant of §4.3.2/Fig. 3 of the
+// paper (full-view exchange with the oldest neighbor), a Newscast-like
+// protocol (freshest-wins exchange with a random neighbor, the substrate
+// of the original JK paper), and a uniform oracle that re-draws the view
+// uniformly at random each period (the "artificial protocol" of §5.3.2,
+// used as the ground-truth sampler in Fig. 6(b)).
+package membership
+
+import (
+	"math/rand"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// Protocol is a view-management state machine. Like the slicing
+// protocols it communicates through envelopes; the simulator completes a
+// whole exchange within a cycle (the paper updates views before every
+// slicing step), the runtime lets exchanges float.
+type Protocol interface {
+	// Tick starts one gossip period, returning the request to send (if
+	// any).
+	Tick(rng *rand.Rand) []proto.Envelope
+	// HandleRequest processes an incoming view request and returns the
+	// reply.
+	HandleRequest(from core.ID, req proto.ViewRequest, rng *rand.Rand) []proto.Envelope
+	// HandleReply processes the view received in response to Tick.
+	HandleReply(from core.ID, rep proto.ViewReply)
+	// View exposes the protocol's current view. The slicing protocol
+	// layered on top reads (and shares) this view.
+	View() *view.View
+	// OnTimeout tells the protocol that its last exchange with the given
+	// node received no reply (the node crashed or departed, §3.3). The
+	// stale entry is dropped so the node is not targeted forever.
+	OnTimeout(target core.ID)
+	// Name identifies the protocol in logs and experiment output.
+	Name() string
+}
+
+// SelfEntryFunc produces a fresh view entry describing the local node
+// (age 0, current attribute and rank coordinate). The slicing protocol
+// supplies it so that gossip always advertises up-to-date coordinates.
+type SelfEntryFunc func() view.Entry
+
+// Cyclon is the variant of the Cyclon protocol described in §4.3.2 and
+// Fig. 3: each period the node ages its view, selects its oldest
+// neighbor j, and sends its whole view (minus j's entry, plus a fresh
+// self entry); j replies with its whole view (minus entries describing
+// the initiator); both sides merge keeping their own version of
+// duplicated entries. Unlike original Cyclon, all entries are exchanged
+// at each step.
+type Cyclon struct {
+	self      core.ID
+	selfEntry SelfEntryFunc
+	v         *view.View
+}
+
+var _ Protocol = (*Cyclon)(nil)
+
+// NewCyclon builds the Cyclon-variant protocol for a node. The view is
+// owned by the protocol but shared with the slicing layer.
+func NewCyclon(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Cyclon {
+	return &Cyclon{self: self, selfEntry: selfEntry, v: v}
+}
+
+// Tick implements Protocol (Fig. 3, active thread, lines 1-3).
+func (c *Cyclon) Tick(_ *rand.Rand) []proto.Envelope {
+	c.v.AgeAll()
+	oldest, ok := c.v.Oldest()
+	if !ok {
+		return nil
+	}
+	payload := make([]view.Entry, 0, c.v.Len())
+	c.v.ForEach(func(e view.Entry) {
+		if e.ID != oldest.ID {
+			payload = append(payload, e)
+		}
+	})
+	payload = append(payload, c.selfEntry())
+	return []proto.Envelope{{To: oldest.ID, Msg: proto.ViewRequest{Entries: payload}}}
+}
+
+// HandleRequest implements Protocol (Fig. 3, passive thread, lines 7-10).
+func (c *Cyclon) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
+	reply := make([]view.Entry, 0, c.v.Len())
+	c.v.ForEach(func(e view.Entry) {
+		if e.ID != from {
+			reply = append(reply, e)
+		}
+	})
+	c.v.Merge(req.Entries, c.self)
+	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
+}
+
+// HandleReply implements Protocol (Fig. 3, active thread, lines 4-6).
+func (c *Cyclon) HandleReply(_ core.ID, rep proto.ViewReply) {
+	c.v.Merge(rep.Entries, c.self)
+}
+
+// View implements Protocol.
+func (c *Cyclon) View() *view.View { return c.v }
+
+// OnTimeout implements Protocol: the unresponsive neighbor is dropped.
+func (c *Cyclon) OnTimeout(target core.ID) { c.v.Remove(target) }
+
+// Name implements Protocol.
+func (c *Cyclon) Name() string { return "cyclon" }
+
+// Newscast is a Newscast-like protocol: each period the node exchanges
+// its full view with a uniformly random neighbor; both sides keep the
+// freshest entry per ID and trim to the freshest capacity entries. The
+// original JK algorithm runs on a variant of Newscast.
+type Newscast struct {
+	self      core.ID
+	selfEntry SelfEntryFunc
+	v         *view.View
+}
+
+var _ Protocol = (*Newscast)(nil)
+
+// NewNewscast builds the Newscast-like protocol for a node.
+func NewNewscast(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Newscast {
+	return &Newscast{self: self, selfEntry: selfEntry, v: v}
+}
+
+// Tick implements Protocol.
+func (n *Newscast) Tick(rng *rand.Rand) []proto.Envelope {
+	n.v.AgeAll()
+	target, ok := n.v.Random(rng)
+	if !ok {
+		return nil
+	}
+	payload := append(n.v.Entries(), n.selfEntry())
+	return []proto.Envelope{{To: target.ID, Msg: proto.ViewRequest{Entries: payload}}}
+}
+
+// HandleRequest implements Protocol.
+func (n *Newscast) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
+	reply := append(n.v.Entries(), n.selfEntry())
+	n.v.MergeFresh(req.Entries, n.self)
+	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
+}
+
+// HandleReply implements Protocol.
+func (n *Newscast) HandleReply(_ core.ID, rep proto.ViewReply) {
+	n.v.MergeFresh(rep.Entries, n.self)
+}
+
+// View implements Protocol.
+func (n *Newscast) View() *view.View { return n.v }
+
+// OnTimeout implements Protocol: the unresponsive neighbor is dropped.
+func (n *Newscast) OnTimeout(target core.ID) { n.v.Remove(target) }
+
+// Name implements Protocol.
+func (n *Newscast) Name() string { return "newscast" }
+
+// SampleFunc returns fresh entries for k uniformly random live nodes,
+// excluding a given node. The simulator provides it with global
+// knowledge; it stands for an idealized peer-sampling service.
+type SampleFunc func(rng *rand.Rand, k int, exclude core.ID) []view.Entry
+
+// Oracle re-draws the whole view uniformly at random every period: the
+// idealized sampler the paper compares the Cyclon variant against in
+// Fig. 6(b). It exchanges no messages.
+type Oracle struct {
+	self   core.ID
+	sample SampleFunc
+	v      *view.View
+}
+
+var _ Protocol = (*Oracle)(nil)
+
+// NewOracle builds a uniform-sampling oracle for a node.
+func NewOracle(self core.ID, sample SampleFunc, v *view.View) *Oracle {
+	return &Oracle{self: self, sample: sample, v: v}
+}
+
+// Tick implements Protocol: it replaces the entire view with fresh
+// uniform samples.
+func (o *Oracle) Tick(rng *rand.Rand) []proto.Envelope {
+	fresh := o.sample(rng, o.v.Cap(), o.self)
+	for _, id := range o.v.IDs() {
+		o.v.Remove(id)
+	}
+	for _, e := range fresh {
+		if e.ID != o.self {
+			o.v.Add(e)
+		}
+	}
+	return nil
+}
+
+// HandleRequest implements Protocol; the oracle never receives requests
+// but answers gracefully to tolerate stray messages under churn.
+func (o *Oracle) HandleRequest(from core.ID, _ proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
+	return []proto.Envelope{{To: from, Msg: proto.ViewReply{}}}
+}
+
+// HandleReply implements Protocol (no-op).
+func (o *Oracle) HandleReply(core.ID, proto.ViewReply) {}
+
+// View implements Protocol.
+func (o *Oracle) View() *view.View { return o.v }
+
+// OnTimeout implements Protocol: the oracle re-samples every period, so
+// a stale entry is dropped immediately and replaced at the next tick.
+func (o *Oracle) OnTimeout(target core.ID) { o.v.Remove(target) }
+
+// Name implements Protocol.
+func (o *Oracle) Name() string { return "uniform-oracle" }

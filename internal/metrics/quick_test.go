@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gossipkit/slicing/internal/core"
+)
+
+// Property: SDM is invariant under permuting the population snapshot.
+func TestSDMPermutationInvariant(t *testing.T) {
+	part := core.MustEqual(7)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		states := make([]NodeState, n)
+		for i := range states {
+			states[i] = NodeState{
+				Member:     core.Member{ID: core.ID(i + 1), Attr: core.Attr(rng.Intn(9))},
+				R:          rng.Float64(),
+				SliceIndex: rng.Intn(7),
+			}
+		}
+		want := SDM(states, part)
+		shuffled := append([]NodeState(nil), states...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return math.Abs(SDM(shuffled, part)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assigning every node its true slice yields SDM 0, and
+// corrupting exactly one node's belief by k slices yields SDM exactly
+// k (equal-width partition).
+func TestSDMSingleCorruption(t *testing.T) {
+	part := core.MustEqual(10)
+	f := func(seed int64, corrupt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		states := make([]NodeState, n)
+		for i := range states {
+			states[i] = NodeState{
+				Member: core.Member{ID: core.ID(i + 1), Attr: core.Attr(rng.NormFloat64())},
+			}
+		}
+		// Assign true slices.
+		ranks := core.Ranks(membersOf(states))
+		for i := range states {
+			trueRank := float64(ranks[states[i].Member.ID]) / float64(n)
+			states[i].SliceIndex = part.Index(trueRank)
+		}
+		if SDM(states, part) != 0 {
+			return false
+		}
+		// Corrupt one node by a known distance.
+		victim := int(corrupt) % n
+		orig := states[victim].SliceIndex
+		target := (orig + 3) % 10
+		states[victim].SliceIndex = target
+		want := math.Abs(float64(orig - target))
+		return math.Abs(SDM(states, part)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GDM is zero iff sorting by R (ties by id) matches sorting
+// by the attribute order.
+func TestGDMZeroIffAligned(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		states := make([]NodeState, n)
+		for i := range states {
+			states[i] = NodeState{
+				Member: core.Member{ID: core.ID(i + 1), Attr: core.Attr(rng.Intn(6))},
+				R:      rng.Float64(),
+			}
+		}
+		gdm := GDM(states)
+		// Reference alignment check.
+		byAttr := append([]NodeState(nil), states...)
+		core.SortMembers(nil) // no-op; keeps core import obvious
+		sortStates(byAttr, func(a, b NodeState) bool { return core.Less(a.Member, b.Member) })
+		byR := append([]NodeState(nil), states...)
+		sortStates(byR, func(a, b NodeState) bool {
+			if a.R != b.R {
+				return a.R < b.R
+			}
+			return a.Member.ID < b.Member.ID
+		})
+		aligned := true
+		for i := range byAttr {
+			if byAttr[i].Member.ID != byR[i].Member.ID {
+				aligned = false
+				break
+			}
+		}
+		return (gdm == 0) == aligned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortStates(s []NodeState, less func(a, b NodeState) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func membersOf(states []NodeState) []core.Member {
+	members := make([]core.Member, len(states))
+	for i, st := range states {
+		members[i] = st.Member
+	}
+	return members
+}

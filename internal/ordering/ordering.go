@@ -1,0 +1,377 @@
+// Package ordering implements the random-value ordering protocols of §4
+// of the paper: the JK algorithm (Jelasity & Kermarrec, P2P 2006) and
+// the paper's improvement mod-JK.
+//
+// Every node i draws a uniform random value r_i ∈ (0,1] once, at join
+// time. Nodes gossip-swap random values with misplaced neighbors —
+// neighbors j for which (a_j − a_i)(r_j − r_i) < 0 — until the order of
+// random values agrees with the order of attribute values everywhere.
+// Each node reads its slice off its current random value.
+//
+// JK picks a uniformly random misplaced neighbor. mod-JK picks the
+// misplaced neighbor maximizing the local disorder measure gain
+// G_{i,j} (Eq. (1) of the paper), computed over the local attribute and
+// random sequences of the view plus the node itself.
+package ordering
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// Policy selects the swap partner among the view's misplaced neighbors.
+type Policy int
+
+// Available partner-selection policies.
+const (
+	// SelectRandomMisplaced picks a uniformly random misplaced neighbor:
+	// the JK algorithm.
+	SelectRandomMisplaced Policy = iota + 1
+	// SelectMaxGain picks the misplaced neighbor with the largest local
+	// disorder gain G_{i,j}: the paper's mod-JK algorithm.
+	SelectMaxGain
+	// SelectRandom picks any uniformly random neighbor, misplaced or
+	// not; messages to well-placed neighbors are wasted. Kept as an
+	// ablation baseline for the selection heuristics.
+	SelectRandom
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SelectRandomMisplaced:
+		return "jk"
+	case SelectMaxGain:
+		return "mod-jk"
+	case SelectRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Misplaced reports whether two nodes hold random values out of order
+// with respect to their attribute values: (a_j − a_i)(r_j − r_i) < 0
+// (§4.2). Nodes with equal attribute or equal random values are not
+// misplaced: swapping cannot reduce disorder.
+func Misplaced(ai, aj core.Attr, ri, rj float64) bool {
+	return (float64(aj)-float64(ai))*(rj-ri) < 0
+}
+
+// Stats counts protocol events for the unsuccessful-swap analysis of
+// §4.5.2 (Fig. 4(c)).
+type Stats struct {
+	// ReqSent counts swap requests sent.
+	ReqSent uint64
+	// ReqReceived counts swap requests received.
+	ReqReceived uint64
+	// SwapFailedAtReceiver counts requests whose swap predicate no
+	// longer held when the request was processed: the paper's
+	// "unsuccessful swaps" caused by concurrency staleness.
+	SwapFailedAtReceiver uint64
+	// SwapFailedAtInitiator counts replies whose predicate no longer
+	// held at the initiator.
+	SwapFailedAtInitiator uint64
+	// Swapped counts applied value adoptions (either side).
+	Swapped uint64
+}
+
+// Node is a JK / mod-JK protocol instance bound to one network node.
+// It implements proto.Node.
+type Node struct {
+	id     core.ID
+	attr   core.Attr
+	r      float64
+	part   core.Partition
+	policy Policy
+	v      *view.View
+	stats  Stats
+}
+
+var _ proto.Node = (*Node)(nil)
+
+// Config parameterizes a protocol instance.
+type Config struct {
+	ID        core.ID
+	Attr      core.Attr
+	Partition core.Partition
+	Policy    Policy
+	View      *view.View
+	// InitialR is the node's uniform random draw r_i ∈ (0,1]. The caller
+	// draws it (with its seeded rng) so that runs are reproducible.
+	InitialR float64
+}
+
+// NewNode builds a protocol instance.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.View == nil {
+		return nil, fmt.Errorf("ordering: config needs a view")
+	}
+	if cfg.InitialR <= 0 || cfg.InitialR > 1 {
+		return nil, fmt.Errorf("ordering: initial random value %v outside (0,1]", cfg.InitialR)
+	}
+	switch cfg.Policy {
+	case SelectRandomMisplaced, SelectMaxGain, SelectRandom:
+	default:
+		return nil, fmt.Errorf("ordering: unknown policy %d", int(cfg.Policy))
+	}
+	return &Node{
+		id:     cfg.ID,
+		attr:   cfg.Attr,
+		r:      cfg.InitialR,
+		part:   cfg.Partition,
+		policy: cfg.Policy,
+		v:      cfg.View,
+	}, nil
+}
+
+// ID implements proto.Node.
+func (n *Node) ID() core.ID { return n.id }
+
+// Member implements proto.Node.
+func (n *Node) Member() core.Member { return core.Member{ID: n.id, Attr: n.attr} }
+
+// Estimate implements proto.Node: the node's current random value.
+func (n *Node) Estimate() float64 { return n.r }
+
+// SliceIndex implements proto.Node: slice_i = S_{l,u} with l < r_i ≤ u
+// (Fig. 2 line 14).
+func (n *Node) SliceIndex() int { return n.part.Index(n.r) }
+
+// SelfEntry implements proto.Node.
+func (n *Node) SelfEntry() view.Entry {
+	return view.Entry{ID: n.id, Age: 0, Attr: n.attr, R: n.r}
+}
+
+// View exposes the node's view (shared with its membership protocol).
+func (n *Node) View() *view.View { return n.v }
+
+// Stats returns a snapshot of the node's event counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Tick implements proto.Node: one active-thread period (Fig. 2 lines
+// 4-9). The view has already been recomputed by the membership layer.
+// The returned envelope carries the swap request, if any partner
+// qualifies.
+func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
+	selfR, ok := state.R(n.id)
+	if !ok {
+		selfR = n.r
+	}
+	target, ok := n.selectPartner(selfR, state, rng)
+	if !ok {
+		return nil
+	}
+	n.stats.ReqSent++
+	return []proto.Envelope{{To: target, Msg: proto.SwapRequest{R: selfR, Attr: n.attr}}}
+}
+
+// neighborCoordinate resolves a neighbor's random value through the
+// state reader, falling back to the view's recorded value when the
+// reader does not know the neighbor (a live distributed node only knows
+// its view).
+func neighborCoordinate(state proto.StateReader, e view.Entry) float64 {
+	if r, ok := state.R(e.ID); ok {
+		return r
+	}
+	return e.R
+}
+
+func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng *rand.Rand) (core.ID, bool) {
+	entries := n.v.Entries()
+	// Placeholder entries carry no usable coordinates; they are gossip
+	// contacts for the membership layer only.
+	real := entries[:0]
+	for _, e := range entries {
+		if !e.Placeholder() {
+			real = append(real, e)
+		}
+	}
+	entries = real
+	if len(entries) == 0 {
+		return 0, false
+	}
+	switch n.policy {
+	case SelectRandom:
+		return entries[rng.Intn(len(entries))].ID, true
+	case SelectRandomMisplaced:
+		misplaced := entries[:0]
+		for _, e := range entries {
+			if Misplaced(n.attr, e.Attr, selfR, neighborCoordinate(state, e)) {
+				misplaced = append(misplaced, e)
+			}
+		}
+		if len(misplaced) == 0 {
+			return 0, false
+		}
+		return misplaced[rng.Intn(len(misplaced))].ID, true
+	case SelectMaxGain:
+		return n.selectMaxGain(selfR, state)
+	default:
+		return 0, false
+	}
+}
+
+// selectMaxGain evaluates the gain G_{i,j} for every misplaced neighbor
+// and returns the argmax (Fig. 2 lines 4-8).
+func (n *Node) selectMaxGain(selfR float64, state proto.StateReader) (core.ID, bool) {
+	local := n.localSequences(selfR, state)
+	bestGain := 0.0
+	var best core.ID
+	found := false
+	for _, m := range local.others {
+		if !Misplaced(n.attr, m.attr, selfR, m.r) {
+			continue
+		}
+		g := local.gain(local.self, m)
+		if !found || g > bestGain {
+			bestGain, best, found = g, m.id, true
+		}
+	}
+	return best, found
+}
+
+// localMember is one element of the node's local sequences.
+type localMember struct {
+	id   core.ID
+	attr core.Attr
+	r    float64
+	la   int // ℓα: index in LA.sequence (local attribute order)
+	lr   int // ℓρ: index in LR.sequence (local random-value order)
+}
+
+// localSequences computes LA.sequence_i and LR.sequence_i over
+// N_i ∪ {i} (§4.3) and annotates each member with its indices.
+type localSeq struct {
+	self   localMember
+	others []localMember
+	size   int // c+1 in the paper's notation
+}
+
+func (n *Node) localSequences(selfR float64, state proto.StateReader) localSeq {
+	entries := n.v.Entries()
+	members := make([]localMember, 0, len(entries)+1)
+	members = append(members, localMember{id: n.id, attr: n.attr, r: selfR})
+	for _, e := range entries {
+		if e.Placeholder() {
+			continue
+		}
+		members = append(members, localMember{id: e.ID, attr: e.Attr, r: neighborCoordinate(state, e)})
+	}
+	// ℓα: order by (attr, id) — the attribute-based total order.
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return core.Less(
+			core.Member{ID: members[idx[x]].id, Attr: members[idx[x]].attr},
+			core.Member{ID: members[idx[y]].id, Attr: members[idx[y]].attr},
+		)
+	})
+	for pos, i := range idx {
+		members[i].la = pos
+	}
+	// ℓρ: order by (r, id).
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		mx, my := members[idx[x]], members[idx[y]]
+		if mx.r != my.r {
+			return mx.r < my.r
+		}
+		return mx.id < my.id
+	})
+	for pos, i := range idx {
+		members[i].lr = pos
+	}
+	return localSeq{self: members[0], others: members[1:], size: len(members)}
+}
+
+// gain returns G_{i,j}(t+1) per Eq. (1): the local disorder reduction
+// obtained by swapping the random values of i and j.
+func (s localSeq) gain(i, j localMember) float64 {
+	ai, ri := float64(i.la), float64(i.lr)
+	aj, rj := float64(j.la), float64(j.lr)
+	return ((ai-ri)*(ai-ri) + (aj-rj)*(aj-rj) - (ai-rj)*(ai-rj) - (aj-ri)*(aj-ri)) / float64(s.size)
+}
+
+// LDM returns the node's local disorder measure LDM_i(t) (§4.3): the
+// mean squared distance between local attribute and random indices over
+// N_i ∪ {i}. Exposed for tests and for the ablation benches.
+func (n *Node) LDM(state proto.StateReader) float64 {
+	selfR, ok := state.R(n.id)
+	if !ok {
+		selfR = n.r
+	}
+	local := n.localSequences(selfR, state)
+	sum := 0.0
+	for _, m := range append(local.others, local.self) {
+		d := float64(m.la - m.lr)
+		sum += d * d
+	}
+	return sum / float64(local.size)
+}
+
+// Handle implements proto.Node: the passive thread of Fig. 2 (lines
+// 15-19) plus the initiator's reply processing (lines 10-14).
+func (n *Node) Handle(from core.ID, msg proto.Message, _ *rand.Rand) []proto.Envelope {
+	switch m := msg.(type) {
+	case proto.SwapRequest:
+		return n.handleSwapRequest(from, m)
+	case proto.SwapReply:
+		n.handleSwapReply(from, m)
+		return nil
+	default:
+		// Not an ordering message (e.g. a stray RankUpdate); ignore.
+		return nil
+	}
+}
+
+// handleSwapRequest applies the receiver side of the exchange: reply
+// with the current random value, then adopt the initiator's value if the
+// swap predicate holds (Fig. 2 lines 15-19).
+func (n *Node) handleSwapRequest(from core.ID, req proto.SwapRequest) []proto.Envelope {
+	n.stats.ReqReceived++
+	reply := proto.SwapReply{R: n.r}
+	if Misplaced(n.attr, req.Attr, n.r, req.R) {
+		n.r = req.R
+		n.stats.Swapped++
+	} else {
+		// The initiator believed the swap would help but the local state
+		// moved on: an unsuccessful swap (§4.5.2).
+		n.stats.SwapFailedAtReceiver++
+	}
+	return []proto.Envelope{{To: from, Msg: reply}}
+}
+
+// handleSwapReply applies the initiator side: refresh the view's record
+// of the partner's value, then adopt it if the predicate holds (Fig. 2
+// lines 10-14). The partner's attribute comes from the view — the ACK
+// does not carry it (the paper notes the initiator already has it).
+func (n *Node) handleSwapReply(from core.ID, rep proto.SwapReply) {
+	e, ok := n.v.Get(from)
+	if !ok {
+		// The partner has since been rotated out of the view; without
+		// its attribute value the predicate cannot be evaluated.
+		n.stats.SwapFailedAtInitiator++
+		return
+	}
+	n.v.UpdateR(from, rep.R)
+	if Misplaced(n.attr, e.Attr, n.r, rep.R) {
+		n.r = rep.R
+		n.stats.Swapped++
+	} else {
+		n.stats.SwapFailedAtInitiator++
+	}
+}
+
+// SetR force-sets the node's random value. Used by churn models when
+// re-keying and by tests.
+func (n *Node) SetR(r float64) { n.r = r }

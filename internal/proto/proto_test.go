@@ -1,0 +1,61 @@
+package proto
+
+import (
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+func TestMapReader(t *testing.T) {
+	r := MapReader{1: 0.5}
+	if v, ok := r.R(1); !ok || v != 0.5 {
+		t.Errorf("R(1) = %v,%v", v, ok)
+	}
+	if _, ok := r.R(2); ok {
+		t.Error("R(2) should be unknown")
+	}
+}
+
+func TestFuncReader(t *testing.T) {
+	r := FuncReader(func(id core.ID) (float64, bool) { return float64(id) / 10, id < 5 })
+	if v, ok := r.R(3); !ok || v != 0.3 {
+		t.Errorf("R(3) = %v,%v", v, ok)
+	}
+	if _, ok := r.R(7); ok {
+		t.Error("R(7) should be unknown")
+	}
+}
+
+func TestViewBackedReader(t *testing.T) {
+	v := view.MustNew(4)
+	v.Add(view.Entry{ID: 2, R: 0.7})
+	selfR := 0.25
+	r := ViewBacked(1, func() float64 { return selfR }, v)
+	// Self resolves through the live callback.
+	if got, ok := r.R(1); !ok || got != 0.25 {
+		t.Errorf("R(self) = %v,%v", got, ok)
+	}
+	selfR = 0.5
+	if got, _ := r.R(1); got != 0.5 {
+		t.Errorf("R(self) not live: %v", got)
+	}
+	// Neighbors resolve through the view.
+	if got, ok := r.R(2); !ok || got != 0.7 {
+		t.Errorf("R(2) = %v,%v", got, ok)
+	}
+	// Unknown nodes are unknown.
+	if _, ok := r.R(99); ok {
+		t.Error("R(99) should be unknown")
+	}
+}
+
+// Every wire message implements the closed Message interface.
+func TestMessageMarkers(t *testing.T) {
+	msgs := []Message{
+		ViewRequest{}, ViewReply{}, SwapRequest{}, SwapReply{}, RankUpdate{},
+	}
+	if len(msgs) != 5 {
+		t.Fatal("expected 5 message types")
+	}
+}

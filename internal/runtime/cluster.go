@@ -1,0 +1,231 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/transport"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// Cluster configuration errors.
+var (
+	ErrClusterSize = errors.New("runtime: cluster needs at least two nodes")
+	ErrNoDist      = errors.New("runtime: cluster needs an attribute distribution")
+)
+
+// EstimatorFactory builds one estimator per ranking node.
+type EstimatorFactory func() ranking.Estimator
+
+// ClusterConfig parameterizes a process-local cluster of live nodes.
+type ClusterConfig struct {
+	N         int
+	Partition core.Partition
+	ViewSize  int
+	Protocol  Protocol
+	// Policy selects JK / mod-JK (Ordering only).
+	Policy ordering.Policy
+	// Estimators builds per-node estimators (Ranking only; default
+	// counters).
+	Estimators EstimatorFactory
+	// Membership selects the substrate. Default CyclonViews.
+	Membership Membership
+	// Period is the gossip period for every node. Required.
+	Period time.Duration
+	// JitterFrac desynchronizes node periods. Default 0.1.
+	JitterFrac float64
+	// AttrDist draws the attribute values. Required.
+	AttrDist dist.Source
+	// Seed makes the construction reproducible.
+	Seed int64
+	// Transport carries the traffic; nil uses a fresh in-memory
+	// transport owned (and closed) by the cluster.
+	Transport transport.Transport
+	// BootstrapDegree is the number of random nodes seeded into each
+	// initial view. Default min(ViewSize, N-1).
+	BootstrapDegree int
+}
+
+// Cluster is a set of live nodes sharing a transport.
+type Cluster struct {
+	nodes         []*Node
+	part          core.Partition
+	tr            transport.Transport
+	ownsTransport bool
+}
+
+// NewCluster builds the nodes (ids 1..N) with bootstrap views wired into
+// a random graph. Call Start to begin gossiping.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, ErrClusterSize
+	}
+	if cfg.AttrDist == nil {
+		return nil, ErrNoDist
+	}
+	if cfg.Period <= 0 {
+		return nil, ErrBadPeriod
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = 0.1
+	}
+	tr := cfg.Transport
+	owns := false
+	if tr == nil {
+		tr = transport.NewInMem(transport.InMemOptions{Seed: cfg.Seed})
+		owns = true
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	attrs := make([]core.Attr, cfg.N)
+	rs := make([]float64, cfg.N)
+	for i := range attrs {
+		attrs[i] = core.Attr(cfg.AttrDist.Sample(rng))
+		rs[i] = 1 - rng.Float64()
+	}
+	estimators := cfg.Estimators
+	if estimators == nil {
+		estimators = func() ranking.Estimator { return ranking.NewCounter() }
+	}
+	c := &Cluster{part: cfg.Partition, tr: tr, ownsTransport: owns}
+	for i := 0; i < cfg.N; i++ {
+		nodeCfg := NodeConfig{
+			ID:         core.ID(i + 1),
+			Attr:       attrs[i],
+			Partition:  cfg.Partition,
+			ViewSize:   cfg.ViewSize,
+			Protocol:   cfg.Protocol,
+			Policy:     cfg.Policy,
+			Membership: cfg.Membership,
+			Period:     cfg.Period,
+			JitterFrac: cfg.JitterFrac,
+			Seed:       cfg.Seed + int64(i+1),
+			Transport:  tr,
+			InitialR:   rs[i],
+		}
+		if cfg.Protocol == Ranking {
+			nodeCfg.Estimator = estimators()
+		}
+		n, err := NewNode(nodeCfg)
+		if err != nil {
+			if owns {
+				tr.Close()
+			}
+			return nil, fmt.Errorf("runtime: node %d: %w", i+1, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	// Bootstrap: each node's view holds BootstrapDegree random others.
+	deg := cfg.BootstrapDegree
+	if deg <= 0 || deg > cfg.ViewSize {
+		deg = cfg.ViewSize
+	}
+	if deg > cfg.N-1 {
+		deg = cfg.N - 1
+	}
+	for i, n := range c.nodes {
+		seen := map[int]bool{i: true}
+		added := 0
+		for added < deg {
+			j := rng.Intn(cfg.N)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			entry := view.Entry{
+				ID:   core.ID(j + 1),
+				Age:  0,
+				Attr: attrs[j],
+				R:    rs[j],
+			}
+			n.mem.View().Add(entry)
+			added++
+		}
+	}
+	return c, nil
+}
+
+// Start launches every node.
+func (c *Cluster) Start() error {
+	for _, n := range c.nodes {
+		if err := n.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop halts every node, then the transport if the cluster owns it.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	if c.ownsTransport {
+		c.tr.Close()
+	}
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Kill crashes one node (for failure injection): it stops gossiping and
+// leaves the transport without any goodbye, like the paper's churn.
+func (c *Cluster) Kill(id core.ID) bool {
+	for i, n := range c.nodes {
+		if n.ID() == id {
+			n.Stop()
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// States snapshots all live nodes for measurement.
+func (c *Cluster) States() []metrics.NodeState {
+	states := make([]metrics.NodeState, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		st := n.Status()
+		states = append(states, metrics.NodeState{
+			Member:     core.Member{ID: st.ID, Attr: st.Attr},
+			R:          st.R,
+			SliceIndex: st.SliceIx,
+		})
+	}
+	return states
+}
+
+// SDM returns the cluster's current slice disorder measure.
+func (c *Cluster) SDM() float64 {
+	return metrics.SDM(c.States(), c.part)
+}
+
+// MisassignedFraction returns the fraction of nodes currently claiming
+// the wrong slice.
+func (c *Cluster) MisassignedFraction() float64 {
+	return metrics.MisassignedFraction(c.States(), c.part)
+}
+
+// AwaitSDM polls until the SDM drops to at most target or the timeout
+// expires, returning the last observed value and whether the target was
+// met.
+func (c *Cluster) AwaitSDM(target float64, timeout time.Duration) (float64, bool) {
+	deadline := time.Now().Add(timeout)
+	last := c.SDM()
+	for {
+		if last <= target {
+			return last, true
+		}
+		if time.Now().After(deadline) {
+			return last, false
+		}
+		time.Sleep(5 * time.Millisecond)
+		last = c.SDM()
+	}
+}

@@ -1,0 +1,389 @@
+// Package runtime executes the slicing protocols live: every node is a
+// goroutine pair — an active thread ticking each gossip period and a
+// passive thread handling incoming messages (the two threads of Figs. 2,
+// 3 and 5 of the paper) — communicating over a Transport.
+//
+// The same protocol state machines the simulator drives cycle-by-cycle
+// run here under real concurrency, message loss and crashes. Unlike the
+// simulator, a live node resolves neighbor coordinates only from its own
+// view (proto.ViewBacked): there is no global oracle.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/membership"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/transport"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// Protocol selects the slicing protocol a node runs.
+type Protocol int
+
+// Available protocols.
+const (
+	// Ordering runs JK / mod-JK (§4).
+	Ordering Protocol = iota + 1
+	// Ranking runs the rank-estimation protocol (§5).
+	Ranking
+)
+
+// Membership selects the peer-sampling substrate.
+type Membership int
+
+// Available substrates. The uniform oracle is simulation-only: a live
+// node has no global knowledge.
+const (
+	// CyclonViews is the Cyclon variant of §4.3.2.
+	CyclonViews Membership = iota + 1
+	// NewscastViews is the Newscast-like substrate.
+	NewscastViews
+)
+
+// Node configuration errors.
+var (
+	ErrNoTransport = errors.New("runtime: config needs a transport")
+	ErrNoEstimator = errors.New("runtime: ranking config needs an estimator")
+	ErrBadPeriod   = errors.New("runtime: period must be positive")
+	ErrBadProtocol = errors.New("runtime: unknown protocol")
+	ErrStarted     = errors.New("runtime: node already started")
+)
+
+// NodeConfig parameterizes a live node.
+type NodeConfig struct {
+	ID        core.ID
+	Attr      core.Attr
+	Partition core.Partition
+	// ViewSize is the gossip view capacity c.
+	ViewSize int
+	Protocol Protocol
+	// Policy selects JK / mod-JK (Ordering only; default mod-JK).
+	Policy ordering.Policy
+	// Estimator is the ranking estimator instance (Ranking only).
+	Estimator ranking.Estimator
+	// DisableViewScan turns off estimator feeding from view scans.
+	DisableViewScan bool
+	// Membership selects the view substrate. Default CyclonViews.
+	Membership Membership
+	// Period is the gossip period (Figs. 2/5: wait(period)). Required.
+	Period time.Duration
+	// JitterFrac desynchronizes periods by ±JitterFrac·Period.
+	JitterFrac float64
+	// Seed feeds the node's private rng.
+	Seed int64
+	// Bootstrap seeds the initial view.
+	Bootstrap []view.Entry
+	// Transport delivers the node's messages. Required.
+	Transport transport.Transport
+	// InitialR is the ordering protocol's random draw; 0 draws from the
+	// node's rng.
+	InitialR float64
+}
+
+// Status is a point-in-time snapshot of a node.
+type Status struct {
+	ID      core.ID
+	Attr    core.Attr
+	R       float64
+	SliceIx int
+	Slice   core.Slice
+	Samples int
+	ViewLen int
+}
+
+// SliceChangeFunc observes slice reassignments. Callbacks run on the
+// node's gossip goroutines, outside the node lock; keep them fast and do
+// not call back into the node synchronously from them.
+type SliceChangeFunc func(node core.ID, old, new int)
+
+// Node is a live protocol participant.
+type Node struct {
+	part core.Partition
+	tr   transport.Transport
+
+	mu          sync.Mutex
+	slicer      proto.Node
+	mem         membership.Protocol
+	rng         *rand.Rand
+	state       proto.StateReader
+	pendingView core.ID // target of the in-flight view exchange, 0 if none
+	lastSlice   int
+	onChange    SliceChangeFunc
+
+	period time.Duration
+	jitter float64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewNode builds a live node. Start must be called to begin gossiping.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, ErrNoTransport
+	}
+	if cfg.Period <= 0 {
+		return nil, ErrBadPeriod
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v, err := view.New(cfg.ViewSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range cfg.Bootstrap {
+		if e.ID != cfg.ID {
+			v.Add(e)
+		}
+	}
+	var slicer proto.Node
+	switch cfg.Protocol {
+	case Ordering:
+		policy := cfg.Policy
+		if policy == 0 {
+			policy = ordering.SelectMaxGain
+		}
+		r := cfg.InitialR
+		if r == 0 {
+			r = 1 - rng.Float64()
+		}
+		n, err := ordering.NewNode(ordering.Config{
+			ID: cfg.ID, Attr: cfg.Attr, Partition: cfg.Partition,
+			Policy: policy, View: v, InitialR: r,
+		})
+		if err != nil {
+			return nil, err
+		}
+		slicer = n
+	case Ranking:
+		if cfg.Estimator == nil {
+			return nil, ErrNoEstimator
+		}
+		n, err := ranking.NewNode(ranking.Config{
+			ID: cfg.ID, Attr: cfg.Attr, Partition: cfg.Partition,
+			Estimator: cfg.Estimator, View: v,
+			DisableViewScan: cfg.DisableViewScan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		slicer = n
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadProtocol, int(cfg.Protocol))
+	}
+	var mem membership.Protocol
+	switch cfg.Membership {
+	case NewscastViews:
+		mem = membership.NewNewscast(cfg.ID, slicer.SelfEntry, v)
+	default:
+		mem = membership.NewCyclon(cfg.ID, slicer.SelfEntry, v)
+	}
+	node := &Node{
+		part:   cfg.Partition,
+		tr:     cfg.Transport,
+		slicer: slicer,
+		mem:    mem,
+		rng:    rng,
+		period: cfg.Period,
+		jitter: cfg.JitterFrac,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	node.state = proto.ViewBacked(cfg.ID, func() float64 { return slicer.Estimate() }, v)
+	node.lastSlice = slicer.SliceIndex()
+	return node, nil
+}
+
+// OnSliceChange registers a callback fired whenever the node's believed
+// slice changes (including the churn-driven reassignments of §3.3).
+// Must be called before Start.
+func (n *Node) OnSliceChange(fn SliceChangeFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onChange = fn
+}
+
+// notifySliceChange compares the current slice with the last observed
+// one and returns a pending callback invocation, or nil. Callers invoke
+// the result after releasing the lock.
+func (n *Node) notifySliceChange() func() {
+	if n.onChange == nil {
+		return nil
+	}
+	cur := n.slicer.SliceIndex()
+	if cur == n.lastSlice {
+		return nil
+	}
+	old := n.lastSlice
+	n.lastSlice = cur
+	fn, id := n.onChange, n.slicer.ID()
+	return func() { fn(id, old, cur) }
+}
+
+// ID returns the node identity.
+func (n *Node) ID() core.ID { return n.slicer.ID() }
+
+// Start registers the node on its transport and launches the active
+// thread. Calling Start twice returns ErrStarted.
+func (n *Node) Start() error {
+	var err error
+	ran := false
+	n.startOnce.Do(func() {
+		ran = true
+		err = n.tr.Register(n.ID(), n.handle)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.started = true
+		n.mu.Unlock()
+		go n.loop()
+	})
+	if !ran {
+		return ErrStarted
+	}
+	return err
+}
+
+// Stop halts the active thread and deregisters from the transport.
+// It is idempotent and safe to call even if Start failed.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.mu.Lock()
+		started := n.started
+		n.mu.Unlock()
+		if started {
+			<-n.done
+			n.tr.Unregister(n.ID())
+		}
+	})
+}
+
+// loop is the active thread: wait(period), gossip, repeat.
+func (n *Node) loop() {
+	defer close(n.done)
+	timer := time.NewTimer(n.nextPeriod())
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+			n.tick()
+			timer.Reset(n.nextPeriod())
+		}
+	}
+}
+
+func (n *Node) nextPeriod() time.Duration {
+	if n.jitter <= 0 {
+		return n.period
+	}
+	n.mu.Lock()
+	f := 1 + n.jitter*(2*n.rng.Float64()-1)
+	n.mu.Unlock()
+	return time.Duration(float64(n.period) * f)
+}
+
+// tick runs one active-thread period: view exchange, then the slicing
+// protocol step.
+func (n *Node) tick() {
+	n.mu.Lock()
+	// A view request that was never answered counts as a timeout: the
+	// target is presumed gone (§3.3: crash and departure look alike).
+	if n.pendingView != 0 {
+		n.mem.OnTimeout(n.pendingView)
+		n.pendingView = 0
+	}
+	memEnvs := n.mem.Tick(n.rng)
+	if len(memEnvs) > 0 {
+		n.pendingView = memEnvs[0].To
+	}
+	slEnvs := n.slicer.Tick(n.state, n.rng)
+	id := n.slicer.ID()
+	notify := n.notifySliceChange()
+	n.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+
+	for _, env := range memEnvs {
+		if err := n.tr.Send(id, env.To, env.Msg); err != nil {
+			n.mu.Lock()
+			n.mem.OnTimeout(env.To)
+			if n.pendingView == env.To {
+				n.pendingView = 0
+			}
+			n.mu.Unlock()
+		}
+	}
+	for _, env := range slEnvs {
+		// Gossip tolerates loss: a failed send is simply retried with a
+		// different partner next period.
+		_ = n.tr.Send(id, env.To, env.Msg)
+	}
+}
+
+// handle is the passive thread: it processes one incoming message.
+func (n *Node) handle(from core.ID, msg proto.Message) {
+	n.mu.Lock()
+	var replies []proto.Envelope
+	switch m := msg.(type) {
+	case proto.ViewRequest:
+		replies = n.mem.HandleRequest(from, m, n.rng)
+	case proto.ViewReply:
+		n.mem.HandleReply(from, m)
+		if n.pendingView == from {
+			n.pendingView = 0
+		}
+	default:
+		replies = n.slicer.Handle(from, msg, n.rng)
+	}
+	id := n.slicer.ID()
+	notify := n.notifySliceChange()
+	n.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+
+	for _, env := range replies {
+		_ = n.tr.Send(id, env.To, env.Msg)
+	}
+}
+
+// Status snapshots the node.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix := n.slicer.SliceIndex()
+	st := Status{
+		ID:      n.slicer.ID(),
+		Attr:    n.slicer.Member().Attr,
+		R:       n.slicer.Estimate(),
+		SliceIx: ix,
+		Slice:   n.part.Slice(ix),
+		ViewLen: n.mem.View().Len(),
+	}
+	if rn, ok := n.slicer.(*ranking.Node); ok {
+		st.Samples = rn.Samples()
+	}
+	return st
+}
+
+// SelfEntry returns a fresh view entry for bootstrapping other nodes.
+func (n *Node) SelfEntry() view.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slicer.SelfEntry()
+}

@@ -1,0 +1,288 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/transport"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+func testPartition(t *testing.T, k int) core.Partition {
+	t.Helper()
+	p, err := core.Equal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	tr := transport.NewInMem(transport.InMemOptions{})
+	defer tr.Close()
+	part := testPartition(t, 4)
+	base := NodeConfig{
+		ID: 1, Attr: 5, Partition: part, ViewSize: 4,
+		Protocol: Ranking, Estimator: ranking.NewCounter(),
+		Period: time.Millisecond, Transport: tr,
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*NodeConfig)
+		wantErr error
+	}{
+		{"nil transport", func(c *NodeConfig) { c.Transport = nil }, ErrNoTransport},
+		{"zero period", func(c *NodeConfig) { c.Period = 0 }, ErrBadPeriod},
+		{"bad protocol", func(c *NodeConfig) { c.Protocol = 0 }, ErrBadProtocol},
+		{"ranking without estimator", func(c *NodeConfig) { c.Estimator = nil }, ErrNoEstimator},
+		{"zero view", func(c *NodeConfig) { c.ViewSize = 0 }, view.ErrCapacity},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := NewNode(cfg); !errors.Is(err, tt.wantErr) {
+				t.Errorf("NewNode error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNodeStartStopLifecycle(t *testing.T) {
+	tr := transport.NewInMem(transport.InMemOptions{})
+	defer tr.Close()
+	n, err := NewNode(NodeConfig{
+		ID: 1, Attr: 5, Partition: testPartition(t, 2), ViewSize: 4,
+		Protocol: Ranking, Estimator: ranking.NewCounter(),
+		Period: time.Millisecond, Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); !errors.Is(err, ErrStarted) {
+		t.Errorf("second Start error = %v, want ErrStarted", err)
+	}
+	n.Stop()
+	n.Stop() // idempotent
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	tr := transport.NewInMem(transport.InMemOptions{})
+	defer tr.Close()
+	n, err := NewNode(NodeConfig{
+		ID: 1, Attr: 5, Partition: testPartition(t, 2), ViewSize: 4,
+		Protocol: Ordering, Period: time.Millisecond, Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Stop() // must not hang or panic
+}
+
+func TestClusterValidation(t *testing.T) {
+	part := testPartition(t, 2)
+	base := ClusterConfig{
+		N: 8, Partition: part, ViewSize: 4, Protocol: Ranking,
+		Period: time.Millisecond, AttrDist: dist.Uniform{Lo: 0, Hi: 1},
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*ClusterConfig)
+		wantErr error
+	}{
+		{"too small", func(c *ClusterConfig) { c.N = 1 }, ErrClusterSize},
+		{"no dist", func(c *ClusterConfig) { c.AttrDist = nil }, ErrNoDist},
+		{"zero period", func(c *ClusterConfig) { c.Period = 0 }, ErrBadPeriod},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := NewCluster(cfg); !errors.Is(err, tt.wantErr) {
+				t.Errorf("NewCluster error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// A live ordering cluster over the in-memory transport must sort itself:
+// SDM decreases to the random-value floor.
+func TestLiveOrderingClusterConverges(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 32, Partition: testPartition(t, 4), ViewSize: 8,
+		Protocol: Ordering, Policy: ordering.SelectMaxGain,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	initial := c.SDM()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The floor depends on the draw; requiring half the initial disorder
+	// to vanish proves live convergence without flaking on the floor.
+	got, ok := c.AwaitSDM(initial/2, 10*time.Second)
+	if !ok {
+		t.Fatalf("SDM stuck at %v (initial %v)", got, initial)
+	}
+}
+
+// A live ranking cluster must drive most nodes to their correct slice.
+func TestLiveRankingClusterConverges(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 32, Partition: testPartition(t, 4), ViewSize: 8,
+		Protocol: Ranking,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if frac := c.MisassignedFraction(); frac <= 0.15 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("misassigned fraction stuck at %v", c.MisassignedFraction())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Crashing a third of the nodes must not stop the survivors from
+// (re)converging — the protocols are gossip-based and churn-tolerant.
+func TestLiveClusterSurvivesCrashes(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 30, Partition: testPartition(t, 3), ViewSize: 8,
+		Protocol: Ranking,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Kill 10 random-ish nodes (every third id).
+	for id := core.ID(3); id <= 30; id += 3 {
+		if !c.Kill(id) {
+			t.Fatalf("Kill(%v) found no node", id)
+		}
+	}
+	if got := len(c.Nodes()); got != 20 {
+		t.Fatalf("%d nodes alive, want 20", got)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if frac := c.MisassignedFraction(); frac <= 0.25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors stuck at misassigned fraction %v", c.MisassignedFraction())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The protocols must tolerate message loss: convergence through a lossy
+// transport.
+func TestLiveClusterToleratesLoss(t *testing.T) {
+	tr := transport.NewInMem(transport.InMemOptions{LossRate: 0.3, Seed: 3})
+	c, err := NewCluster(ClusterConfig{
+		N: 24, Partition: testPartition(t, 3), ViewSize: 8,
+		Protocol: Ranking,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 17,
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		c.Stop()
+		tr.Close()
+	}()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if frac := c.MisassignedFraction(); frac <= 0.2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lossy cluster stuck at misassigned fraction %v", c.MisassignedFraction())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 4, Partition: testPartition(t, 2), ViewSize: 3,
+		Protocol: Ranking,
+		Period:   time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 10}, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	st := c.Nodes()[0].Status()
+	if st.ID != 1 {
+		t.Errorf("Status.ID = %v, want 1", st.ID)
+	}
+	if st.ViewLen == 0 {
+		t.Error("bootstrap view empty")
+	}
+	if !st.Slice.Valid() {
+		t.Errorf("Status.Slice = %v invalid", st.Slice)
+	}
+}
+
+// Window estimators run live, too.
+func TestLiveClusterWindowEstimator(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 16, Partition: testPartition(t, 2), ViewSize: 6,
+		Protocol:   Ranking,
+		Estimators: func() ranking.Estimator { return ranking.MustNewWindow(512) },
+		Period:     2 * time.Millisecond,
+		AttrDist:   dist.Uniform{Lo: 0, Hi: 100}, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if frac := c.MisassignedFraction(); frac <= 0.25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window cluster stuck at %v", c.MisassignedFraction())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

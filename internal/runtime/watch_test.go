@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+)
+
+// Slice-change notifications fire as nodes move between slices while the
+// estimates converge, and the final notification matches the node's
+// settled slice.
+func TestOnSliceChangeNotifications(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 16, Partition: testPartition(t, 4), ViewSize: 6,
+		Protocol: Ranking,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var mu sync.Mutex
+	lastSeen := make(map[core.ID]int)
+	fired := 0
+	for _, n := range c.Nodes() {
+		n.OnSliceChange(func(id core.ID, old, new int) {
+			mu.Lock()
+			defer mu.Unlock()
+			fired++
+			lastSeen[id] = new
+		})
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.MisassignedFraction() > 0.3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster stuck at %v misassigned", c.MisassignedFraction())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Quiesce, then compare the last notified slice with the status.
+	time.Sleep(50 * time.Millisecond)
+	c.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if fired == 0 {
+		t.Fatal("no slice-change notifications fired")
+	}
+	for _, n := range c.Nodes() {
+		st := n.Status()
+		if last, ok := lastSeen[st.ID]; ok && last != st.SliceIx {
+			t.Errorf("node %v: last notification said slice %d, status says %d", st.ID, last, st.SliceIx)
+		}
+	}
+}
+
+func TestOnSliceChangeNotRequired(t *testing.T) {
+	// Nodes without a callback run exactly as before.
+	c, err := NewCluster(ClusterConfig{
+		N: 8, Partition: testPartition(t, 2), ViewSize: 4,
+		Protocol: Ranking,
+		Period:   2 * time.Millisecond,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 100}, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+}

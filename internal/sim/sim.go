@@ -1,0 +1,393 @@
+// Package sim implements the cycle-based simulation engine the paper's
+// evaluation runs on (PeerSim's cycle model, §4.5): in each cycle every
+// node updates its view through the membership protocol and then runs
+// one slicing protocol step, with message exchanges atomic by default.
+//
+// Artificial concurrency (§4.5.2) is reproduced exactly as described:
+// each swap exchange is an "overlapping message" with a configurable
+// probability. Overlapping exchanges select their partner and capture
+// their payload from a snapshot of the state at the beginning of the
+// cycle and are delivered in random order at the end of the cycle, so
+// their information can be stale by the time it lands — producing the
+// unsuccessful swaps of Fig. 4(c). Non-overlapping exchanges read live
+// state and complete immediately ("the view is up-to-date when a message
+// is sent").
+//
+// Churn (§3.3) is applied at the start of each cycle: leavers vanish
+// (crash and departure are indistinguishable), joiners arrive with a
+// bootstrap view of random live nodes, a fresh random value (ordering)
+// or an empty estimator (ranking).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/gossipkit/slicing/internal/churn"
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/membership"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// ProtocolKind selects the slicing protocol under simulation.
+type ProtocolKind int
+
+// Available protocols.
+const (
+	// Ordering runs JK or mod-JK (§4), depending on Config.Policy.
+	Ordering ProtocolKind = iota + 1
+	// Ranking runs the rank-estimation protocol (§5).
+	Ranking
+)
+
+// String implements fmt.Stringer.
+func (k ProtocolKind) String() string {
+	switch k {
+	case Ordering:
+		return "ordering"
+	case Ranking:
+		return "ranking"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(k))
+	}
+}
+
+// MembershipKind selects the peer-sampling substrate.
+type MembershipKind int
+
+// Available membership substrates.
+const (
+	// CyclonViews is the Cyclon variant of §4.3.2 (the paper's default).
+	CyclonViews MembershipKind = iota + 1
+	// NewscastViews is the Newscast-like substrate (original JK).
+	NewscastViews
+	// UniformOracle re-draws views uniformly at random every cycle
+	// (§5.3.2's idealized sampler).
+	UniformOracle
+)
+
+// String implements fmt.Stringer.
+func (k MembershipKind) String() string {
+	switch k {
+	case CyclonViews:
+		return "cyclon"
+	case NewscastViews:
+		return "newscast"
+	case UniformOracle:
+		return "uniform"
+	default:
+		return fmt.Sprintf("membership(%d)", int(k))
+	}
+}
+
+// EstimatorKind selects the ranking estimator.
+type EstimatorKind int
+
+// Available estimators.
+const (
+	// CounterEstimator is the unbounded ℓ/g counter of Fig. 5.
+	CounterEstimator EstimatorKind = iota + 1
+	// WindowEstimator is the sliding-window variant of §5.3.4.
+	WindowEstimator
+)
+
+// Config parameterizes a simulation. The zero value is not runnable; see
+// the field comments for required entries.
+type Config struct {
+	// N is the initial system size.
+	N int
+	// Slices is the number of equal slices (ignored when Partition is
+	// set explicitly).
+	Slices int
+	// Partition overrides Slices with custom boundaries.
+	Partition *core.Partition
+	// ViewSize is the gossip view capacity c.
+	ViewSize int
+	// Protocol selects ordering (§4) or ranking (§5).
+	Protocol ProtocolKind
+	// Policy selects JK or mod-JK when Protocol == Ordering.
+	Policy ordering.Policy
+	// Membership selects the peer-sampling substrate. Default CyclonViews.
+	Membership MembershipKind
+	// Estimator selects the ranking estimator. Default CounterEstimator.
+	Estimator EstimatorKind
+	// WindowSize is the sliding-window size W (WindowEstimator only).
+	WindowSize int
+	// DisableViewScan turns off estimator feeding from view scans
+	// (ranking ablation).
+	DisableViewScan bool
+	// DisableBoundaryBias makes both ranking targets random (ablation
+	// of the Fig. 5 boundary-closest targeting).
+	DisableBoundaryBias bool
+	// Concurrency is the probability that a swap exchange is an
+	// overlapping message (§4.5.2): 0 = the atomic cycle model, 0.5 =
+	// the paper's "half concurrency", 1 = "full concurrency". An
+	// overlapping exchange selects its partner from a cycle-start
+	// snapshot ("the view might be out-of-date") and is delivered in
+	// random order at the end of the cycle, where the swap predicate is
+	// re-evaluated against live state — failed predicates are the
+	// paper's unsuccessful swaps.
+	Concurrency float64
+	// StalePayloads additionally freezes the random value carried by an
+	// overlapping swap request at its cycle-start snapshot instead of
+	// refreshing it at delivery. This models a literal message-passing
+	// reading of Fig. 2 under concurrency, where one-sided swaps
+	// duplicate and lose random values (the drift extension experiment).
+	// The paper's results correspond to the default (false): exchanges
+	// execute on live values, only the selection is stale.
+	StalePayloads bool
+	// AttrDist draws the initial attribute values. Required.
+	AttrDist dist.Source
+	// Seed makes runs reproducible.
+	Seed int64
+	// Schedule and Pattern define churn; nil means a static system.
+	Schedule churn.Schedule
+	Pattern  churn.Pattern
+	// RecordGDM additionally records the global disorder measure each
+	// cycle (Fig. 4(a)).
+	RecordGDM bool
+}
+
+// Config validation errors.
+var (
+	ErrConfigN        = errors.New("sim: N must be positive")
+	ErrConfigView     = errors.New("sim: ViewSize must be positive")
+	ErrConfigDist     = errors.New("sim: AttrDist is required")
+	ErrConfigProtocol = errors.New("sim: unknown protocol")
+	ErrConfigConc     = errors.New("sim: Concurrency must lie in [0,1]")
+)
+
+func (cfg *Config) validate() error {
+	if cfg.N < 1 {
+		return ErrConfigN
+	}
+	if cfg.ViewSize < 1 {
+		return ErrConfigView
+	}
+	if cfg.AttrDist == nil {
+		return ErrConfigDist
+	}
+	if cfg.Concurrency < 0 || cfg.Concurrency > 1 {
+		return ErrConfigConc
+	}
+	switch cfg.Protocol {
+	case Ordering, Ranking:
+	default:
+		return ErrConfigProtocol
+	}
+	if cfg.Membership == 0 {
+		cfg.Membership = CyclonViews
+	}
+	if cfg.Estimator == 0 {
+		cfg.Estimator = CounterEstimator
+	}
+	if cfg.Protocol == Ordering && cfg.Policy == 0 {
+		cfg.Policy = ordering.SelectMaxGain
+	}
+	if cfg.Estimator == WindowEstimator && cfg.WindowSize < 1 {
+		return ranking.ErrWindow
+	}
+	return nil
+}
+
+// simNode couples a slicing protocol instance with its membership
+// protocol; they share one view.
+type simNode struct {
+	node proto.Node
+	mem  membership.Protocol
+}
+
+// orderingNode returns the node as *ordering.Node when applicable.
+func (s *simNode) orderingNode() (*ordering.Node, bool) {
+	n, ok := s.node.(*ordering.Node)
+	return n, ok
+}
+
+// Engine is a running simulation. Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	part   core.Partition
+	rng    *rand.Rand
+	byID   map[core.ID]*simNode
+	order  []core.ID // deterministic iteration order (insertion order)
+	nextID core.ID
+	cycle  int
+
+	sdm    metrics.Series
+	gdm    metrics.Series
+	unsucc metrics.Series // % unsuccessful swaps per cycle
+	size   metrics.Series // live system size per cycle
+
+	// Message counters (cumulative).
+	Delivered MessageCounts
+
+	prevReqReceived uint64
+	prevFailed      uint64
+}
+
+// MessageCounts tallies delivered protocol messages by type, plus
+// messages dropped because their destination had left.
+type MessageCounts struct {
+	ViewRequests uint64
+	ViewReplies  uint64
+	SwapRequests uint64
+	SwapReplies  uint64
+	RankUpdates  uint64
+	Dropped      uint64
+}
+
+// Total returns all delivered messages.
+func (m MessageCounts) Total() uint64 {
+	return m.ViewRequests + m.ViewReplies + m.SwapRequests + m.SwapReplies + m.RankUpdates
+}
+
+// New builds a simulation engine and records the initial (cycle-0)
+// measurements.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	part := core.MustEqual(1)
+	if cfg.Partition != nil {
+		part = *cfg.Partition
+	} else if cfg.Slices > 0 {
+		p, err := core.Equal(cfg.Slices)
+		if err != nil {
+			return nil, err
+		}
+		part = p
+	} else {
+		return nil, core.ErrNoSlices
+	}
+	e := &Engine{
+		cfg:    cfg,
+		part:   part,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byID:   make(map[core.ID]*simNode, cfg.N),
+		sdm:    metrics.Series{Name: "sdm"},
+		gdm:    metrics.Series{Name: "gdm"},
+		unsucc: metrics.Series{Name: "unsuccessful%"},
+		size:   metrics.Series{Name: "n"},
+	}
+	for i := 0; i < cfg.N; i++ {
+		attr := core.Attr(cfg.AttrDist.Sample(e.rng))
+		if err := e.addNode(attr); err != nil {
+			return nil, err
+		}
+	}
+	e.bootstrapViews()
+	e.record()
+	return e, nil
+}
+
+// addNode creates a node with the next identifier. Views start empty;
+// the caller bootstraps them.
+func (e *Engine) addNode(attr core.Attr) error {
+	e.nextID++
+	id := e.nextID
+	v := view.MustNew(e.cfg.ViewSize)
+	var node proto.Node
+	switch e.cfg.Protocol {
+	case Ordering:
+		n, err := ordering.NewNode(ordering.Config{
+			ID: id, Attr: attr, Partition: e.part,
+			Policy: e.cfg.Policy, View: v,
+			InitialR: 1 - e.rng.Float64(), // uniform in (0,1]
+		})
+		if err != nil {
+			return err
+		}
+		node = n
+	case Ranking:
+		var est ranking.Estimator
+		switch e.cfg.Estimator {
+		case WindowEstimator:
+			w, err := ranking.NewWindow(e.cfg.WindowSize)
+			if err != nil {
+				return err
+			}
+			est = w
+		default:
+			est = ranking.NewCounter()
+		}
+		n, err := ranking.NewNode(ranking.Config{
+			ID: id, Attr: attr, Partition: e.part,
+			Estimator: est, View: v,
+			DisableViewScan:     e.cfg.DisableViewScan,
+			DisableBoundaryBias: e.cfg.DisableBoundaryBias,
+		})
+		if err != nil {
+			return err
+		}
+		node = n
+	}
+	var mem membership.Protocol
+	selfEntry := node.SelfEntry
+	switch e.cfg.Membership {
+	case NewscastViews:
+		mem = membership.NewNewscast(id, selfEntry, v)
+	case UniformOracle:
+		mem = membership.NewOracle(id, e.sampleEntries, v)
+	default:
+		mem = membership.NewCyclon(id, selfEntry, v)
+	}
+	e.byID[id] = &simNode{node: node, mem: mem}
+	e.order = append(e.order, id)
+	return nil
+}
+
+// bootstrapViews fills every node's view with ViewSize random other
+// nodes.
+func (e *Engine) bootstrapViews(ids ...core.ID) {
+	targets := ids
+	if len(targets) == 0 {
+		targets = e.order
+	}
+	for _, id := range targets {
+		sn := e.byID[id]
+		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, id) {
+			sn.mem.View().Add(entry)
+		}
+	}
+}
+
+// sampleEntries returns fresh entries for up to k distinct random live
+// nodes, excluding one id. It backs both view bootstrapping and the
+// uniform oracle. Rejection sampling keeps it O(k) for k ≪ n — the
+// oracle calls it once per node per cycle, so a full permutation here
+// would make uniform-sampler runs quadratic in the population.
+func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
+	n := len(e.order)
+	out := make([]view.Entry, 0, k)
+	if n == 0 || k <= 0 {
+		return out
+	}
+	if k >= n {
+		for _, id := range e.order {
+			if id != exclude {
+				out = append(out, e.byID[id].node.SelfEntry())
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool, 2*k)
+	for len(out) < k && len(seen) < n {
+		i := rng.Intn(n)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		id := e.order[i]
+		if id == exclude {
+			continue
+		}
+		out = append(out, e.byID[id].node.SelfEntry())
+	}
+	return out
+}

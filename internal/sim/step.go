@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/proto"
+)
+
+// Step runs one simulation cycle: churn, membership exchanges, slicing
+// exchanges (with the configured concurrency model), then measurement.
+func (e *Engine) Step() {
+	e.applyChurn()
+	perm := e.permutedIDs()
+	e.membershipPhase(perm)
+	e.protocolPhase(perm)
+	e.cycle++
+	e.record()
+}
+
+// Run advances the simulation by the given number of cycles.
+func (e *Engine) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		e.Step()
+	}
+}
+
+// permutedIDs returns the live node ids in a fresh random order. The
+// iteration base is the deterministic insertion order, so equal seeds
+// yield equal runs.
+func (e *Engine) permutedIDs() []core.ID {
+	perm := make([]core.ID, len(e.order))
+	for i, idx := range e.rng.Perm(len(e.order)) {
+		perm[i] = e.order[idx]
+	}
+	return perm
+}
+
+// applyChurn executes the cycle's churn event (§3.3): leavers vanish
+// without notice, joiners arrive with fresh state and a bootstrap view.
+func (e *Engine) applyChurn() {
+	if e.cfg.Schedule == nil || e.cfg.Pattern == nil {
+		return
+	}
+	ev := e.cfg.Schedule.At(e.cycle, len(e.order))
+	if ev.Leave == 0 && ev.Join == 0 {
+		return
+	}
+	if ev.Leave > 0 {
+		members := e.sortedMembers()
+		for _, id := range e.cfg.Pattern.PickLeavers(e.rng, members, ev.Leave) {
+			e.removeNode(id)
+		}
+	}
+	joined := make([]core.ID, 0, ev.Join)
+	for i := 0; i < ev.Join; i++ {
+		attr := e.cfg.Pattern.JoinAttr(e.rng, e.sortedMembers())
+		if err := e.addNode(attr); err != nil {
+			// addNode only fails on invalid static configuration, which
+			// New has already validated.
+			panic(err)
+		}
+		joined = append(joined, e.nextID)
+	}
+	e.bootstrapViews(joined...)
+}
+
+// sortedMembers returns the live membership in attribute order.
+func (e *Engine) sortedMembers() []core.Member {
+	members := make([]core.Member, 0, len(e.order))
+	for _, id := range e.order {
+		members = append(members, e.byID[id].node.Member())
+	}
+	core.SortMembers(members)
+	return members
+}
+
+func (e *Engine) removeNode(id core.ID) {
+	if _, ok := e.byID[id]; !ok {
+		return
+	}
+	delete(e.byID, id)
+	for i, other := range e.order {
+		if other == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// membershipPhase completes one view exchange per node, synchronously
+// ("each node updates its view before sending its random value or its
+// attribute value", §4.5.2). Requests to departed nodes time out,
+// dropping the stale entry.
+func (e *Engine) membershipPhase(perm []core.ID) {
+	for _, id := range perm {
+		sn, ok := e.byID[id]
+		if !ok {
+			continue // removed by churn mid-iteration safety
+		}
+		for _, env := range sn.mem.Tick(e.rng) {
+			req, ok := env.Msg.(proto.ViewRequest)
+			if !ok {
+				continue
+			}
+			target, live := e.byID[env.To]
+			if !live {
+				e.Delivered.Dropped++
+				sn.mem.OnTimeout(env.To)
+				continue
+			}
+			e.Delivered.ViewRequests++
+			for _, rep := range target.mem.HandleRequest(id, req, e.rng) {
+				repMsg, ok := rep.Msg.(proto.ViewReply)
+				if !ok {
+					continue
+				}
+				e.Delivered.ViewReplies++
+				sn.mem.HandleReply(env.To, repMsg)
+			}
+		}
+	}
+}
+
+// protocolPhase runs the slicing step of every node. Ordering exchanges
+// honor the concurrency model; ranking updates are one-way and always
+// valid, so they deliver immediately (§5: "concurrency has no impact on
+// convergence speed").
+func (e *Engine) protocolPhase(perm []core.ID) {
+	live := e.liveReader()
+	var snapshot proto.MapReader
+	if e.cfg.Protocol == Ordering && e.cfg.Concurrency > 0 {
+		snapshot = e.snapshotR()
+	}
+	type deferred struct {
+		from core.ID
+		env  proto.Envelope
+	}
+	var overlapping []deferred
+	for _, id := range perm {
+		sn, ok := e.byID[id]
+		if !ok {
+			continue
+		}
+		overlap := snapshot != nil && e.rng.Float64() < e.cfg.Concurrency
+		reader := proto.StateReader(live)
+		if overlap {
+			reader = snapshot
+		}
+		envs := sn.node.Tick(reader, e.rng)
+		for _, env := range envs {
+			if overlap {
+				overlapping = append(overlapping, deferred{from: id, env: env})
+				continue
+			}
+			e.deliver(id, env)
+		}
+	}
+	// Overlapping messages land in random order at the end of the cycle;
+	// by then their payload and partner choice may be stale.
+	e.rng.Shuffle(len(overlapping), func(i, j int) {
+		overlapping[i], overlapping[j] = overlapping[j], overlapping[i]
+	})
+	for _, d := range overlapping {
+		sn, stillLive := e.byID[d.from]
+		if !stillLive {
+			continue
+		}
+		env := d.env
+		if req, ok := env.Msg.(proto.SwapRequest); ok && !e.cfg.StalePayloads {
+			// The exchange executes on live values; only the partner
+			// selection was stale. This keeps the swap two-sided and the
+			// random-value multiset conserved, matching the paper's
+			// Fig. 4(d).
+			req.R = sn.node.Estimate()
+			env.Msg = req
+		}
+		e.deliver(d.from, env)
+	}
+}
+
+// deliver routes one protocol envelope to its destination, delivering
+// any replies back to the sender (the REQ/ACK round of Fig. 2, or the
+// one-way UPD of Fig. 5).
+func (e *Engine) deliver(from core.ID, env proto.Envelope) {
+	target, ok := e.byID[env.To]
+	if !ok {
+		e.Delivered.Dropped++
+		return
+	}
+	e.countMessage(env.Msg)
+	for _, rep := range target.node.Handle(from, env.Msg, e.rng) {
+		sender, ok := e.byID[rep.To]
+		if !ok {
+			e.Delivered.Dropped++
+			continue
+		}
+		e.countMessage(rep.Msg)
+		sender.node.Handle(env.To, rep.Msg, e.rng)
+	}
+}
+
+func (e *Engine) countMessage(msg proto.Message) {
+	switch msg.(type) {
+	case proto.SwapRequest:
+		e.Delivered.SwapRequests++
+	case proto.SwapReply:
+		e.Delivered.SwapReplies++
+	case proto.RankUpdate:
+		e.Delivered.RankUpdates++
+	case proto.ViewRequest:
+		e.Delivered.ViewRequests++
+	case proto.ViewReply:
+		e.Delivered.ViewReplies++
+	}
+}
+
+// liveReader resolves coordinates from the nodes' current state: the
+// cycle model's "views are up to date" assumption.
+func (e *Engine) liveReader() proto.FuncReader {
+	return func(id core.ID) (float64, bool) {
+		sn, ok := e.byID[id]
+		if !ok {
+			return 0, false
+		}
+		return sn.node.Estimate(), true
+	}
+}
+
+// snapshotR captures every node's coordinate at the start of the cycle.
+func (e *Engine) snapshotR() proto.MapReader {
+	snap := make(proto.MapReader, len(e.order))
+	for _, id := range e.order {
+		snap[id] = e.byID[id].node.Estimate()
+	}
+	return snap
+}
+
+// record appends the cycle's measurements to the result series.
+func (e *Engine) record() {
+	states := e.States()
+	e.sdm.Add(e.cycle, metrics.SDM(states, e.part))
+	e.size.Add(e.cycle, float64(len(states)))
+	if e.cfg.RecordGDM {
+		e.gdm.Add(e.cycle, metrics.GDM(states))
+	}
+	if e.cfg.Protocol == Ordering {
+		var received, failed uint64
+		for _, id := range e.order {
+			if on, ok := e.byID[id].orderingNode(); ok {
+				st := on.Stats()
+				received += st.ReqReceived
+				failed += st.SwapFailedAtReceiver
+			}
+		}
+		dr, df := received-min64(received, e.prevReqReceived), failed-min64(failed, e.prevFailed)
+		pct := 0.0
+		if dr > 0 {
+			pct = 100 * float64(df) / float64(dr)
+		}
+		e.unsucc.Add(e.cycle, pct)
+		e.prevReqReceived, e.prevFailed = received, failed
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// States snapshots every live node for measurement.
+func (e *Engine) States() []metrics.NodeState {
+	states := make([]metrics.NodeState, 0, len(e.order))
+	for _, id := range e.order {
+		sn := e.byID[id]
+		states = append(states, metrics.NodeState{
+			Member:     sn.node.Member(),
+			R:          sn.node.Estimate(),
+			SliceIndex: sn.node.SliceIndex(),
+		})
+	}
+	return states
+}
+
+// Cycle returns the number of completed cycles.
+func (e *Engine) Cycle() int { return e.cycle }
+
+// N returns the current live system size.
+func (e *Engine) N() int { return len(e.order) }
+
+// Partition returns the slice partition in force.
+func (e *Engine) Partition() core.Partition { return e.part }
+
+// SDM returns the slice disorder series (one point per completed cycle,
+// plus the initial state at cycle 0).
+func (e *Engine) SDM() metrics.Series { return e.sdm }
+
+// GDM returns the global disorder series (empty unless RecordGDM).
+func (e *Engine) GDM() metrics.Series { return e.gdm }
+
+// UnsuccessfulPct returns the per-cycle percentage of swap requests
+// whose predicate had expired on arrival (Fig. 4(c)).
+func (e *Engine) UnsuccessfulPct() metrics.Series { return e.unsucc }
+
+// Size returns the live-population series.
+func (e *Engine) Size() metrics.Series { return e.size }
+
+// OrderingStats sums the event counters over all live ordering nodes.
+func (e *Engine) OrderingStats() ordering.Stats {
+	var total ordering.Stats
+	for _, id := range e.order {
+		if on, ok := e.byID[id].orderingNode(); ok {
+			st := on.Stats()
+			total.ReqSent += st.ReqSent
+			total.ReqReceived += st.ReqReceived
+			total.SwapFailedAtReceiver += st.SwapFailedAtReceiver
+			total.SwapFailedAtInitiator += st.SwapFailedAtInitiator
+			total.Swapped += st.Swapped
+		}
+	}
+	return total
+}
+
+// Result bundles the series of a completed run.
+type Result struct {
+	SDM             metrics.Series
+	GDM             metrics.Series
+	UnsuccessfulPct metrics.Series
+	Size            metrics.Series
+	Messages        MessageCounts
+	FinalN          int
+	Cycles          int
+}
+
+// Run builds an engine from cfg, advances it the given number of cycles
+// and returns the recorded series.
+func Run(cfg Config, cycles int) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.Run(cycles)
+	return &Result{
+		SDM:             e.SDM(),
+		GDM:             e.GDM(),
+		UnsuccessfulPct: e.UnsuccessfulPct(),
+		Size:            e.Size(),
+		Messages:        e.Delivered,
+		FinalN:          e.N(),
+		Cycles:          e.Cycle(),
+	}, nil
+}

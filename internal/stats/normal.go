@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrProbRange is returned when a probability argument falls outside its
+// valid open interval.
+var ErrProbRange = errors.New("stats: probability out of range")
+
+// Acklam's rational approximation coefficients for the inverse normal CDF.
+var (
+	invNormA = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	invNormB = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	invNormC = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	invNormD = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+)
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal quantile for
+// probability p ∈ (0,1). It uses Acklam's approximation followed by one
+// Halley refinement step against math.Erfc, giving near machine
+// precision.
+func NormalQuantile(p float64) (float64, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN(), ErrProbRange
+	}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((invNormC[0]*q+invNormC[1])*q+invNormC[2])*q+invNormC[3])*q+invNormC[4])*q + invNormC[5]) /
+			((((invNormD[0]*q+invNormD[1])*q+invNormD[2])*q+invNormD[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((invNormA[0]*r+invNormA[1])*r+invNormA[2])*r+invNormA[3])*r+invNormA[4])*r + invNormA[5]) * q /
+			(((((invNormB[0]*r+invNormB[1])*r+invNormB[2])*r+invNormB[3])*r+invNormB[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((invNormC[0]*q+invNormC[1])*q+invNormC[2])*q+invNormC[3])*q+invNormC[4])*q + invNormC[5]) /
+			((((invNormD[0]*q+invNormD[1])*q+invNormD[2])*q+invNormD[3])*q + 1)
+	}
+	// One Halley step: e = Φ(x) - p, u = e·√(2π)·exp(x²/2).
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x, nil
+}
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// ZAlphaOver2 returns Z_{α/2} = Φ⁻¹(1-α/2): the two-sided standard
+// normal critical value used by Theorem 5.1. α must lie in (0,1).
+func ZAlphaOver2(alpha float64) (float64, error) {
+	if math.IsNaN(alpha) || alpha <= 0 || alpha >= 1 {
+		return math.NaN(), ErrProbRange
+	}
+	return NormalQuantile(1 - alpha/2)
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.05, -1.6448536269514722},
+		{0.995, 2.5758293035489004},
+		{0.9986501019683699, 3}, // Φ(3)
+		{0.0013498980316301035, -3},
+		{0.8413447460685429, 1}, // Φ(1)
+	}
+	for _, tt := range tests {
+		got, err := NormalQuantile(tt.p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %.12f, want %.12f", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNormalQuantileRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); !errors.Is(err, ErrProbRange) {
+			t.Errorf("NormalQuantile(%v) error = %v, want ErrProbRange", p, err)
+		}
+	}
+}
+
+// Property: NormalQuantile inverts NormalCDF across the whole domain,
+// including the extreme tails served by Acklam's tail branches.
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 6) // ±6 sigma
+		if math.IsNaN(x) {
+			return true
+		}
+		for _, sign := range []float64{1, -1} {
+			want := sign * x
+			q, err := NormalQuantile(NormalCDF(want))
+			if err != nil {
+				return false
+			}
+			if math.Abs(q-want) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the quantile function is monotonically increasing.
+func TestNormalQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		q, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", p, err)
+		}
+		if q <= prev {
+			t.Fatalf("quantile not monotone at p=%v: %v after %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestZAlphaOver2(t *testing.T) {
+	got, err := ZAlphaOver2(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.959963984540054) > 1e-9 {
+		t.Errorf("ZAlphaOver2(0.05) = %v, want 1.96", got)
+	}
+	if _, err := ZAlphaOver2(0); !errors.Is(err, ErrProbRange) {
+		t.Errorf("ZAlphaOver2(0) error = %v, want ErrProbRange", err)
+	}
+	if _, err := ZAlphaOver2(1); !errors.Is(err, ErrProbRange) {
+		t.Errorf("ZAlphaOver2(1) error = %v, want ErrProbRange", err)
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(x, 10)
+		if math.IsNaN(x) {
+			return true
+		}
+		return math.Abs(NormalCDF(x)+NormalCDF(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

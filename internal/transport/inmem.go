@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/proto"
+)
+
+// InMemOptions configures the in-memory transport's failure injection.
+type InMemOptions struct {
+	// MinLatency and MaxLatency bound the uniformly drawn delivery
+	// delay. Zero values deliver as fast as the scheduler allows.
+	MinLatency, MaxLatency time.Duration
+	// LossRate is the probability a message is silently dropped.
+	LossRate float64
+	// QueueSize bounds each node's inbox; messages beyond it are
+	// dropped (UDP-like semantics avoid distributed backpressure
+	// deadlocks). Default 1024.
+	QueueSize int
+	// Seed makes loss and latency draws reproducible.
+	Seed int64
+}
+
+// InMem is a process-local Transport connecting registered nodes through
+// buffered channels, with optional latency and loss injection.
+type InMem struct {
+	opts InMemOptions
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	inboxes map[core.ID]*inbox
+	closed  bool
+
+	wg sync.WaitGroup // delivery goroutines + latency timers
+
+	dropped   uint64
+	delivered uint64
+}
+
+var _ Transport = (*InMem)(nil)
+
+type inbox struct {
+	ch   chan envelope
+	done chan struct{}
+}
+
+type envelope struct {
+	from core.ID
+	msg  proto.Message
+}
+
+// NewInMem builds an in-memory transport.
+func NewInMem(opts InMemOptions) *InMem {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 1024
+	}
+	return &InMem{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		inboxes: make(map[core.ID]*inbox),
+	}
+}
+
+// Register implements Transport.
+func (t *InMem) Register(id core.ID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.inboxes[id]; ok {
+		return ErrDuplicateNode
+	}
+	box := &inbox{
+		ch:   make(chan envelope, t.opts.QueueSize),
+		done: make(chan struct{}),
+	}
+	t.inboxes[id] = box
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			select {
+			case env := <-box.ch:
+				h(env.from, env.msg)
+			case <-box.done:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Unregister implements Transport.
+func (t *InMem) Unregister(id core.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.unregisterLocked(id)
+}
+
+func (t *InMem) unregisterLocked(id core.ID) {
+	box, ok := t.inboxes[id]
+	if !ok {
+		return
+	}
+	delete(t.inboxes, id)
+	close(box.done)
+}
+
+// Send implements Transport.
+func (t *InMem) Send(from, to core.ID, msg proto.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := t.inboxes[to]; !ok {
+		t.mu.Unlock()
+		return ErrUnknownDestination
+	}
+	if t.opts.LossRate > 0 && t.rng.Float64() < t.opts.LossRate {
+		t.dropped++
+		t.mu.Unlock()
+		return nil // lost in transit: the sender cannot tell
+	}
+	delay := time.Duration(0)
+	if t.opts.MaxLatency > 0 {
+		span := t.opts.MaxLatency - t.opts.MinLatency
+		if span > 0 {
+			delay = t.opts.MinLatency + time.Duration(t.rng.Int63n(int64(span)))
+		} else {
+			delay = t.opts.MinLatency
+		}
+	}
+	t.mu.Unlock()
+
+	if delay == 0 {
+		t.enqueue(from, to, msg)
+		return nil
+	}
+	t.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer t.wg.Done()
+		t.enqueue(from, to, msg)
+	})
+	return nil
+}
+
+func (t *InMem) enqueue(from, to core.ID, msg proto.Message) {
+	t.mu.Lock()
+	box, ok := t.inboxes[to]
+	if !ok || t.closed {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	select {
+	case box.ch <- envelope{from: from, msg: msg}:
+		t.delivered++
+	default:
+		t.dropped++ // inbox full: drop rather than deadlock
+	}
+	t.mu.Unlock()
+}
+
+// Stats returns the number of delivered and dropped messages.
+func (t *InMem) Stats() (delivered, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delivered, t.dropped
+}
+
+// Close implements Transport.
+func (t *InMem) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for id := range t.inboxes {
+		t.unregisterLocked(id)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package view implements the bounded partial views gossip protocols
+// maintain: fixed-capacity sets of neighbor entries carrying an age, the
+// neighbor's attribute value and its current rank estimate or random
+// value (Table 1 of the paper).
+package view
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/gossipkit/slicing/internal/core"
+)
+
+// ErrCapacity is returned when a view with non-positive capacity is
+// requested.
+var ErrCapacity = errors.New("view: capacity must be positive")
+
+// AgeUnknown marks a placeholder entry: a contact address learned out of
+// band (operator-supplied bootstrap) whose attribute and coordinate are
+// not yet known. Placeholders are valid gossip targets — being maximally
+// old they are contacted first — but they are not data points: protocols
+// skip them when sampling attributes, and any real entry for the same
+// node replaces them.
+const AgeUnknown uint32 = ^uint32(0)
+
+// Entry is one row of a node's view: the array of Table 1 in the paper.
+type Entry struct {
+	// ID identifies the neighbor.
+	ID core.ID
+	// Age is a freshness timestamp: 0 when the entry is created by the
+	// neighbor itself, incremented once per gossip period. AgeUnknown
+	// marks a placeholder.
+	Age uint32
+	// Attr is the neighbor's attribute value.
+	Attr core.Attr
+	// R is the neighbor's normalized-rank coordinate: its random value
+	// under the ordering protocols, its rank estimate under the ranking
+	// protocol.
+	R float64
+}
+
+// Placeholder reports whether the entry is an identity-only bootstrap
+// contact (see AgeUnknown).
+func (e Entry) Placeholder() bool { return e.Age == AgeUnknown }
+
+// Member returns the entry's identity/attribute pair.
+func (e Entry) Member() core.Member { return core.Member{ID: e.ID, Attr: e.Attr} }
+
+// View is a bounded set of entries with unique IDs. It is not safe for
+// concurrent use; callers synchronize externally (the runtime wraps each
+// node in a mutex, the simulator is single-threaded).
+type View struct {
+	capacity int
+	entries  []Entry
+}
+
+// New returns an empty view with the given capacity c (the paper's view
+// size; all nodes share the same c).
+func New(capacity int) (*View, error) {
+	if capacity < 1 {
+		return nil, ErrCapacity
+	}
+	return &View{capacity: capacity, entries: make([]Entry, 0, capacity)}, nil
+}
+
+// MustNew is New for static configuration; it panics on error.
+func MustNew(capacity int) *View {
+	v, err := New(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of entries currently held.
+func (v *View) Len() int { return len(v.entries) }
+
+// Cap returns the view capacity.
+func (v *View) Cap() int { return v.capacity }
+
+// Entries returns a copy of the entries.
+func (v *View) Entries() []Entry {
+	out := make([]Entry, len(v.entries))
+	copy(out, v.entries)
+	return out
+}
+
+// ForEach calls fn on every entry without copying.
+func (v *View) ForEach(fn func(Entry)) {
+	for _, e := range v.entries {
+		fn(e)
+	}
+}
+
+// Get returns the entry for id, if present.
+func (v *View) Get(id core.ID) (Entry, bool) {
+	if i := v.index(id); i >= 0 {
+		return v.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Has reports whether id is in the view.
+func (v *View) Has(id core.ID) bool { return v.index(id) >= 0 }
+
+func (v *View) index(id core.ID) int {
+	for i, e := range v.entries {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts or replaces the entry for e.ID. When the view is full and
+// the ID is new, the oldest entry is evicted.
+func (v *View) Add(e Entry) {
+	if i := v.index(e.ID); i >= 0 {
+		v.entries[i] = e
+		return
+	}
+	if len(v.entries) >= v.capacity {
+		v.evictOldest()
+	}
+	v.entries = append(v.entries, e)
+}
+
+// Remove deletes the entry for id, reporting whether it was present.
+func (v *View) Remove(id core.ID) bool {
+	i := v.index(id)
+	if i < 0 {
+		return false
+	}
+	v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	return true
+}
+
+// UpdateR overwrites the rank coordinate recorded for id (Fig. 2 line 11:
+// on receiving an ACK the initiator refreshes r_j in its view).
+func (v *View) UpdateR(id core.ID, r float64) bool {
+	i := v.index(id)
+	if i < 0 {
+		return false
+	}
+	v.entries[i].R = r
+	return true
+}
+
+// AgeAll increments the age of every entry (Fig. 3 line 1).
+// Placeholders stay at AgeUnknown.
+func (v *View) AgeAll() {
+	for i := range v.entries {
+		if v.entries[i].Age != AgeUnknown {
+			v.entries[i].Age++
+		}
+	}
+}
+
+// Oldest returns the entry with the maximal age (Fig. 3 line 2). Ties
+// resolve to the earliest-stored entry, keeping the protocol
+// deterministic under a fixed seed.
+func (v *View) Oldest() (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	best := 0
+	for i := range v.entries {
+		if v.entries[i].Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	return v.entries[best], true
+}
+
+// Random returns a uniformly random entry.
+func (v *View) Random(rng *rand.Rand) (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+// evictOldest removes the entry with maximal age.
+func (v *View) evictOldest() {
+	if len(v.entries) == 0 {
+		return
+	}
+	best := 0
+	for i := range v.entries {
+		if v.entries[i].Age > v.entries[best].Age {
+			best = i
+		}
+	}
+	v.entries = append(v.entries[:best], v.entries[best+1:]...)
+}
+
+// Merge incorporates entries received from a gossip exchange, following
+// the Cyclon-variant rules of Fig. 3: entries whose ID already appears
+// in the view are dropped (the local version wins), entries describing
+// self are dropped, and the result is trimmed back to capacity by
+// evicting the oldest entries. A local placeholder is always replaced by
+// a real incoming entry — a contact address is not data worth keeping.
+func (v *View) Merge(incoming []Entry, self core.ID) {
+	for _, e := range incoming {
+		if e.ID == self {
+			continue
+		}
+		if i := v.index(e.ID); i >= 0 {
+			if v.entries[i].Placeholder() && !e.Placeholder() {
+				v.entries[i] = e
+			}
+			continue
+		}
+		v.entries = append(v.entries, e)
+	}
+	for len(v.entries) > v.capacity {
+		v.evictOldest()
+	}
+}
+
+// MergeFresh incorporates entries keeping, for duplicated IDs, the entry
+// with the smaller age (Newscast-style freshest-wins), then trims to the
+// freshest capacity entries.
+func (v *View) MergeFresh(incoming []Entry, self core.ID) {
+	for _, e := range incoming {
+		if e.ID == self {
+			continue
+		}
+		if i := v.index(e.ID); i >= 0 {
+			if e.Age < v.entries[i].Age {
+				v.entries[i] = e
+			}
+			continue
+		}
+		v.entries = append(v.entries, e)
+	}
+	if len(v.entries) > v.capacity {
+		sort.SliceStable(v.entries, func(i, j int) bool {
+			return v.entries[i].Age < v.entries[j].Age
+		})
+		v.entries = v.entries[:v.capacity]
+	}
+}
+
+// Clone returns a deep copy of the view.
+func (v *View) Clone() *View {
+	c := &View{capacity: v.capacity, entries: make([]Entry, len(v.entries))}
+	copy(c.entries, v.entries)
+	return c
+}
+
+// IDs returns the neighbor identifiers.
+func (v *View) IDs() []core.ID {
+	ids := make([]core.ID, len(v.entries))
+	for i, e := range v.entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Validate checks the view invariants: unique IDs and size within
+// capacity. It is exercised by property tests.
+func (v *View) Validate() error {
+	if len(v.entries) > v.capacity {
+		return fmt.Errorf("view: %d entries exceed capacity %d", len(v.entries), v.capacity)
+	}
+	seen := make(map[core.ID]bool, len(v.entries))
+	for _, e := range v.entries {
+		if seen[e.ID] {
+			return fmt.Errorf("view: duplicate entry for %v", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (v *View) String() string {
+	parts := make([]string, len(v.entries))
+	for i, e := range v.entries {
+		parts[i] = fmt.Sprintf("%v(age=%d)", e.ID, e.Age)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

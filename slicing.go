@@ -1,0 +1,247 @@
+package slicing
+
+import (
+	"time"
+
+	"github.com/gossipkit/slicing/internal/churn"
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/runtime"
+	"github.com/gossipkit/slicing/internal/sim"
+	"github.com/gossipkit/slicing/internal/stats"
+	"github.com/gossipkit/slicing/internal/transport"
+	"github.com/gossipkit/slicing/internal/transport/tcp"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// Domain types.
+type (
+	// ID uniquely identifies a node.
+	ID = core.ID
+	// Attr is a node's attribute value (the capability the network is
+	// sliced by).
+	Attr = core.Attr
+	// Member pairs a node identity with its attribute.
+	Member = core.Member
+	// Slice is a half-open interval (Low, High] of the normalized rank
+	// domain.
+	Slice = core.Slice
+	// Partition is an ordered set of adjacent slices covering (0,1].
+	Partition = core.Partition
+	// ViewEntry is one row of a gossip view (used for bootstrapping live
+	// nodes).
+	ViewEntry = view.Entry
+)
+
+// AgePlaceholder marks a bootstrap ViewEntry as identity-only: a contact
+// address whose attribute and rank coordinate are not yet known. The
+// protocols gossip with placeholders but never sample them.
+const AgePlaceholder = view.AgeUnknown
+
+// EqualSlices returns a partition of k equally sized slices.
+func EqualSlices(k int) (Partition, error) { return core.Equal(k) }
+
+// CustomSlices builds a partition from interior boundaries; for example
+// CustomSlices(0.8) defines the bottom-80% and top-20% slices.
+func CustomSlices(bounds ...float64) (Partition, error) { return core.NewPartition(bounds...) }
+
+// Ranks returns every member's 1-based attribute rank (ties broken by
+// identifier).
+func Ranks(members []Member) map[ID]int { return core.Ranks(members) }
+
+// Simulation API (the paper's cycle model).
+type (
+	// SimConfig parameterizes a simulation; see the field docs.
+	SimConfig = sim.Config
+	// SimResult carries the recorded series of a run.
+	SimResult = sim.Result
+	// Simulation is a stepwise-controllable simulation engine.
+	Simulation = sim.Engine
+	// MessageCounts tallies delivered messages by type.
+	MessageCounts = sim.MessageCounts
+)
+
+// Protocol kinds for SimConfig.Protocol.
+const (
+	// Ordering simulates JK / mod-JK (§4 of the paper).
+	Ordering = sim.Ordering
+	// Ranking simulates the rank-estimation protocol (§5).
+	Ranking = sim.Ranking
+)
+
+// Membership kinds for SimConfig.Membership.
+const (
+	// CyclonViews is the Cyclon variant of §4.3.2 (default).
+	CyclonViews = sim.CyclonViews
+	// NewscastViews is the Newscast-like substrate.
+	NewscastViews = sim.NewscastViews
+	// UniformOracle re-draws views uniformly at random every cycle.
+	UniformOracle = sim.UniformOracle
+)
+
+// Estimator kinds for SimConfig.Estimator.
+const (
+	// CounterEstimator is the unbounded ℓ/g counter (Fig. 5).
+	CounterEstimator = sim.CounterEstimator
+	// WindowEstimator is the sliding-window variant (§5.3.4).
+	WindowEstimator = sim.WindowEstimator
+)
+
+// Partner-selection policies for SimConfig.Policy.
+const (
+	// JK picks a uniformly random misplaced neighbor.
+	JK = ordering.SelectRandomMisplaced
+	// ModJK picks the misplaced neighbor with the maximal local
+	// disorder gain (the paper's contribution).
+	ModJK = ordering.SelectMaxGain
+	// RandomPartner picks any random neighbor (ablation baseline).
+	RandomPartner = ordering.SelectRandom
+)
+
+// Attribute distributions for SimConfig.AttrDist.
+type (
+	// AttrSource draws attribute values.
+	AttrSource = dist.Source
+	// UniformDist draws uniformly from [Lo, Hi).
+	UniformDist = dist.Uniform
+	// ParetoDist draws from a heavy-tailed Pareto distribution.
+	ParetoDist = dist.Pareto
+	// ExponentialDist draws exponentially distributed values.
+	ExponentialDist = dist.Exponential
+	// NormalDist draws normally distributed values.
+	NormalDist = dist.Normal
+)
+
+// Churn models for SimConfig.Schedule / SimConfig.Pattern.
+type (
+	// ChurnSchedule decides when and how many nodes churn.
+	ChurnSchedule = churn.Schedule
+	// ChurnPattern decides which nodes leave and what joiners bring.
+	ChurnPattern = churn.Pattern
+	// NoChurn is the static system.
+	NoChurn = churn.None
+	// BurstChurn churns every cycle until a cutoff (Fig. 6(c)).
+	BurstChurn = churn.Burst
+	// PeriodicChurn churns every k-th cycle (Fig. 6(d)).
+	PeriodicChurn = churn.Periodic
+	// CorrelatedChurn removes the lowest-attribute nodes and admits
+	// higher-attribute joiners (§5.3.3).
+	CorrelatedChurn = churn.Correlated
+	// UniformChurn removes random nodes and admits joiners from the
+	// initial distribution.
+	UniformChurn = churn.Uniform
+)
+
+// Series types recorded by simulations.
+type (
+	// Series is a named time series (cycle, value).
+	Series = metrics.Series
+	// NodeState is a per-node measurement snapshot.
+	NodeState = metrics.NodeState
+)
+
+// SDM computes the slice disorder measure of a population snapshot.
+func SDM(states []NodeState, part Partition) float64 { return metrics.SDM(states, part) }
+
+// GDM computes the global disorder measure of a population snapshot.
+func GDM(states []NodeState) float64 { return metrics.GDM(states) }
+
+// Simulate runs cfg for the given number of cycles and returns the
+// recorded series.
+func Simulate(cfg SimConfig, cycles int) (*SimResult, error) { return sim.Run(cfg, cycles) }
+
+// NewSimulation builds a stepwise-controllable engine.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// Live runtime API.
+type (
+	// Node is a live protocol participant (goroutine per node).
+	Node = runtime.Node
+	// NodeConfig parameterizes a live node.
+	NodeConfig = runtime.NodeConfig
+	// NodeStatus is a point-in-time node snapshot.
+	NodeStatus = runtime.Status
+	// Cluster is a process-local set of live nodes.
+	Cluster = runtime.Cluster
+	// ClusterConfig parameterizes a cluster.
+	ClusterConfig = runtime.ClusterConfig
+	// Estimator accumulates rank observations for a ranking node.
+	Estimator = ranking.Estimator
+)
+
+// Live protocol and membership kinds (runtime flavors of the simulation
+// constants).
+const (
+	// LiveOrdering runs JK / mod-JK on a live node.
+	LiveOrdering = runtime.Ordering
+	// LiveRanking runs the ranking protocol on a live node.
+	LiveRanking = runtime.Ranking
+	// LiveCyclon selects the Cyclon-variant substrate.
+	LiveCyclon = runtime.CyclonViews
+	// LiveNewscast selects the Newscast-like substrate.
+	LiveNewscast = runtime.NewscastViews
+)
+
+// NewNode builds a live node; call Start to begin gossiping.
+func NewNode(cfg NodeConfig) (*Node, error) { return runtime.NewNode(cfg) }
+
+// NewCluster builds a process-local cluster of live nodes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.NewCluster(cfg) }
+
+// NewCounterEstimator returns the unbounded ℓ/g estimator of Fig. 5.
+func NewCounterEstimator() Estimator { return ranking.NewCounter() }
+
+// NewWindowEstimator returns the sliding-window estimator of §5.3.4.
+func NewWindowEstimator(size int) (Estimator, error) { return ranking.NewWindow(size) }
+
+// Transports.
+type (
+	// Transport routes protocol messages between live nodes.
+	Transport = transport.Transport
+	// InMemTransportOptions configures the in-memory transport.
+	InMemTransportOptions = transport.InMemOptions
+	// TCPTransportOptions configures the TCP transport.
+	TCPTransportOptions = tcp.Options
+	// TCPTransport is the TCP-backed transport.
+	TCPTransport = tcp.Transport
+)
+
+// NewInMemTransport builds a process-local transport with optional
+// latency and loss injection.
+func NewInMemTransport(opts InMemTransportOptions) Transport {
+	return transport.NewInMem(opts)
+}
+
+// NewTCPTransport starts a TCP transport listening per opts.
+func NewTCPTransport(opts TCPTransportOptions) (*TCPTransport, error) {
+	return tcp.New(opts)
+}
+
+// Analytic results (Lemma 4.1 and Theorem 5.1).
+
+// RequiredSamples returns how many attribute observations a ranking
+// node at rank estimate pHat and distance d from the nearest slice
+// boundary needs for a confidence-(1−alpha) slice assignment
+// (Theorem 5.1).
+func RequiredSamples(alpha, pHat, d float64) (int, error) {
+	return stats.RequiredSamples(alpha, pHat, d)
+}
+
+// SliceDeviationBound returns the Chernoff bound of Lemma 4.1 on the
+// probability that a slice of width p holds a population deviating from
+// its mean by a factor ≥ beta.
+func SliceDeviationBound(n int, p, beta float64) (float64, error) {
+	return stats.SliceDeviationBound(n, p, beta)
+}
+
+// MinSliceWidth returns the smallest slice width with a (beta, eps)
+// population guarantee at system size n (Lemma 4.1).
+func MinSliceWidth(n int, beta, eps float64) (float64, error) {
+	return stats.MinSliceWidth(n, beta, eps)
+}
+
+// DefaultPeriod is a reasonable live gossip period for LAN deployments.
+const DefaultPeriod = 500 * time.Millisecond
