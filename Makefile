@@ -1,0 +1,25 @@
+# Targets mirror .github/workflows/ci.yml exactly: `make ci` locally is
+# the same bar the PR gate applies.
+
+GO ?= go
+
+.PHONY: all build test bench lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke pass that proves they still run.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+ci: lint build test bench

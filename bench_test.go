@@ -72,6 +72,14 @@ func BenchmarkFig6d(b *testing.B) { benchFigure(b, "fig6d") }
 // BenchmarkDrift regenerates the value-drift extension experiment.
 func BenchmarkDrift(b *testing.B) { benchFigure(b, "drift") }
 
+// BenchmarkHeavyTail regenerates the Pareto analytic-vs-simulated
+// extension experiment.
+func BenchmarkHeavyTail(b *testing.B) { benchFigure(b, "heavytail") }
+
+// BenchmarkBimodal regenerates the bimodal-mixture distribution-freeness
+// extension experiment.
+func BenchmarkBimodal(b *testing.B) { benchFigure(b, "bimodal") }
+
 // BenchmarkLemma41 validates the Lemma 4.1 bound table.
 func BenchmarkLemma41(b *testing.B) {
 	for i := 0; i < b.N; i++ {

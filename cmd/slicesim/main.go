@@ -36,7 +36,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicesim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig4a|fig4b|fig4c|fig4d|fig6a|fig6b|fig6c|fig6d|drift|lemma41|thm51|evensplit|all")
+		exp    = fs.String("exp", "", "experiment: fig4a|fig4b|fig4c|fig4d|fig6a|fig6b|fig6c|fig6d|drift|heavytail|bimodal|lemma41|thm51|evensplit|all")
 		scale  = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
 		seed   = fs.Int64("seed", 1, "random seed")
 		format = fs.String("format", "table", "output format: table|csv")

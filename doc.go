@@ -36,6 +36,21 @@
 //   - Live: goroutine-per-node clusters over an in-memory or TCP
 //     transport via NewCluster / NewNode — see cmd/slicenode.
 //
+// # Attribute distributions
+//
+// Both execution modes draw node attributes from an AttrSource. The
+// protocols are distribution-free — only the attribute rank matters —
+// so skewed sources exist to stress that claim and to model realistic
+// capability workloads: UniformDist, ParetoDist, ExponentialDist,
+// NormalDist, LogNormalDist, ZipfDist, MixtureDist (multi-modal
+// fleets) and EmpiricalDist (histogram replay of measured profiles,
+// via NewEmpiricalDist). Every source also implements AttrDistribution,
+// exposing the analytic CDF and Quantile of its law: Quantile(b) is
+// the true attribute threshold of a slice boundary b, and CDF(x) is
+// the asymptotic normalized rank of attribute x — the closed-form
+// references the skewed-attribute experiments compare simulated
+// populations against.
+//
 // # Quick start
 //
 //	part, _ := slicing.EqualSlices(10)

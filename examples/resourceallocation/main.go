@@ -27,13 +27,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	bw := slicing.ParetoDist{Xm: 10, Alpha: 1.5}
 	cluster, err := slicing.NewCluster(slicing.ClusterConfig{
 		N:         nodes,
 		Partition: part,
 		ViewSize:  15,
 		Protocol:  slicing.LiveRanking,
 		Period:    3 * time.Millisecond, // aggressive for a demo; LAN default is 500ms
-		AttrDist:  slicing.ParetoDist{Xm: 10, Alpha: 1.5},
+		AttrDist:  bw,
 		Seed:      7,
 	})
 	if err != nil {
@@ -42,6 +43,11 @@ func main() {
 	defer cluster.Stop()
 
 	fmt.Printf("launching %d live nodes (Pareto bandwidth, top-10%% super-peer slice)\n", nodes)
+	// The analytic quantile gives the closed-form admission threshold the
+	// population approximates: asymptotically, super-peers are exactly
+	// the nodes with bandwidth above the law's 90th percentile.
+	fmt.Printf("analytic super-peer threshold: bandwidth ≥ %.1f (%v quantile at 0.9)\n",
+		bw.Quantile(0.9), bw)
 	if err := cluster.Start(); err != nil {
 		log.Fatal(err)
 	}

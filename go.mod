@@ -1,0 +1,3 @@
+module github.com/gossipkit/slicing
+
+go 1.24

@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testCase couples a distribution with its analytic moments and support
+// so one table drives the support, moment and round-trip checks.
+type testCase struct {
+	name     string
+	d        Distribution
+	mean     float64
+	variance float64
+	// inSupport reports whether a sampled value is legal.
+	inSupport func(x float64) bool
+	// discrete marks integer-valued laws (skips the continuous
+	// round-trip identity).
+	discrete bool
+}
+
+func cases(t *testing.T) []testCase {
+	t.Helper()
+	zipf := Zipf{S: 1.1, N: 50}
+	zMean, zVar := 0.0, 0.0
+	total := zipf.total()
+	for k := 1; k <= zipf.N; k++ {
+		zMean += float64(k) * zipf.mass(k) / total
+	}
+	for k := 1; k <= zipf.N; k++ {
+		zVar += (float64(k) - zMean) * (float64(k) - zMean) * zipf.mass(k) / total
+	}
+	emp, err := NewEmpirical([]float64{1, 1.5, 2, 2, 3, 3, 3, 4, 8, 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMean, eVar := histMoments(emp)
+	mix := Mixture{Components: []Weighted{
+		{Weight: 0.7, Dist: Normal{Mean: 10, Stddev: 2}},
+		{Weight: 0.3, Dist: Normal{Mean: 50, Stddev: 5}},
+	}}
+	mixMean := 0.7*10 + 0.3*50
+	mixVar := 0.7*(4+100) + 0.3*(25+2500) - mixMean*mixMean
+	return []testCase{
+		{
+			name: "uniform", d: Uniform{Lo: 2, Hi: 6},
+			mean: 4, variance: 16.0 / 12,
+			inSupport: func(x float64) bool { return x >= 2 && x < 6 },
+		},
+		{
+			// Alpha = 5 keeps the fourth moment finite so the sample
+			// variance of 2·10⁵ draws concentrates.
+			name: "pareto", d: Pareto{Xm: 1, Alpha: 5},
+			mean: 1.25, variance: 5.0 / 48,
+			inSupport: func(x float64) bool { return x >= 1 },
+		},
+		{
+			name: "exponential", d: Exponential{Mean: 2},
+			mean: 2, variance: 4,
+			inSupport: func(x float64) bool { return x >= 0 },
+		},
+		{
+			name: "normal", d: Normal{Mean: 5, Stddev: 2},
+			mean: 5, variance: 4,
+			inSupport: func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) },
+		},
+		{
+			name: "lognormal", d: LogNormal{Mu: 0, Sigma: 0.5},
+			mean:      math.Exp(0.125),
+			variance:  (math.Exp(0.25) - 1) * math.Exp(0.25),
+			inSupport: func(x float64) bool { return x > 0 },
+		},
+		{
+			name: "zipf", d: zipf,
+			mean: zMean, variance: zVar,
+			inSupport: func(x float64) bool {
+				return x == math.Trunc(x) && x >= 1 && x <= 50
+			},
+			discrete: true,
+		},
+		{
+			name: "mixture", d: mix,
+			mean: mixMean, variance: mixVar,
+			inSupport: func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) },
+		},
+		{
+			name: "empirical", d: emp,
+			mean: eMean, variance: eVar,
+			inSupport: func(x float64) bool { return x >= 1 && x <= 9 },
+		},
+	}
+}
+
+// histMoments returns the analytic mean and variance of a
+// piecewise-uniform histogram (E[X²] per bin is (lo²+lo·hi+hi²)/3).
+func histMoments(e Empirical) (mean, variance float64) {
+	total := 0.0
+	for _, w := range e.Weights {
+		total += w
+	}
+	m1, m2 := 0.0, 0.0
+	for i, w := range e.Weights {
+		lo, hi := e.Edges[i], e.Edges[i+1]
+		m1 += w / total * (lo + hi) / 2
+		m2 += w / total * (lo*lo + lo*hi + hi*hi) / 3
+	}
+	return m1, m2 - m1*m1
+}
+
+// Samples land in the support, and empirical moments match the analytic
+// moments within a CLT-sized tolerance.
+func TestSupportAndMoments(t *testing.T) {
+	const n = 200000
+	for _, tc := range cases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			sum, sumSq := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				x := tc.d.Sample(rng)
+				if !tc.inSupport(x) {
+					t.Fatalf("sample %v outside support", x)
+				}
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			// 5σ of the sample-mean error, floored for near-zero moments.
+			tol := 5*math.Sqrt(tc.variance/n) + 1e-3*math.Abs(tc.mean)
+			if math.Abs(mean-tc.mean) > tol {
+				t.Errorf("mean = %v, want %v ± %v", mean, tc.mean, tol)
+			}
+			if math.Abs(variance-tc.variance) > 0.05*tc.variance+1e-9 {
+				t.Errorf("variance = %v, want %v ± 5%%", variance, tc.variance)
+			}
+		})
+	}
+}
+
+// CDF is a valid distribution function: within [0,1], nondecreasing, 0
+// below the support and 1 above it.
+func TestCDFShape(t *testing.T) {
+	for _, tc := range cases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := -1.0
+			for p := 0.001; p < 1; p += 0.013 {
+				x := tc.d.Quantile(p)
+				c := tc.d.CDF(x)
+				if c < 0 || c > 1 || math.IsNaN(c) {
+					t.Fatalf("CDF(%v) = %v outside [0,1]", x, c)
+				}
+				if c < prev-1e-12 {
+					t.Fatalf("CDF decreasing: CDF(%v) = %v after %v", x, c, prev)
+				}
+				prev = c
+			}
+			lo := tc.d.Quantile(0.001) - 1
+			if got := tc.d.CDF(lo - 1e6); got > 0.002 {
+				t.Errorf("CDF far below support = %v, want ≈ 0", got)
+			}
+			hi := tc.d.Quantile(0.999)
+			if got := tc.d.CDF(hi + 1e6*math.Abs(hi) + 1e6); got < 0.998 {
+				t.Errorf("CDF far above support = %v, want ≈ 1", got)
+			}
+		})
+	}
+}
+
+// Sampling is a pure function of the rng: equal seeds give equal
+// streams (the reproducibility contract the simulator relies on).
+func TestDeterminism(t *testing.T) {
+	for _, tc := range cases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			a := rand.New(rand.NewSource(99))
+			b := rand.New(rand.NewSource(99))
+			for i := 0; i < 500; i++ {
+				if x, y := tc.d.Sample(a), tc.d.Sample(b); x != y {
+					t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+				}
+			}
+		})
+	}
+}
+
+// Quantile rejects p outside [0,1].
+func TestQuantileDomain(t *testing.T) {
+	for _, tc := range cases(t) {
+		for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+			if got := tc.d.Quantile(p); !math.IsNaN(got) {
+				t.Errorf("%s: Quantile(%v) = %v, want NaN", tc.name, p, got)
+			}
+		}
+	}
+}
+
+// The sampled law matches the analytic CDF: the empirical CDF evaluated
+// at analytic quantiles recovers the probability (a fixed-point
+// Kolmogorov–Smirnov check).
+func TestSampleMatchesCDF(t *testing.T) {
+	const n = 100000
+	for _, tc := range cases(t) {
+		if tc.discrete {
+			continue // atoms make P(X ≤ Q(p)) overshoot p
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = tc.d.Sample(rng)
+			}
+			for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				q := tc.d.Quantile(p)
+				below := 0
+				for _, s := range samples {
+					if s <= q {
+						below++
+					}
+				}
+				got := float64(below) / n
+				if math.Abs(got-p) > 0.01 {
+					t.Errorf("empirical CDF at Quantile(%v) = %v, want ± 0.01", p, got)
+				}
+			}
+		})
+	}
+}
+
+// Degenerate point masses honor the Quantile contract at p ∈ {0,1}
+// instead of producing 0·∞ = NaN.
+func TestPointMassQuantile(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := (Normal{Mean: 5}).Quantile(p); got != 5 {
+			t.Errorf("Normal{Mean:5,Stddev:0}.Quantile(%v) = %v, want 5", p, got)
+		}
+		if got, want := (LogNormal{Mu: 2}).Quantile(p), math.Exp(2); got != want {
+			t.Errorf("LogNormal{Mu:2,Sigma:0}.Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestZipfQuantileInvertsCDF(t *testing.T) {
+	z := Zipf{S: 1.2, N: 20}
+	for k := 1; k <= z.N; k++ {
+		if got := z.Quantile(z.CDF(float64(k))); got != float64(k) {
+			t.Errorf("Quantile(CDF(%d)) = %v, want %d", k, got, k)
+		}
+	}
+}
+
+func TestNewEmpirical(t *testing.T) {
+	if _, err := NewEmpirical(nil, 4); err == nil {
+		t.Error("no samples: want error")
+	}
+	if _, err := NewEmpirical([]float64{1}, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := NewEmpirical([]float64{1, math.NaN()}, 2); err == nil {
+		t.Error("NaN sample: want error")
+	}
+	// Bins narrower than one ulp of the sample magnitude cannot form
+	// strictly increasing edges; that must surface as an error, not as
+	// a NaN-everywhere histogram.
+	if _, err := NewEmpirical([]float64{1e16, 1e16 + 4}, 100); err == nil {
+		t.Error("ulp-underflow bins: want error")
+	}
+	// Constant samples degrade to a point mass.
+	e, err := NewEmpirical([]float64{3, 3, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if x := e.Sample(rng); math.Abs(x-3) > 1e-9 {
+		t.Errorf("constant-set sample = %v, want ≈ 3", x)
+	}
+	// A histogram fitted to samples of a known law reproduces its CDF.
+	src := Exponential{Mean: 5}
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = src.Sample(rng)
+	}
+	fit, err := NewEmpirical(samples, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 3, 5, 10, 20} {
+		if got, want := fit.CDF(x), src.CDF(x); math.Abs(got-want) > 0.02 {
+			t.Errorf("fitted CDF(%v) = %v, want ≈ %v", x, got, want)
+		}
+	}
+}
+
+func TestDegenerateSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []Distribution{
+		Mixture{},
+		Zipf{},
+		Empirical{},
+		Empirical{Edges: []float64{1, 1}, Weights: []float64{3}}, // non-increasing edges
+	} {
+		if x := d.Sample(rng); !math.IsNaN(x) {
+			t.Errorf("%v: degenerate Sample = %v, want NaN", d, x)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, tc := range cases(t) {
+		if s, ok := tc.d.(fmt.Stringer); !ok || s.String() == "" {
+			t.Errorf("%s: missing or empty String()", tc.name)
+		}
+	}
+}

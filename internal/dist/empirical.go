@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrEmpirical is returned by NewEmpirical for unusable inputs.
+var ErrEmpirical = errors.New("dist: empirical needs ≥1 sample and ≥1 bin")
+
+// Empirical is a histogram-backed distribution: piecewise-uniform
+// density over adjacent bins. It lets experiments replay a measured
+// capability profile (e.g. a bandwidth census) as an attribute source
+// while still exposing an analytic CDF/Quantile for the replayed law.
+//
+// Invariants: len(Edges) == len(Weights)+1 with strictly increasing
+// Edges and nonnegative Weights summing to a positive total. Methods on
+// a struct violating them return NaN. Build from raw samples with
+// NewEmpirical, or construct literally from known bin masses.
+type Empirical struct {
+	// Edges are the bin boundaries.
+	Edges []float64
+	// Weights are the bin masses (need not be normalized).
+	Weights []float64
+}
+
+// NewEmpirical bins the samples into the given number of equal-width
+// bins spanning [min, max]. A constant sample set yields one hair-width
+// bin around the constant.
+func NewEmpirical(samples []float64, bins int) (Empirical, error) {
+	if len(samples) == 0 || bins < 1 {
+		return Empirical{}, ErrEmpirical
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) {
+			return Empirical{}, fmt.Errorf("%w: NaN sample", ErrEmpirical)
+		}
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if lo == hi {
+		hi = math.Nextafter(lo, math.Inf(1))
+		bins = 1
+	}
+	e := Empirical{Edges: make([]float64, bins+1), Weights: make([]float64, bins)}
+	width := (hi - lo) / float64(bins)
+	for i := 0; i <= bins; i++ {
+		e.Edges[i] = lo + float64(i)*width
+	}
+	e.Edges[bins] = hi // exact, against accumulation error
+	for i := 1; i <= bins; i++ {
+		// A bin narrower than one ulp of the sample magnitude collapses
+		// its edges; the histogram would be NaN everywhere.
+		if e.Edges[i] <= e.Edges[i-1] {
+			return Empirical{}, fmt.Errorf("%w: %d bins over [%g,%g] underflow float64 spacing",
+				ErrEmpirical, bins, lo, hi)
+		}
+	}
+	for _, s := range samples {
+		i := int((s - lo) / width)
+		if i >= bins { // s == hi lands past the last bin
+			i = bins - 1
+		}
+		e.Weights[i]++
+	}
+	return e, nil
+}
+
+// valid reports whether the histogram invariants hold, returning the
+// total mass when they do.
+func (e Empirical) valid() (float64, bool) {
+	if len(e.Edges) != len(e.Weights)+1 || len(e.Weights) == 0 {
+		return 0, false
+	}
+	for i := 1; i < len(e.Edges); i++ {
+		if !(e.Edges[i] > e.Edges[i-1]) {
+			return 0, false
+		}
+	}
+	total := 0.0
+	for _, w := range e.Weights {
+		if !(w >= 0) {
+			return 0, false
+		}
+		total += w
+	}
+	return total, total > 0
+}
+
+// Sample implements Source by inverse transform on the histogram CDF.
+func (e Empirical) Sample(rng *rand.Rand) float64 {
+	return e.Quantile(rng.Float64())
+}
+
+// CDF implements Distribution: piecewise linear between bin edges.
+func (e Empirical) CDF(x float64) float64 {
+	total, ok := e.valid()
+	if !ok {
+		return math.NaN()
+	}
+	if x < e.Edges[0] {
+		return 0
+	}
+	cum := 0.0
+	for i, w := range e.Weights {
+		lo, hi := e.Edges[i], e.Edges[i+1]
+		if x < hi {
+			return (cum + w*(x-lo)/(hi-lo)) / total
+		}
+		cum += w
+	}
+	return 1
+}
+
+// Quantile implements Distribution: the piecewise-linear inverse of CDF.
+func (e Empirical) Quantile(p float64) float64 {
+	total, ok := e.valid()
+	if badP(p) || !ok {
+		return math.NaN()
+	}
+	target := p * total
+	cum := 0.0
+	for i, w := range e.Weights {
+		if cum+w >= target && w > 0 {
+			return e.Edges[i] + (target-cum)/w*(e.Edges[i+1]-e.Edges[i])
+		}
+		cum += w
+	}
+	return e.Edges[len(e.Edges)-1]
+}
+
+// String implements fmt.Stringer.
+func (e Empirical) String() string {
+	if len(e.Edges) < 2 {
+		return "empirical(empty)"
+	}
+	return fmt.Sprintf("empirical(%d bins on [%g,%g])",
+		len(e.Weights), e.Edges[0], e.Edges[len(e.Edges)-1])
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Weighted pairs a component distribution with its mixing weight.
+type Weighted struct {
+	// Weight is the component's nonnegative mixing mass. Weights need
+	// not sum to 1; they are normalized by the total.
+	Weight float64
+	// Dist is the component law.
+	Dist Distribution
+}
+
+// Mixture draws from a finite mixture of component laws — the tool for
+// multi-modal populations (e.g. a bimodal fleet of weak consumer peers
+// and strong datacenter peers). A Mixture with no components is
+// degenerate: Sample and CDF return NaN.
+type Mixture struct {
+	Components []Weighted
+}
+
+// weightTotal returns the sum of component weights.
+func (m Mixture) weightTotal() float64 {
+	t := 0.0
+	for _, c := range m.Components {
+		t += c.Weight
+	}
+	return t
+}
+
+// Sample implements Source: it picks a component with probability
+// proportional to its weight, then samples it.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	t := m.weightTotal()
+	if len(m.Components) == 0 || t <= 0 {
+		return math.NaN()
+	}
+	u := rng.Float64() * t
+	cum := 0.0
+	for _, c := range m.Components[:len(m.Components)-1] {
+		cum += c.Weight
+		if u < cum {
+			return c.Dist.Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Dist.Sample(rng)
+}
+
+// CDF implements Distribution: the weighted sum of component CDFs.
+func (m Mixture) CDF(x float64) float64 {
+	t := m.weightTotal()
+	if len(m.Components) == 0 || t <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, c := range m.Components {
+		sum += c.Weight * c.Dist.CDF(x)
+	}
+	return sum / t
+}
+
+// Quantile implements Distribution by bisecting the mixture CDF. The
+// bracket is exact: for each component F_i(Q_i(p)) ≥ p and F_i is
+// nondecreasing, so the mixture quantile lies between the smallest and
+// largest component quantiles at p.
+func (m Mixture) Quantile(p float64) float64 {
+	if badP(p) {
+		return math.NaN()
+	}
+	t := m.weightTotal()
+	if len(m.Components) == 0 || t <= 0 {
+		return math.NaN()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.Components {
+		q := c.Dist.Quantile(p)
+		lo = math.Min(lo, q)
+		hi = math.Max(hi, q)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return math.NaN()
+	}
+	if lo == hi || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		// A single attained value, or an unbounded bracket (p at 0 or 1
+		// with unbounded support): the extreme quantile itself.
+		if p == 0 {
+			return lo
+		}
+		return hi
+	}
+	return bisectQuantile(m.CDF, p, lo, hi)
+}
+
+// String implements fmt.Stringer.
+func (m Mixture) String() string {
+	parts := make([]string, len(m.Components))
+	for i, c := range m.Components {
+		parts[i] = fmt.Sprintf("%g·%v", c.Weight, c.Dist)
+	}
+	return "mix(" + strings.Join(parts, " + ") + ")"
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks from the finite Zipf law on {1, …, N}:
+// P(k) ∝ k^(−S). S = 0 is the uniform law on {1, …, N}; S ≈ 1 is the
+// classic popularity skew. N must be ≥ 1; S may be any non-negative
+// real.
+//
+// Operations are O(N) in the support size — Zipf is meant for modest
+// rank alphabets (content classes, peer tiers), not for N in the
+// millions.
+type Zipf struct {
+	S float64
+	N int
+}
+
+// mass returns the unnormalized mass k^(−S).
+func (z Zipf) mass(k int) float64 { return math.Pow(float64(k), -z.S) }
+
+// total returns the generalized harmonic number H_{N,S}.
+func (z Zipf) total() float64 {
+	t := 0.0
+	for k := 1; k <= z.N; k++ {
+		t += z.mass(k)
+	}
+	return t
+}
+
+// Sample implements Source.
+func (z Zipf) Sample(rng *rand.Rand) float64 {
+	if z.N < 1 {
+		return math.NaN()
+	}
+	u := rng.Float64() * z.total()
+	cum := 0.0
+	for k := 1; k < z.N; k++ {
+		cum += z.mass(k)
+		if u < cum {
+			return float64(k)
+		}
+	}
+	return float64(z.N)
+}
+
+// CDF implements Distribution.
+func (z Zipf) CDF(x float64) float64 {
+	if z.N < 1 {
+		return math.NaN()
+	}
+	if x < 1 {
+		return 0
+	}
+	top := int(math.Floor(x))
+	if top >= z.N {
+		return 1
+	}
+	cum := 0.0
+	for k := 1; k <= top; k++ {
+		cum += z.mass(k)
+	}
+	return cum / z.total()
+}
+
+// Quantile implements Distribution. It returns the smallest rank k with
+// CDF(k) ≥ p.
+func (z Zipf) Quantile(p float64) float64 {
+	if badP(p) || z.N < 1 {
+		return math.NaN()
+	}
+	t := z.total()
+	cum := 0.0
+	for k := 1; k < z.N; k++ {
+		cum += z.mass(k)
+		if cum/t >= p {
+			return float64(k)
+		}
+	}
+	return float64(z.N)
+}
+
+// String implements fmt.Stringer.
+func (z Zipf) String() string { return fmt.Sprintf("zipf(s=%g,n=%d)", z.S, z.N) }

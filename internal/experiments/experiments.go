@@ -458,22 +458,24 @@ func (r *Result) Thin(every int) *Result {
 // Registry maps experiment names to their runners (the figures; the
 // analytic experiments live in analytic.go).
 var Registry = map[string]func(Options) (*Result, error){
-	"fig4a": Fig4a,
-	"fig4b": Fig4b,
-	"fig4c": Fig4c,
-	"fig4d": Fig4d,
-	"fig6a": Fig6a,
-	"fig6b": Fig6b,
-	"fig6c": Fig6c,
-	"fig6d": Fig6d,
-	"drift": Drift,
+	"fig4a":     Fig4a,
+	"fig4b":     Fig4b,
+	"fig4c":     Fig4c,
+	"fig4d":     Fig4d,
+	"fig6a":     Fig6a,
+	"fig6b":     Fig6b,
+	"fig6c":     Fig6c,
+	"fig6d":     Fig6d,
+	"drift":     Drift,
+	"heavytail": HeavyTail,
+	"bimodal":   Bimodal,
 }
 
 // Names returns the registered figure experiment names in a stable
 // order.
 func Names() []string {
-	return []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d", "drift",
-		"lemma41", "thm51", "evensplit"}
+	return []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d",
+		"drift", "heavytail", "bimodal", "lemma41", "thm51", "evensplit"}
 }
 
 // ErrUnknown is returned for unrecognized experiment names.

@@ -262,8 +262,51 @@ func TestEvenSplitTable(t *testing.T) {
 	}
 }
 
+// HeavyTail: the ranking SDM converges under Pareto attributes, and the
+// closed-form CDF assignment keeps a positive disorder floor that the
+// converged protocol undercuts.
+func TestHeavyTailShape(t *testing.T) {
+	r, err := HeavyTail(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simStart := firstValue(t, r, "sdm-simulated")
+	simEnd := lastValue(t, r, "sdm-simulated")
+	if simEnd > simStart/2 {
+		t.Errorf("simulated SDM %v → %v, want ≥2× decrease", simStart, simEnd)
+	}
+	analytic := lastValue(t, r, "sdm-analytic-cdf")
+	if analytic <= 0 {
+		t.Errorf("analytic CDF floor = %v, want > 0 (finite heavy-tailed sample)", analytic)
+	}
+	if simEnd >= analytic {
+		t.Errorf("simulated SDM %v did not undercut the analytic floor %v", simEnd, analytic)
+	}
+	if start, end := firstValue(t, r, "cdf-mismatch%"), lastValue(t, r, "cdf-mismatch%"); end >= start {
+		t.Errorf("CDF mismatch %v%% → %v%%, want decrease", start, end)
+	}
+}
+
+// Bimodal: a two-mode mixture changes nothing — the SDM curve tracks
+// the uniform baseline (distribution-freeness made quantitative).
+func TestBimodalShape(t *testing.T) {
+	r, err := Bimodal(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bim := lastValue(t, r, "sdm-bimodal")
+	uni := lastValue(t, r, "sdm-uniform")
+	if start := firstValue(t, r, "sdm-bimodal"); bim > start/2 {
+		t.Errorf("bimodal SDM %v → %v, want ≥2× decrease", start, bim)
+	}
+	// +1 smoothing keeps the ratio meaningful near the zero floor.
+	if ratio := (bim + 1) / (uni + 1); ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("final SDM bimodal %v vs uniform %v: curves should track", bim, uni)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
-	for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d", "drift"} {
+	for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig4d", "fig6a", "fig6b", "fig6c", "fig6d", "drift", "heavytail", "bimodal"} {
 		if _, err := Lookup(name); err != nil {
 			t.Errorf("Lookup(%q) failed: %v", name, err)
 		}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// This file extends the §5.3 reproductions with skewed attribute
+// distributions, the workloads the companion INRIA report motivates:
+// the protocols are rank-based and therefore distribution-free, so a
+// heavy tail must not change the convergence story — and the analytic
+// CDF of each law gives a closed-form reference assignment to compare
+// the simulated population against.
+
+// analyticVsSimulated steps a fresh engine for the given cycles and
+// records three series: the simulated SDM, the SDM of the closed-form
+// CDF assignment (the analytic reference), and the per-cycle percentage
+// of nodes disagreeing with that reference. The reference — slice index
+// of CDF(attr), the node's asymptotic normalized rank, the assignment
+// an oracle knowing the true law (but not the realized sample) would
+// choose — is fixed in these static churn-free runs, so it is computed
+// once per node and reused every cycle.
+func analyticVsSimulated(cfg sim.Config, d dist.Distribution, cycles int) (sdm, analytic, mismatch metrics.Series, err error) {
+	e, err := sim.New(cfg)
+	if err != nil {
+		return sdm, analytic, mismatch, err
+	}
+	part := e.Partition()
+	states := e.States()
+	refIndex := make(map[core.ID]int, len(states))
+	refStates := make([]metrics.NodeState, len(states))
+	for i, st := range states {
+		refIndex[st.Member.ID] = part.Index(d.CDF(float64(st.Member.Attr)))
+		st.SliceIndex = refIndex[st.Member.ID]
+		refStates[i] = st
+	}
+	refSDM := metrics.SDM(refStates, part)
+	analytic = metrics.Series{Name: "sdm-analytic-cdf"}
+	mismatch = metrics.Series{Name: "cdf-mismatch%"}
+	record := func(cycle int, states []metrics.NodeState) {
+		analytic.Add(cycle, refSDM)
+		differ := 0
+		for _, st := range states {
+			if st.SliceIndex != refIndex[st.Member.ID] {
+				differ++
+			}
+		}
+		if len(states) > 0 {
+			mismatch.Add(cycle, 100*float64(differ)/float64(len(states)))
+		}
+	}
+	record(0, states)
+	for c := 1; c <= cycles; c++ {
+		e.Step()
+		record(c, e.States())
+	}
+	sdm = e.SDM()
+	sdm.Name = "sdm-simulated"
+	return sdm, analytic, mismatch, nil
+}
+
+// HeavyTail is an extension experiment: the ranking protocol under a
+// Pareto attribute distribution in the infinite-variance regime
+// (α = 1.2), the skew measurement studies report for peer capacities.
+// The simulated SDM must converge exactly as under uniform attributes
+// (the protocol only sees ranks), and it ends *below* the closed-form
+// CDF assignment's SDM: estimating the realized sample's empirical
+// ranks beats plugging the attribute into the true law, because a
+// finite heavy-tailed sample deviates from its asymptotic quantiles.
+func HeavyTail(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	d := dist.Pareto{Xm: 10, Alpha: 1.2}
+	cfg := sim.Config{
+		N:        scaledInt(10000, scale, 100),
+		Slices:   scaledInt(100, scale, 10),
+		ViewSize: 10,
+		Protocol: sim.Ranking,
+		AttrDist: d,
+		Seed:     opts.Seed,
+	}
+	cycles := scaledInt(1000, scale, 200)
+	sdm, analytic, mismatch, err := analyticVsSimulated(cfg, d, cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordCfg := cfg
+	ordCfg.Protocol = sim.Ordering
+	ordCfg.Policy = ordering.SelectMaxGain
+	ord, err := sim.Run(ordCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordS := ord.SDM
+	ordS.Name = "sdm-ordering"
+	return &Result{
+		Name:   "heavytail",
+		XLabel: "cycle",
+		Series: []metrics.Series{sdm, ordS, analytic, mismatch},
+		Note: "extension: Pareto(α=1.2) attributes — rank estimation converges as " +
+			"under uniform attributes and ends below the closed-form CDF " +
+			"assignment's disorder (the analytic floor of a finite skewed sample).",
+	}, nil
+}
+
+// Bimodal is an extension experiment: a two-mode mixture (a weak
+// consumer fleet and a strong datacenter fleet, means 50 vs 500) versus
+// the uniform baseline under identical seeds. The attribute axis has a
+// huge density gap, but the rank domain does not — so the two SDM
+// curves must track each other, the §5.3 distribution-freeness claim
+// made quantitative.
+func Bimodal(opts Options) (*Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	mix := dist.Mixture{Components: []dist.Weighted{
+		{Weight: 0.5, Dist: dist.Normal{Mean: 50, Stddev: 5}},
+		{Weight: 0.5, Dist: dist.Normal{Mean: 500, Stddev: 20}},
+	}}
+	cfg := sim.Config{
+		N:        scaledInt(10000, scale, 100),
+		Slices:   scaledInt(100, scale, 10),
+		ViewSize: 10,
+		Protocol: sim.Ranking,
+		AttrDist: mix,
+		Seed:     opts.Seed,
+	}
+	cycles := scaledInt(1000, scale, 200)
+	bimodal, analytic, mismatch, err := analyticVsSimulated(cfg, mix, cycles)
+	if err != nil {
+		return nil, err
+	}
+	bimodal.Name = "sdm-bimodal"
+	uniCfg := cfg
+	uniCfg.AttrDist = dist.Uniform{Lo: 0, Hi: 1000}
+	uni, err := sim.Run(uniCfg, cycles)
+	if err != nil {
+		return nil, err
+	}
+	uniS := uni.SDM
+	uniS.Name = "sdm-uniform"
+	// Deviation between the skewed and uniform curves, Fig. 6(b)-style.
+	dev := metrics.Series{Name: "deviation%"}
+	for _, p := range uniS.Points {
+		if v, ok := bimodal.At(p.Cycle); ok && p.Value > 0 {
+			dev.Add(p.Cycle, 100*(v-p.Value)/p.Value)
+		}
+	}
+	return &Result{
+		Name:   "bimodal",
+		XLabel: "cycle",
+		Series: []metrics.Series{bimodal, uniS, dev, analytic, mismatch},
+		Note: "extension: a bimodal capability mixture changes nothing — the rank " +
+			"domain is distribution-free, so the SDM curve tracks the uniform " +
+			"baseline; the CDF reference shows the analytic assignment it beats.",
+	}, nil
+}

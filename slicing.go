@@ -101,10 +101,17 @@ const (
 	RandomPartner = ordering.SelectRandom
 )
 
-// Attribute distributions for SimConfig.AttrDist.
+// Attribute distributions for SimConfig.AttrDist. Every concrete source
+// also implements AttrDistribution, exposing the analytic CDF and
+// quantile function of its law: the true attribute threshold of a slice
+// boundary b is Quantile(b), and the asymptotic normalized rank of a
+// node with attribute x is CDF(x).
 type (
 	// AttrSource draws attribute values.
 	AttrSource = dist.Source
+	// AttrDistribution extends AttrSource with analytic CDF and
+	// Quantile methods (all sources below implement it).
+	AttrDistribution = dist.Distribution
 	// UniformDist draws uniformly from [Lo, Hi).
 	UniformDist = dist.Uniform
 	// ParetoDist draws from a heavy-tailed Pareto distribution.
@@ -113,7 +120,24 @@ type (
 	ExponentialDist = dist.Exponential
 	// NormalDist draws normally distributed values.
 	NormalDist = dist.Normal
+	// ZipfDist draws ranks from the finite Zipf law on {1..N}.
+	ZipfDist = dist.Zipf
+	// LogNormalDist draws values whose logarithm is normal.
+	LogNormalDist = dist.LogNormal
+	// MixtureDist draws from a weighted mixture of component laws
+	// (multi-modal populations).
+	MixtureDist = dist.Mixture
+	// MixtureComponent pairs a mixture component with its weight.
+	MixtureComponent = dist.Weighted
+	// EmpiricalDist replays a histogram-backed measured profile.
+	EmpiricalDist = dist.Empirical
 )
+
+// NewEmpiricalDist bins raw samples (e.g. a bandwidth census) into an
+// EmpiricalDist with the given number of equal-width bins.
+func NewEmpiricalDist(samples []float64, bins int) (EmpiricalDist, error) {
+	return dist.NewEmpirical(samples, bins)
+}
 
 // Churn models for SimConfig.Schedule / SimConfig.Pattern.
 type (
