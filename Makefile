@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint ci
+.PHONY: all build test bench bench-json lint ci
 
 all: build
 
 build:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test -race ./...
@@ -17,9 +18,17 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# A small sweep over the full scenario catalog via slicebench: every
+# registered scenario must smoke-run, and the per-run wall time and
+# cycles/sec land in BENCH_sweep.json (CI uploads it as an artifact).
+bench-json:
+	$(GO) run ./cmd/slicebench sweep -scenarios all -scale 0.01 -workers 4 \
+		-out BENCH_sweep.json -quiet
+	@echo "wrote BENCH_sweep.json"
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test bench
+ci: lint build test bench bench-json

@@ -1,0 +1,254 @@
+// Command slicebench lists, runs and sweeps the declarative scenarios of
+// the slicing evaluation: the paper's figure families (Figs. 4 and 6 of
+// ICDCS 2007) and the extension workloads, as registered in
+// internal/scenario.
+//
+// Usage:
+//
+//	slicebench list
+//	slicebench run fig6-burst -scale 0.05
+//	slicebench run fig4-policies -format csv -every 5
+//	slicebench sweep -scenarios all -scale 0.02 -replicas 2 -workers 8
+//	slicebench sweep -scenarios fig4-concurrency,fig6-steady -format csv
+//
+// run executes one scenario family and prints its SDM curves side by
+// side (table, csv or json). sweep expands a scenario grid — families ×
+// seed replicas — across a worker pool and emits one summary record per
+// run, including wall time and cycles/sec, so a sweep doubles as a
+// benchmark. Sweep output is deterministic: with -timing=false the same
+// grid and seed produce byte-identical JSON regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "slicebench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `usage:
+  slicebench list                      list registered scenarios
+  slicebench run <scenario> [flags]    run one scenario family
+  slicebench sweep [flags]             run a scenario × seed grid
+
+run 'slicebench run -h' or 'slicebench sweep -h' for flags`)
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	if len(args) == 0 {
+		usage(errOut)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return runList(out)
+	case "run":
+		return runOne(args[1:], out, errOut)
+	case "sweep":
+		return runSweep(args[1:], out, errOut)
+	case "-h", "--help", "help":
+		usage(out)
+		return nil
+	default:
+		usage(errOut)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// runList prints the scenario catalog.
+func runList(out io.Writer) error {
+	tab := metrics.NewTable("name", "figure", "specs", "description")
+	for _, sc := range scenario.All() {
+		fig := sc.Figure
+		if fig == "" {
+			fig = "extension"
+		}
+		tab.AddRow(sc.Name, fig, len(sc.Specs), sc.Description)
+	}
+	_, err := tab.WriteTo(out)
+	return err
+}
+
+// runOne executes one scenario family and renders its SDM curves.
+func runOne(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench run", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		scale   = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed    = fs.Int64("seed", 1, "base seed for per-run seed derivation")
+		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		format  = fs.String("format", "table", "output format: table|csv|json")
+		every   = fs.Int("every", 1, "record the SDM every k-th cycle")
+		timing  = fs.Bool("timing", true, "report wall time per run (json only)")
+	)
+	// Accept the scenario name before the flags (the natural word order)
+	// or after them; the flag package only parses flags up front.
+	var name string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case name == "" && fs.NArg() == 1:
+		name = fs.Arg(0)
+	case name != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("run needs exactly one scenario name (see 'slicebench list')")
+	}
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		return err
+	}
+	g := scenario.Grid{Scenarios: []string{name}, Scale: *scale, BaseSeed: *seed}
+	runs, err := g.Expand()
+	if err != nil {
+		return err
+	}
+	for i := range runs {
+		if *every > 0 {
+			runs[i].Spec.SampleEvery = *every
+		}
+	}
+	r := scenario.Runner{Workers: *workers, DisableTiming: !*timing}
+	results := r.Sweep(runs, nil)
+	for _, res := range results {
+		if res.Error != "" {
+			return fmt.Errorf("%s/%s: %s", res.Scenario, res.Spec.Name, res.Error)
+		}
+	}
+	switch *format {
+	case "json":
+		return scenario.WriteJSON(out, results)
+	case "csv", "table":
+		fmt.Fprintf(out, "# %s — %s\n", sc.Name, sc.Description)
+		series := make([]metrics.Series, len(results))
+		for i, res := range results {
+			series[i] = metrics.Series{Name: res.Spec.Name}
+			for _, p := range res.SDM {
+				series[i].Points = append(series[i].Points, p)
+			}
+		}
+		if *format == "csv" {
+			return metrics.WriteCSV(out, "cycle", series...)
+		}
+		return writeSeriesTable(out, series)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// writeSeriesTable renders cycle-aligned series as an aligned table.
+func writeSeriesTable(out io.Writer, series []metrics.Series) error {
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, "cycle")
+	cycles := map[int]bool{}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+		for _, p := range s.Points {
+			cycles[p.Cycle] = true
+		}
+	}
+	order := make([]int, 0, len(cycles))
+	for c := range cycles {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	tab := metrics.NewTable(headers...)
+	for _, c := range order {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, c)
+		for _, s := range series {
+			if v, ok := s.At(c); ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "")
+			}
+		}
+		tab.AddRow(row...)
+	}
+	_, err := tab.WriteTo(out)
+	return err
+}
+
+// runSweep expands and executes a scenario grid.
+func runSweep(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench sweep", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		scenarios = fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		replicas  = fs.Int("replicas", 1, "seed replicas per spec")
+		scale     = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed      = fs.Int64("seed", 1, "base seed for per-run seed derivation")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		format    = fs.String("format", "json", "output format: json|csv")
+		timing    = fs.Bool("timing", true, "include wall time and cycles/sec (disable for byte-identical output)")
+		outPath   = fs.String("out", "", "write output to a file instead of stdout")
+		quiet     = fs.Bool("quiet", false, "suppress per-run progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("sweep takes flags only, got %q", fs.Args())
+	}
+	g := scenario.Grid{Replicas: *replicas, Scale: *scale, BaseSeed: *seed}
+	if *scenarios != "all" && *scenarios != "" {
+		g.Scenarios = strings.Split(*scenarios, ",")
+	}
+	runs, err := g.Expand()
+	if err != nil {
+		return err
+	}
+	onResult := func(res scenario.RunResult) {
+		if !*quiet {
+			fmt.Fprintln(errOut, res.Summary())
+		}
+	}
+	r := scenario.Runner{Workers: *workers, DisableTiming: !*timing}
+	results := r.Sweep(runs, onResult)
+	failed := 0
+	for _, res := range results {
+		if res.Error != "" {
+			failed++
+		}
+	}
+	dst := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "json":
+		err = scenario.WriteJSON(dst, results)
+	case "csv":
+		err = scenario.WriteCSV(dst, results)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed", failed, len(results))
+	}
+	return nil
+}

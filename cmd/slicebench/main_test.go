@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/scenario"
+)
+
+func TestListShowsEveryScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+	if !strings.Contains(out.String(), "Fig. 6(c)") {
+		t.Error("list output missing paper figure references")
+	}
+}
+
+func TestRunTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "fig4-policies", "-scale", "0.01", "-every", "10"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"# fig4-policies", "cycle", "jk", "mod-jk"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "livecluster", "-format", "json"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []scenario.RunResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("run -format json is not valid JSON: %v", err)
+	}
+	if len(results) != 1 || results[0].Scenario != "livecluster" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	if len(results[0].SDM) == 0 {
+		t.Error("run output carries no SDM series")
+	}
+	if results[0].Timing == nil {
+		t.Error("run output missing timing (default -timing=true)")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"run", "fig9"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// TestSweepDeterministicJSON is the acceptance gate: a ≥12-run grid
+// across ≥4 workers yields byte-identical JSON for the same seed.
+func TestSweepDeterministicJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	sweep := func() string {
+		var out, errOut bytes.Buffer
+		err := run([]string{"sweep",
+			"-scenarios", "fig4-concurrency,fig4-policies,quickstart",
+			"-replicas", "2", "-workers", "4",
+			"-scale", "0.01", "-seed", "5",
+			"-timing=false",
+		}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%v\nstderr:\n%s", err, errOut.String())
+		}
+		var results []scenario.RunResult
+		if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+			t.Fatalf("sweep output is not valid JSON: %v", err)
+		}
+		if len(results) < 12 {
+			t.Fatalf("grid expanded to %d runs, want ≥ 12", len(results))
+		}
+		// Progress streamed one line per run on stderr.
+		if got := strings.Count(errOut.String(), "\n"); got != len(results) {
+			t.Errorf("streamed %d progress lines, want %d", got, len(results))
+		}
+		return out.String()
+	}
+	if first, second := sweep(), sweep(); first != second {
+		t.Error("same seed produced different sweep JSON")
+	}
+}
+
+func TestSweepCSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	err := run([]string{"sweep",
+		"-scenarios", "livecluster", "-format", "csv",
+		"-out", path, "-quiet",
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := string(raw)
+	if !strings.HasPrefix(data, "index,scenario,spec") {
+		t.Errorf("csv file starts with %q", data[:min(40, len(data))])
+	}
+	// Timing is on by default: the wallMS column must be populated.
+	rows := strings.Split(strings.TrimSpace(data), "\n")
+	if len(rows) < 2 {
+		t.Fatalf("no data rows in %q", data)
+	}
+	cols := strings.Split(rows[1], ",")
+	if cols[13] == "" {
+		t.Error("wallMS column empty despite timing enabled")
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"sweep", "-scenarios", "fig9"},
+		{"sweep", "-scale", "3"},
+		{"sweep", "-format", "xml", "-scenarios", "livecluster"},
+		{"sweep", "positional"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -51,6 +51,19 @@
 // references the skewed-attribute experiments compare simulated
 // populations against.
 //
+// # Scenarios
+//
+// Every evaluation workload is a declarative entry in the scenario
+// catalog: a Scenario is a named family of ScenarioSpecs — one per curve
+// of a paper figure (fig4-*, fig6-*) or extension workload (heavytail,
+// bimodal, flash-crowd, mass-departure, slice-oscillation) — and each
+// spec is a JSON-serializable description of one run that translates
+// into a SimConfig via its Config method. Scenarios, ScenarioNames and
+// LookupScenario expose the catalog; cmd/slicebench lists, runs and
+// sweeps it (scenario grids fan out across a worker pool with
+// deterministic per-run seeds), and the examples and the experiments
+// package are thin wrappers over the same entries.
+//
 // # Quick start
 //
 //	part, _ := slicing.EqualSlices(10)

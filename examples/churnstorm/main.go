@@ -1,11 +1,13 @@
-// Churn storm: reproduce the paper's §5.3.3 scenario in miniature. The
-// attribute is session uptime, so churn is correlated with it: the
-// lowest-uptime nodes leave and joiners arrive with higher uptime than
-// everyone. Every protocol's slice disorder creeps up as the population
-// drifts — random-value ordering because its value multiset skews
-// irrecoverably, counter-based ranking because stale history biases its
-// estimates — but the sliding-window estimator (§5.3.4) forgets old
-// observations and stays accurate throughout.
+// Churn storm: run the "churnstorm" catalog scenario — the paper's
+// §5.3.3 regime in miniature. The attribute is session uptime, so churn
+// is correlated with it: the lowest-uptime nodes leave and joiners
+// arrive with higher uptime than everyone. Every protocol's slice
+// disorder creeps up as the population drifts — random-value ordering
+// because its value multiset skews irrecoverably, counter-based ranking
+// because stale history biases its estimates — but the sliding-window
+// estimator (§5.3.4) forgets old observations and stays accurate
+// throughout. The three protocol variants are the scenario's three
+// specs; this program just runs them and prints the curves side by side.
 //
 //	go run ./examples/churnstorm
 package main
@@ -18,54 +20,39 @@ import (
 )
 
 func main() {
-	const (
-		nodes  = 1000
-		slices = 10
-		cycles = 600
-	)
-	schedule := slicing.PeriodicChurn{Rate: 0.001, Every: 10} // the paper's Fig. 6(d) rate
-	pattern := slicing.CorrelatedChurn{Spread: 20}
+	sc, err := slicing.LookupScenario("churnstorm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
 
-	run := func(name string, cfg slicing.SimConfig) slicing.Series {
-		cfg.N = nodes
-		cfg.Slices = slices
-		cfg.ViewSize = 15
-		cfg.AttrDist = slicing.ExponentialDist{Mean: 3600} // session uptimes
-		cfg.Seed = 99
-		cfg.Schedule = schedule
-		cfg.Pattern = pattern
-		res, err := slicing.Simulate(cfg, cycles)
+	cycles := sc.Specs[0].Cycles
+	series := make([]slicing.Series, len(sc.Specs))
+	for i, spec := range sc.Specs {
+		cfg, err := spec.Config()
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := res.SDM
-		s.Name = name
-		return s
+		res, err := slicing.Simulate(cfg, spec.Cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[i] = res.SDM
+		series[i].Name = spec.Name
 	}
-
-	fmt.Printf("%d nodes, uptime-correlated churn (%v), %d cycles\n\n", nodes, schedule, cycles)
-	ordering := run("ordering", slicing.SimConfig{
-		Protocol: slicing.Ordering, Policy: slicing.ModJK,
-	})
-	ranking := run("ranking", slicing.SimConfig{
-		Protocol: slicing.Ranking,
-	})
-	window := run("sliding-window", slicing.SimConfig{
-		Protocol:  slicing.Ranking,
-		Estimator: slicing.WindowEstimator, WindowSize: 3000,
-	})
+	fmt.Printf("%d nodes, uptime-correlated churn, %d cycles\n\n", sc.Specs[0].N, cycles)
 
 	fmt.Println("cycle  ordering  ranking  sliding-window")
 	for c := 0; c <= cycles; c += 100 {
-		o, _ := ordering.At(c)
-		r, _ := ranking.At(c)
-		w, _ := window.At(c)
+		o, _ := series[0].At(c)
+		r, _ := series[1].At(c)
+		w, _ := series[2].At(c)
 		fmt.Printf("%5d  %-9.0f %-8.0f %.0f\n", c, o, r, w)
 	}
 
-	o, _ := ordering.Last()
-	r, _ := ranking.Last()
-	w, _ := window.Last()
+	o, _ := series[0].Last()
+	r, _ := series[1].Last()
+	w, _ := series[2].Last()
 	fmt.Printf("\nfinal SDM — ordering: %.0f, ranking: %.0f, sliding-window: %.0f\n",
 		o.Value, r.Value, w.Value)
 	fmt.Println("the sliding window forgets pre-churn history, so its estimate tracks the live population")

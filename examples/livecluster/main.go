@@ -1,7 +1,10 @@
-// Live cluster over TCP: sixteen slicing nodes, each with its own TCP
-// listener on loopback, bootstrapped only with peer addresses (no
-// attribute knowledge), converging to a 4-slice partition — the full
-// production wiring of cmd/slicenode, in one process.
+// Live cluster over TCP: the "livecluster" catalog scenario — sixteen
+// slicing nodes converging to a 4-slice partition — lifted out of the
+// simulator and onto real sockets. Each node gets its own TCP listener
+// on loopback and is bootstrapped only with peer addresses (no attribute
+// knowledge): the full production wiring of cmd/slicenode, in one
+// process. The population, partition and view size come from the
+// registry spec; only the transport wiring is this program's own.
 //
 //	go run ./examples/livecluster
 package main
@@ -15,14 +18,17 @@ import (
 )
 
 func main() {
-	const (
-		nodes  = 16
-		slices = 4
-	)
-	part, err := slicing.EqualSlices(slices)
+	sc, err := slicing.LookupScenario("livecluster")
 	if err != nil {
 		log.Fatal(err)
 	}
+	spec := sc.Specs[0]
+	nodes := spec.N
+	part, err := slicing.EqualSlices(spec.Slices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
 
 	// One transport (listener) per node, as in a real deployment.
 	transports := make([]*slicing.TCPTransport, nodes)
@@ -53,7 +59,7 @@ func main() {
 			ID:         slicing.ID(i + 1),
 			Attr:       slicing.Attr((i%8)*100 + i), // a skewed, tie-heavy metric
 			Partition:  part,
-			ViewSize:   6,
+			ViewSize:   spec.ViewSize,
 			Protocol:   slicing.LiveRanking,
 			Estimator:  slicing.NewCounterEstimator(),
 			Period:     5 * time.Millisecond,

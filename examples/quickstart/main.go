@@ -1,6 +1,8 @@
-// Quickstart: slice a simulated 2000-node network into 10 groups by a
-// uniform capability metric with the ranking protocol, and watch the
-// slice disorder measure fall.
+// Quickstart: run the "quickstart" catalog scenario — slice a simulated
+// 2000-node network into 10 groups by a uniform capability metric with
+// the ranking protocol — and watch the slice disorder measure fall. The
+// workload itself is declared once, in the scenario catalog; this
+// program only steps it and prints what the paper's plots would show.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,28 +15,27 @@ import (
 )
 
 func main() {
-	const (
-		nodes  = 2000
-		slices = 10
-		cycles = 150
-	)
-	fmt.Printf("slicing %d nodes into %d groups with the ranking protocol\n\n", nodes, slices)
+	sc, err := slicing.LookupScenario("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sc.Specs[0]
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
+	fmt.Printf("slicing %d nodes into %d groups with the %s protocol\n\n",
+		spec.N, spec.Slices, spec.Protocol)
 
-	engine, err := slicing.NewSimulation(slicing.SimConfig{
-		N:        nodes,
-		Slices:   slices,
-		ViewSize: 20,
-		Protocol: slicing.Ranking,
-		AttrDist: slicing.UniformDist{Lo: 0, Hi: 1000},
-		Seed:     42,
-	})
+	cfg, err := spec.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := slicing.NewSimulation(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("cycle  SDM      misassigned")
 	part := engine.Partition()
-	for c := 0; c <= cycles; c += 25 {
+	for c := 0; c <= spec.Cycles; c += 25 {
 		states := engine.States()
 		sdm := slicing.SDM(states, part)
 		wrong := 0

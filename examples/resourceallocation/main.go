@@ -1,11 +1,12 @@
-// Resource allocation: the paper's motivating scenario. A platform of
-// heterogeneous peers (Pareto-distributed bandwidth, as measurement
-// studies report) must self-organize so that the top 10% by bandwidth
-// form a "super-peer" slice an application can be deployed on.
-//
-// This example runs a LIVE cluster — every node is a goroutine gossiping
-// over an in-memory transport — then audits the top slice's composition
-// against ground truth.
+// Resource allocation: the paper's motivating scenario, taken from the
+// "superpeers" catalog entry. A platform of heterogeneous peers
+// (Pareto-distributed bandwidth, as measurement studies report) must
+// self-organize so that the top 10% by bandwidth form a "super-peer"
+// slice an application can be deployed on. The workload — population,
+// partition, bandwidth law, seed — is the registry spec; this program
+// lifts it from the cycle simulator into a LIVE cluster (every node a
+// goroutine gossiping over an in-memory transport), then audits the top
+// slice's composition against ground truth.
 //
 //	go run ./examples/resourceallocation
 package main
@@ -20,34 +21,48 @@ import (
 )
 
 func main() {
-	const nodes = 300
-
-	// Two slices: the bottom 90% and the top 10% (the super-peers).
-	part, err := slicing.CustomSlices(0.9)
+	sc, err := slicing.LookupScenario("superpeers")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bw := slicing.ParetoDist{Xm: 10, Alpha: 1.5}
+	spec := sc.Specs[0]
+	nodes := spec.N
+
+	// The registry spec describes a cycle-model run; reuse its partition
+	// and attribute law for the live cluster.
+	if len(spec.SliceBounds) != 1 {
+		log.Fatalf("superpeers spec has %d custom bounds, want the single super-peer boundary", len(spec.SliceBounds))
+	}
+	bound := spec.SliceBounds[0]
+	part, err := slicing.CustomSlices(bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw, err := spec.Attr.Source()
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster, err := slicing.NewCluster(slicing.ClusterConfig{
 		N:         nodes,
 		Partition: part,
-		ViewSize:  15,
+		ViewSize:  spec.ViewSize,
 		Protocol:  slicing.LiveRanking,
 		Period:    3 * time.Millisecond, // aggressive for a demo; LAN default is 500ms
 		AttrDist:  bw,
-		Seed:      7,
+		Seed:      spec.Seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Stop()
 
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
 	fmt.Printf("launching %d live nodes (Pareto bandwidth, top-10%% super-peer slice)\n", nodes)
 	// The analytic quantile gives the closed-form admission threshold the
 	// population approximates: asymptotically, super-peers are exactly
 	// the nodes with bandwidth above the law's 90th percentile.
-	fmt.Printf("analytic super-peer threshold: bandwidth ≥ %.1f (%v quantile at 0.9)\n",
-		bw.Quantile(0.9), bw)
+	fmt.Printf("analytic super-peer threshold: bandwidth ≥ %.1f (%v quantile at %g)\n",
+		bw.Quantile(bound), bw, bound)
 	if err := cluster.Start(); err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
@@ -86,6 +87,91 @@ func (p Periodic) At(cycle, n int) Event {
 // String implements fmt.Stringer.
 func (p Periodic) String() string {
 	return fmt.Sprintf("periodic(%.2g%% every %d cycles)", p.Rate*100, p.Every)
+}
+
+// Flat applies LeaveRate·n leaves and JoinRate·n joins, either every
+// cycle (Every ≤ 1) or — Periodic-style — every Every-th cycle, skipping
+// cycle 0. Unlike Burst and Periodic the two rates are independent, so
+// it expresses one-sided churn: a join flood (flash crowd) or a pure
+// departure wave. Bound it in time by wrapping it in a Compose phase.
+type Flat struct {
+	// JoinRate and LeaveRate are fractions of the current system size.
+	JoinRate  float64
+	LeaveRate float64
+	// Every spaces events Every cycles apart; 0 or 1 means every cycle.
+	Every int
+}
+
+// At implements Schedule.
+func (f Flat) At(cycle, n int) Event {
+	if f.Every > 1 && (cycle == 0 || cycle%f.Every != 0) {
+		return Event{}
+	}
+	return Event{Leave: count(f.LeaveRate, n), Join: count(f.JoinRate, n)}
+}
+
+// String implements fmt.Stringer.
+func (f Flat) String() string {
+	s := fmt.Sprintf("flat(join=%.2g%%,leave=%.2g%%", f.JoinRate*100, f.LeaveRate*100)
+	if f.Every > 1 {
+		s += fmt.Sprintf(" every %d cycles", f.Every)
+	}
+	return s + ")"
+}
+
+// Phase is one segment of a composed schedule: an inner schedule applied
+// for a bounded number of cycles. The inner schedule sees phase-local
+// cycle numbers, so any Schedule can be sequenced without knowing its
+// offset in the run.
+type Phase struct {
+	// Schedule drives churn while the phase is active. nil means no churn.
+	Schedule Schedule
+	// Cycles is the phase duration; a value ≤ 0 makes the phase run
+	// forever (it must be last — later phases are unreachable).
+	Cycles int
+}
+
+// Compose sequences schedules into phases — e.g. a burst followed by
+// steady low churn — so scenario grids can chain regimes without a new
+// Schedule type per combination. After the last bounded phase ends the
+// system is static.
+func Compose(phases ...Phase) Schedule { return composed{phases: phases} }
+
+type composed struct {
+	phases []Phase
+}
+
+// At implements Schedule: it locates the phase containing cycle and
+// delegates with a phase-local cycle number.
+func (c composed) At(cycle, n int) Event {
+	offset := 0
+	for _, p := range c.phases {
+		if p.Cycles <= 0 || cycle < offset+p.Cycles {
+			if p.Schedule == nil {
+				return Event{}
+			}
+			return p.Schedule.At(cycle-offset, n)
+		}
+		offset += p.Cycles
+	}
+	return Event{}
+}
+
+// String implements fmt.Stringer.
+func (c composed) String() string {
+	parts := make([]string, len(c.phases))
+	for i, p := range c.phases {
+		inner := "none"
+		if p.Schedule != nil {
+			inner = p.Schedule.String()
+		}
+		if p.Cycles > 0 {
+			parts[i] = fmt.Sprintf("%s×%d", inner, p.Cycles)
+		} else {
+			parts[i] = inner
+		}
+	}
+	return "compose(" + strings.Join(parts, " then ") + ")"
 }
 
 // count converts a fractional rate to a node count, rounding to nearest

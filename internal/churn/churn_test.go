@@ -77,6 +77,95 @@ func TestPeriodicZeroEvery(t *testing.T) {
 	}
 }
 
+func TestFlatSchedule(t *testing.T) {
+	s := Flat{JoinRate: 0.002, LeaveRate: 0.001}
+	for _, cycle := range []int{0, 1, 57} {
+		e := s.At(cycle, 10000)
+		if e.Join != 20 || e.Leave != 10 {
+			t.Errorf("Flat.At(%d) = %+v, want join=20 leave=10", cycle, e)
+		}
+	}
+	// One-sided flood: joins only.
+	flood := Flat{JoinRate: 0.05}
+	if e := flood.At(3, 1000); e.Join != 50 || e.Leave != 0 {
+		t.Errorf("join flood event = %+v, want join=50 leave=0", e)
+	}
+}
+
+func TestFlatScheduleEvery(t *testing.T) {
+	// With Every set, Flat spaces events like Periodic (and skips cycle 0).
+	s := Flat{JoinRate: 0.001, LeaveRate: 0.001, Every: 10}
+	tests := []struct {
+		cycle     int
+		wantLeave int
+	}{
+		{0, 0},
+		{5, 0},
+		{10, 10},
+		{20, 10},
+	}
+	for _, tt := range tests {
+		e := s.At(tt.cycle, 10000)
+		if e.Leave != tt.wantLeave || e.Join != tt.wantLeave {
+			t.Errorf("Flat.At(%d) = %+v, want leave=join=%d", tt.cycle, e, tt.wantLeave)
+		}
+	}
+}
+
+func TestComposeSequencesPhases(t *testing.T) {
+	// Burst then steady: the paper's Fig. 6(c) regime followed by the
+	// Fig. 6(d) regime, chained without a new Schedule type.
+	s := Compose(
+		Phase{Schedule: Flat{JoinRate: 0.001, LeaveRate: 0.001}, Cycles: 200},
+		Phase{Schedule: Flat{JoinRate: 0.0005, LeaveRate: 0.0005, Every: 10}},
+	)
+	tests := []struct {
+		cycle     int
+		wantLeave int
+	}{
+		{0, 10},   // burst phase, every cycle
+		{199, 10}, // last burst cycle
+		{200, 0},  // steady phase, local cycle 0 → Periodic-style skip
+		{205, 0},  // steady phase, off-beat
+		{210, 5},  // steady phase, local cycle 10
+		{1200, 5}, // unbounded tail phase keeps going
+		{1203, 0}, // …on its beat only
+	}
+	for _, tt := range tests {
+		e := s.At(tt.cycle, 10000)
+		if e.Leave != tt.wantLeave || e.Join != tt.wantLeave {
+			t.Errorf("Compose.At(%d) = %+v, want leave=join=%d", tt.cycle, e, tt.wantLeave)
+		}
+	}
+}
+
+func TestComposeGapAndNilPhases(t *testing.T) {
+	// A nil-schedule phase is an explicit quiet period; cycles past the
+	// last bounded phase are static.
+	s := Compose(
+		Phase{Schedule: nil, Cycles: 100},
+		Phase{Schedule: Flat{LeaveRate: 0.3}, Cycles: 1},
+		Phase{Schedule: nil, Cycles: 50},
+	)
+	for _, tt := range []struct {
+		cycle     int
+		wantLeave int
+	}{
+		{0, 0}, {99, 0}, {100, 3000}, {101, 0}, {150, 0}, {10000, 0},
+	} {
+		if e := s.At(tt.cycle, 10000); e.Leave != tt.wantLeave || e.Join != 0 {
+			t.Errorf("Compose.At(%d) = %+v, want leave=%d join=0", tt.cycle, e, tt.wantLeave)
+		}
+	}
+}
+
+func TestComposeEmpty(t *testing.T) {
+	s := Compose()
+	if e := s.At(5, 1000); e.Leave != 0 || e.Join != 0 {
+		t.Errorf("empty Compose produced churn: %+v", e)
+	}
+}
+
 func TestCountRounding(t *testing.T) {
 	tests := []struct {
 		rate float64
@@ -173,6 +262,8 @@ func TestUniformJoinAttrFollowsDist(t *testing.T) {
 func TestStringers(t *testing.T) {
 	for _, s := range []interface{ String() string }{
 		None{}, Burst{Rate: 0.001, Until: 200}, Periodic{Rate: 0.001, Every: 10},
+		Flat{JoinRate: 0.01, Every: 5},
+		Compose(Phase{Schedule: Burst{Rate: 0.001, Until: 10}, Cycles: 10}, Phase{}),
 		Correlated{}, Uniform{Dist: dist.Uniform{}},
 	} {
 		if s.String() == "" {

@@ -3,6 +3,13 @@
 // table rows) shaped like the corresponding plot; cmd/slicesim renders
 // them and bench_test.go asserts their qualitative shape.
 //
+// The figure experiments are thin wrappers over the scenario registry
+// (internal/scenario): each one looks up its registered figure family,
+// scales and seeds the specs, runs them, and assembles the series the
+// paper plots. The workload definitions themselves — protocol, sizes,
+// distributions, churn regimes — live in exactly one place, the
+// registry, shared with cmd/slicebench and the examples.
+//
 // Paper-scale defaults (n = 10⁴ nodes, 100 slices, 1000 cycles) can be
 // scaled down with Options.Scale for quick runs; the qualitative shape —
 // who wins, where curves cross, which floors exist — is preserved.
@@ -12,10 +19,9 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/gossipkit/slicing/internal/churn"
 	"github.com/gossipkit/slicing/internal/dist"
 	"github.com/gossipkit/slicing/internal/metrics"
-	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/scenario"
 	"github.com/gossipkit/slicing/internal/sim"
 )
 
@@ -44,7 +50,9 @@ func (o Options) scale() (float64, error) {
 	return o.Scale, nil
 }
 
-// scaledInt shrinks a paper-scale quantity, keeping a sane floor.
+// scaledInt shrinks a paper-scale quantity, keeping a sane floor. It
+// remains for the analytic experiments; the figure experiments scale
+// through scenario.Spec.Scaled.
 func scaledInt(v int, scale float64, floor int) int {
 	s := int(float64(v) * scale)
 	if s < floor {
@@ -66,34 +74,57 @@ type Result struct {
 	Note string
 }
 
-// attrDist is the attribute distribution used by the figure experiments.
-// The paper does not prescribe one (the protocols are distribution-free);
-// a uniform spread keeps true slices trivially computable.
+// attrDist is the attribute distribution of the drift extension (the
+// figure experiments take theirs from the scenario registry).
 func attrDist() dist.Source { return dist.Uniform{Lo: 0, Hi: 1000} }
+
+// family runs every spec of a registry scenario at the requested scale
+// under the options' seed, returning the full simulation results keyed
+// by spec name. Specs run sequentially: the figure experiments need the
+// rich per-run series (GDM, unsuccessful swaps) that the sweep runner's
+// summaries omit.
+func family(name string, opts Options) (map[string]*sim.Result, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*sim.Result, len(sc.Specs))
+	for _, spec := range sc.Specs {
+		spec = spec.Scaled(scale)
+		spec.Seed = opts.Seed
+		cfg, err := spec.Config()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cfg, spec.Cycles)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = res
+	}
+	return out, nil
+}
+
+// sdmOf renames a run's SDM series after its curve label.
+func sdmOf(runs map[string]*sim.Result, label string) metrics.Series {
+	s := runs[label].SDM
+	s.Name = label
+	return s
+}
 
 // Fig4a reproduces Figure 4(a): the trajectory of (GDM, SDM) for mod-JK
 // with 10⁴ nodes and 100 slices — GDM reaches 0 while SDM stalls at a
 // positive floor.
 func Fig4a(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig4-disorder", opts)
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{
-		N:         scaledInt(10000, scale, 100),
-		Slices:    scaledInt(100, scale, 10),
-		ViewSize:  20,
-		Protocol:  sim.Ordering,
-		Policy:    ordering.SelectMaxGain,
-		AttrDist:  attrDist(),
-		Seed:      opts.Seed,
-		RecordGDM: true,
-	}
-	cycles := scaledInt(200, scale, 60)
-	res, err := sim.Run(cfg, cycles)
-	if err != nil {
-		return nil, err
-	}
+	res := runs["mod-jk"]
 	return &Result{
 		Name:   "fig4a",
 		XLabel: "cycle",
@@ -107,91 +138,35 @@ func Fig4a(opts Options) (*Result, error) {
 // equally sized slices — mod-JK converges significantly faster; both
 // share the same final floor.
 func Fig4b(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig4-policies", opts)
 	if err != nil {
 		return nil, err
 	}
-	base := sim.Config{
-		N:        scaledInt(10000, scale, 100),
-		Slices:   10,
-		ViewSize: 20,
-		Protocol: sim.Ordering,
-		AttrDist: attrDist(),
-		Seed:     opts.Seed,
-	}
-	cycles := scaledInt(60, scale, 30)
-	jkCfg := base
-	jkCfg.Policy = ordering.SelectRandomMisplaced
-	jk, err := sim.Run(jkCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	modCfg := base
-	modCfg.Policy = ordering.SelectMaxGain
-	mod, err := sim.Run(modCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	jkS := jk.SDM
-	jkS.Name = "jk"
-	modS := mod.SDM
-	modS.Name = "mod-jk"
 	return &Result{
 		Name:   "fig4b",
 		XLabel: "cycle",
-		Series: []metrics.Series{jkS, modS},
+		Series: []metrics.Series{sdmOf(runs, "jk"), sdmOf(runs, "mod-jk")},
 		Note:   "mod-JK's SDM falls faster than JK's; both settle at the same floor.",
 	}, nil
 }
 
 // Fig4c reproduces Figure 4(c): the percentage of unsuccessful swaps for
-// JK and mod-JK under half and full concurrency, reported at cycles 10,
-// 50 and 90 as in the paper.
+// JK and mod-JK under half and full concurrency.
 func Fig4c(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig4-concurrency", opts)
 	if err != nil {
 		return nil, err
 	}
-	cycles := scaledInt(100, scale, 100) // the paper reports up to cycle 90
-	variant := func(policy ordering.Policy, conc float64, name string) (metrics.Series, error) {
-		cfg := sim.Config{
-			N:           scaledInt(10000, scale, 100),
-			Slices:      10,
-			ViewSize:    20,
-			Protocol:    sim.Ordering,
-			Policy:      policy,
-			Concurrency: conc,
-			AttrDist:    attrDist(),
-			Seed:        opts.Seed,
-		}
-		res, err := sim.Run(cfg, cycles)
-		if err != nil {
-			return metrics.Series{}, err
-		}
-		s := res.UnsuccessfulPct
-		s.Name = name
-		return s, nil
-	}
-	jkHalf, err := variant(ordering.SelectRandomMisplaced, 0.5, "jk-half")
-	if err != nil {
-		return nil, err
-	}
-	jkFull, err := variant(ordering.SelectRandomMisplaced, 1, "jk-full")
-	if err != nil {
-		return nil, err
-	}
-	modHalf, err := variant(ordering.SelectMaxGain, 0.5, "mod-jk-half")
-	if err != nil {
-		return nil, err
-	}
-	modFull, err := variant(ordering.SelectMaxGain, 1, "mod-jk-full")
-	if err != nil {
-		return nil, err
+	series := make([]metrics.Series, 0, 4)
+	for _, label := range []string{"jk-half", "jk-full", "mod-jk-half", "mod-jk-full"} {
+		s := runs[label].UnsuccessfulPct
+		s.Name = label
+		series = append(series, s)
 	}
 	return &Result{
 		Name:   "fig4c",
 		XLabel: "cycle",
-		Series: []metrics.Series{jkHalf, jkFull, modHalf, modFull},
+		Series: series,
 		Note: "more concurrency → more unsuccessful swaps; mod-JK wastes more " +
 			"than JK because it concentrates messages on the most misplaced nodes.",
 	}, nil
@@ -201,42 +176,14 @@ func Fig4c(opts Options) (*Result, error) {
 // concurrency vs full concurrency — full concurrency slows convergence
 // only slightly.
 func Fig4d(opts Options) (*Result, error) {
-	scale, err := opts.scale()
-	if err != nil {
-		return nil, err
-	}
-	cycles := scaledInt(100, scale, 50)
-	run := func(conc float64, name string) (metrics.Series, error) {
-		cfg := sim.Config{
-			N:           scaledInt(10000, scale, 100),
-			Slices:      scaledInt(100, scale, 10),
-			ViewSize:    20,
-			Protocol:    sim.Ordering,
-			Policy:      ordering.SelectMaxGain,
-			Concurrency: conc,
-			AttrDist:    attrDist(),
-			Seed:        opts.Seed,
-		}
-		res, err := sim.Run(cfg, cycles)
-		if err != nil {
-			return metrics.Series{}, err
-		}
-		s := res.SDM
-		s.Name = name
-		return s, nil
-	}
-	atomic, err := run(0, "no-concurrency")
-	if err != nil {
-		return nil, err
-	}
-	full, err := run(1, "full-concurrency")
+	runs, err := family("fig4-atomicity", opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Name:   "fig4d",
 		XLabel: "cycle",
-		Series: []metrics.Series{atomic, full},
+		Series: []metrics.Series{sdmOf(runs, "no-concurrency"), sdmOf(runs, "full-concurrency")},
 		Note:   "full concurrency impacts convergence speed only slightly.",
 	}, nil
 }
@@ -246,39 +193,14 @@ func Fig4d(opts Options) (*Result, error) {
 // view size 10) — the ordering SDM is lower-bounded, the ranking SDM
 // keeps decreasing below it.
 func Fig6a(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig6-static", opts)
 	if err != nil {
 		return nil, err
 	}
-	n := scaledInt(10000, scale, 100)
-	slices := scaledInt(100, scale, 10)
-	cycles := scaledInt(1000, scale, 200)
-	ordCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ordering, Policy: ordering.SelectMaxGain,
-		AttrDist: attrDist(), Seed: opts.Seed,
-	}
-	ord, err := sim.Run(ordCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	rankCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ranking,
-		AttrDist: attrDist(), Seed: opts.Seed,
-	}
-	rank, err := sim.Run(rankCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	ordS := ord.SDM
-	ordS.Name = "ordering"
-	rankS := rank.SDM
-	rankS.Name = "ranking"
 	return &Result{
 		Name:   "fig6a",
 		XLabel: "cycle",
-		Series: []metrics.Series{ordS, rankS},
+		Series: []metrics.Series{sdmOf(runs, "ordering"), sdmOf(runs, "ranking")},
 		Note: "the ordering SDM is lower-bounded by the random draw; the ranking " +
 			"SDM keeps improving and ends below it.",
 	}, nil
@@ -288,35 +210,12 @@ func Fig6a(opts Options) (*Result, error) {
 // variant vs over an idealized uniform sampler — the two SDM curves
 // nearly overlap (the paper reports within ±7%).
 func Fig6b(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig6-sampler", opts)
 	if err != nil {
 		return nil, err
 	}
-	n := scaledInt(10000, scale, 100)
-	slices := scaledInt(100, scale, 10)
-	cycles := scaledInt(1000, scale, 200)
-	run := func(mk sim.MembershipKind, name string) (metrics.Series, error) {
-		cfg := sim.Config{
-			N: n, Slices: slices, ViewSize: 10,
-			Protocol: sim.Ranking, Membership: mk,
-			AttrDist: attrDist(), Seed: opts.Seed,
-		}
-		res, err := sim.Run(cfg, cycles)
-		if err != nil {
-			return metrics.Series{}, err
-		}
-		s := res.SDM
-		s.Name = name
-		return s, nil
-	}
-	uniform, err := run(sim.UniformOracle, "sdm-uniform")
-	if err != nil {
-		return nil, err
-	}
-	views, err := run(sim.CyclonViews, "sdm-views")
-	if err != nil {
-		return nil, err
-	}
+	uniform := sdmOf(runs, "sdm-uniform")
+	views := sdmOf(runs, "sdm-views")
 	// Deviation percentage between the two curves, as plotted on the
 	// paper's left axis.
 	dev := metrics.Series{Name: "deviation%"}
@@ -338,44 +237,14 @@ func Fig6b(opts Options) (*Result, error) {
 // — after the burst the ranking algorithm's SDM resumes decreasing while
 // the ordering algorithm's stays stuck.
 func Fig6c(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig6-burst", opts)
 	if err != nil {
 		return nil, err
 	}
-	n := scaledInt(10000, scale, 100)
-	slices := scaledInt(100, scale, 10)
-	cycles := scaledInt(1000, scale, 300)
-	burstEnd := scaledInt(200, scale, 60)
-	schedule := churn.Burst{Rate: 0.001, Until: burstEnd}
-	pattern := churn.Correlated{Spread: 10}
-	ordCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ordering, Policy: ordering.SelectRandomMisplaced,
-		AttrDist: attrDist(), Seed: opts.Seed,
-		Schedule: schedule, Pattern: pattern,
-	}
-	ord, err := sim.Run(ordCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	rankCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ranking,
-		AttrDist: attrDist(), Seed: opts.Seed,
-		Schedule: schedule, Pattern: pattern,
-	}
-	rank, err := sim.Run(rankCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	ordS := ord.SDM
-	ordS.Name = "jk"
-	rankS := rank.SDM
-	rankS.Name = "ranking"
 	return &Result{
 		Name:   "fig6c",
 		XLabel: "cycle",
-		Series: []metrics.Series{rankS, ordS},
+		Series: []metrics.Series{sdmOf(runs, "ranking"), sdmOf(runs, "jk")},
 		Note: "after the churn burst stops the ranking SDM resumes its decrease; " +
 			"the ordering SDM stays stuck (unrecoverable random-value skew).",
 	}, nil
@@ -385,52 +254,16 @@ func Fig6c(opts Options) (*Result, error) {
 // — the ordering SDM starts rising early, the counter-based ranking much
 // later, and the sliding-window ranking resists throughout.
 func Fig6d(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	runs, err := family("fig6-steady", opts)
 	if err != nil {
 		return nil, err
 	}
-	n := scaledInt(10000, scale, 100)
-	slices := scaledInt(100, scale, 10)
-	cycles := scaledInt(1000, scale, 400)
-	schedule := churn.Periodic{Rate: 0.001, Every: 10}
-	pattern := churn.Correlated{Spread: 10}
-	ordCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ordering, Policy: ordering.SelectMaxGain,
-		AttrDist: attrDist(), Seed: opts.Seed,
-		Schedule: schedule, Pattern: pattern,
-	}
-	ord, err := sim.Run(ordCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	rankCfg := sim.Config{
-		N: n, Slices: slices, ViewSize: 10,
-		Protocol: sim.Ranking,
-		AttrDist: attrDist(), Seed: opts.Seed,
-		Schedule: schedule, Pattern: pattern,
-	}
-	rank, err := sim.Run(rankCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	winCfg := rankCfg
-	winCfg.Estimator = sim.WindowEstimator
-	winCfg.WindowSize = scaledInt(10000, scale, 500)
-	win, err := sim.Run(winCfg, cycles)
-	if err != nil {
-		return nil, err
-	}
-	ordS := ord.SDM
-	ordS.Name = "ordering"
-	rankS := rank.SDM
-	rankS.Name = "ranking"
-	winS := win.SDM
-	winS.Name = "sliding-window"
 	return &Result{
 		Name:   "fig6d",
 		XLabel: "cycle",
-		Series: []metrics.Series{ordS, rankS, winS},
+		Series: []metrics.Series{
+			sdmOf(runs, "ordering"), sdmOf(runs, "ranking"), sdmOf(runs, "sliding-window"),
+		},
 		Note: "under sustained correlated churn the ordering SDM rises first, " +
 			"counter-based ranking later; the sliding window prevents the rise.",
 	}, nil

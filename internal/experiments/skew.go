@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
 	"github.com/gossipkit/slicing/internal/metrics"
-	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/scenario"
 	"github.com/gossipkit/slicing/internal/sim"
 )
 
@@ -13,7 +15,30 @@ import (
 // the protocols are rank-based and therefore distribution-free, so a
 // heavy tail must not change the convergence story — and the analytic
 // CDF of each law gives a closed-form reference assignment to compare
-// the simulated population against.
+// the simulated population against. The workload specs come from the
+// scenario registry ("heavytail", "bimodal"); this file adds the
+// closed-form reference the sweep runner does not compute.
+
+// familySpec fetches one named spec of a registry scenario, scaled and
+// seeded for this experiment run.
+func familySpec(scenarioName, specName string, opts Options) (scenario.Spec, error) {
+	scale, err := opts.scale()
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	sc, err := scenario.Lookup(scenarioName)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	for _, spec := range sc.Specs {
+		if spec.Name == specName {
+			spec = spec.Scaled(scale)
+			spec.Seed = opts.Seed
+			return spec, nil
+		}
+	}
+	return scenario.Spec{}, fmt.Errorf("%w: %s/%s", scenario.ErrUnknown, scenarioName, specName)
+}
 
 // analyticVsSimulated steps a fresh engine for the given cycles and
 // records three series: the simulated SDM, the SDM of the closed-form
@@ -71,28 +96,31 @@ func analyticVsSimulated(cfg sim.Config, d dist.Distribution, cycles int) (sdm, 
 // ranks beats plugging the attribute into the true law, because a
 // finite heavy-tailed sample deviates from its asymptotic quantiles.
 func HeavyTail(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	rankSpec, err := familySpec("heavytail", "sdm-simulated", opts)
 	if err != nil {
 		return nil, err
 	}
-	d := dist.Pareto{Xm: 10, Alpha: 1.2}
-	cfg := sim.Config{
-		N:        scaledInt(10000, scale, 100),
-		Slices:   scaledInt(100, scale, 10),
-		ViewSize: 10,
-		Protocol: sim.Ranking,
-		AttrDist: d,
-		Seed:     opts.Seed,
-	}
-	cycles := scaledInt(1000, scale, 200)
-	sdm, analytic, mismatch, err := analyticVsSimulated(cfg, d, cycles)
+	d, err := rankSpec.Attr.Source()
 	if err != nil {
 		return nil, err
 	}
-	ordCfg := cfg
-	ordCfg.Protocol = sim.Ordering
-	ordCfg.Policy = ordering.SelectMaxGain
-	ord, err := sim.Run(ordCfg, cycles)
+	cfg, err := rankSpec.Config()
+	if err != nil {
+		return nil, err
+	}
+	sdm, analytic, mismatch, err := analyticVsSimulated(cfg, d, rankSpec.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	ordSpec, err := familySpec("heavytail", "sdm-ordering", opts)
+	if err != nil {
+		return nil, err
+	}
+	ordCfg, err := ordSpec.Config()
+	if err != nil {
+		return nil, err
+	}
+	ord, err := sim.Run(ordCfg, ordSpec.Cycles)
 	if err != nil {
 		return nil, err
 	}
@@ -115,31 +143,32 @@ func HeavyTail(opts Options) (*Result, error) {
 // curves must track each other, the §5.3 distribution-freeness claim
 // made quantitative.
 func Bimodal(opts Options) (*Result, error) {
-	scale, err := opts.scale()
+	mixSpec, err := familySpec("bimodal", "sdm-bimodal", opts)
 	if err != nil {
 		return nil, err
 	}
-	mix := dist.Mixture{Components: []dist.Weighted{
-		{Weight: 0.5, Dist: dist.Normal{Mean: 50, Stddev: 5}},
-		{Weight: 0.5, Dist: dist.Normal{Mean: 500, Stddev: 20}},
-	}}
-	cfg := sim.Config{
-		N:        scaledInt(10000, scale, 100),
-		Slices:   scaledInt(100, scale, 10),
-		ViewSize: 10,
-		Protocol: sim.Ranking,
-		AttrDist: mix,
-		Seed:     opts.Seed,
+	mix, err := mixSpec.Attr.Source()
+	if err != nil {
+		return nil, err
 	}
-	cycles := scaledInt(1000, scale, 200)
-	bimodal, analytic, mismatch, err := analyticVsSimulated(cfg, mix, cycles)
+	cfg, err := mixSpec.Config()
+	if err != nil {
+		return nil, err
+	}
+	bimodal, analytic, mismatch, err := analyticVsSimulated(cfg, mix, mixSpec.Cycles)
 	if err != nil {
 		return nil, err
 	}
 	bimodal.Name = "sdm-bimodal"
-	uniCfg := cfg
-	uniCfg.AttrDist = dist.Uniform{Lo: 0, Hi: 1000}
-	uni, err := sim.Run(uniCfg, cycles)
+	uniSpec, err := familySpec("bimodal", "sdm-uniform", opts)
+	if err != nil {
+		return nil, err
+	}
+	uniCfg, err := uniSpec.Config()
+	if err != nil {
+		return nil, err
+	}
+	uni, err := sim.Run(uniCfg, uniSpec.Cycles)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,49 @@ type Protocol interface {
 // supplies it so that gossip always advertises up-to-date coordinates.
 type SelfEntryFunc func() view.Entry
 
+// Scratchable is implemented by protocols that can reuse their payload
+// and envelope buffers across calls. EnableScratch is safe ONLY for a
+// single-threaded caller that fully consumes every returned envelope —
+// including the entry slices inside its messages — before the next call
+// on any instance in the delivery chain. The cycle simulator qualifies
+// (exchanges complete synchronously within a cycle); the live runtime
+// must NOT enable it, because its transports hand message payloads to
+// delivery goroutines that outlive the call.
+type Scratchable interface {
+	EnableScratch()
+}
+
+// scratch holds the reusable buffers behind EnableScratch. With enabled
+// false every helper allocates fresh slices, preserving the safe default.
+type scratch struct {
+	enabled    bool
+	payloadBuf []view.Entry
+	replyBuf   []view.Entry
+	envBuf     []proto.Envelope
+}
+
+func (s *scratch) payload(capacity int) []view.Entry {
+	if s.enabled {
+		return s.payloadBuf[:0]
+	}
+	return make([]view.Entry, 0, capacity+1)
+}
+
+func (s *scratch) reply(capacity int) []view.Entry {
+	if s.enabled {
+		return s.replyBuf[:0]
+	}
+	return make([]view.Entry, 0, capacity+1)
+}
+
+func (s *scratch) envelope(env proto.Envelope) []proto.Envelope {
+	if s.enabled {
+		s.envBuf = append(s.envBuf[:0], env)
+		return s.envBuf
+	}
+	return []proto.Envelope{env}
+}
+
 // Cyclon is the variant of the Cyclon protocol described in §4.3.2 and
 // Fig. 3: each period the node ages its view, selects its oldest
 // neighbor j, and sends its whole view (minus j's entry, plus a fresh
@@ -55,6 +98,7 @@ type Cyclon struct {
 	self      core.ID
 	selfEntry SelfEntryFunc
 	v         *view.View
+	scratch   scratch
 }
 
 var _ Protocol = (*Cyclon)(nil)
@@ -65,6 +109,9 @@ func NewCyclon(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Cyclon {
 	return &Cyclon{self: self, selfEntry: selfEntry, v: v}
 }
 
+// EnableScratch implements Scratchable; see that interface's contract.
+func (c *Cyclon) EnableScratch() { c.scratch.enabled = true }
+
 // Tick implements Protocol (Fig. 3, active thread, lines 1-3).
 func (c *Cyclon) Tick(_ *rand.Rand) []proto.Envelope {
 	c.v.AgeAll()
@@ -72,26 +119,30 @@ func (c *Cyclon) Tick(_ *rand.Rand) []proto.Envelope {
 	if !ok {
 		return nil
 	}
-	payload := make([]view.Entry, 0, c.v.Len())
-	c.v.ForEach(func(e view.Entry) {
-		if e.ID != oldest.ID {
-			payload = append(payload, e)
+	payload := c.v.AppendEntries(c.scratch.payload(c.v.Len()))
+	for i := range payload {
+		if payload[i].ID == oldest.ID {
+			payload = append(payload[:i], payload[i+1:]...)
+			break
 		}
-	})
+	}
 	payload = append(payload, c.selfEntry())
-	return []proto.Envelope{{To: oldest.ID, Msg: proto.ViewRequest{Entries: payload}}}
+	c.scratch.payloadBuf = payload
+	return c.scratch.envelope(proto.Envelope{To: oldest.ID, Msg: proto.ViewRequest{Entries: payload}})
 }
 
 // HandleRequest implements Protocol (Fig. 3, passive thread, lines 7-10).
 func (c *Cyclon) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
-	reply := make([]view.Entry, 0, c.v.Len())
-	c.v.ForEach(func(e view.Entry) {
-		if e.ID != from {
-			reply = append(reply, e)
+	reply := c.v.AppendEntries(c.scratch.reply(c.v.Len()))
+	for i := range reply {
+		if reply[i].ID == from {
+			reply = append(reply[:i], reply[i+1:]...)
+			break
 		}
-	})
+	}
+	c.scratch.replyBuf = reply
 	c.v.Merge(req.Entries, c.self)
-	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
+	return c.scratch.envelope(proto.Envelope{To: from, Msg: proto.ViewReply{Entries: reply}})
 }
 
 // HandleReply implements Protocol (Fig. 3, active thread, lines 4-6).
@@ -116,6 +167,7 @@ type Newscast struct {
 	self      core.ID
 	selfEntry SelfEntryFunc
 	v         *view.View
+	scratch   scratch
 }
 
 var _ Protocol = (*Newscast)(nil)
@@ -125,6 +177,9 @@ func NewNewscast(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Newscast 
 	return &Newscast{self: self, selfEntry: selfEntry, v: v}
 }
 
+// EnableScratch implements Scratchable; see that interface's contract.
+func (n *Newscast) EnableScratch() { n.scratch.enabled = true }
+
 // Tick implements Protocol.
 func (n *Newscast) Tick(rng *rand.Rand) []proto.Envelope {
 	n.v.AgeAll()
@@ -132,15 +187,17 @@ func (n *Newscast) Tick(rng *rand.Rand) []proto.Envelope {
 	if !ok {
 		return nil
 	}
-	payload := append(n.v.Entries(), n.selfEntry())
-	return []proto.Envelope{{To: target.ID, Msg: proto.ViewRequest{Entries: payload}}}
+	payload := append(n.v.AppendEntries(n.scratch.payload(n.v.Len())), n.selfEntry())
+	n.scratch.payloadBuf = payload
+	return n.scratch.envelope(proto.Envelope{To: target.ID, Msg: proto.ViewRequest{Entries: payload}})
 }
 
 // HandleRequest implements Protocol.
 func (n *Newscast) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
-	reply := append(n.v.Entries(), n.selfEntry())
+	reply := append(n.v.AppendEntries(n.scratch.reply(n.v.Len())), n.selfEntry())
+	n.scratch.replyBuf = reply
 	n.v.MergeFresh(req.Entries, n.self)
-	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
+	return n.scratch.envelope(proto.Envelope{To: from, Msg: proto.ViewReply{Entries: reply}})
 }
 
 // HandleReply implements Protocol.
@@ -182,9 +239,7 @@ func NewOracle(self core.ID, sample SampleFunc, v *view.View) *Oracle {
 // uniform samples.
 func (o *Oracle) Tick(rng *rand.Rand) []proto.Envelope {
 	fresh := o.sample(rng, o.v.Cap(), o.self)
-	for _, id := range o.v.IDs() {
-		o.v.Remove(id)
-	}
+	o.v.Clear()
 	for _, e := range fresh {
 		if e.ID != o.self {
 			o.v.Add(e)

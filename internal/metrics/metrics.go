@@ -29,6 +29,98 @@ type NodeState struct {
 	SliceIndex int
 }
 
+// Scratch computes the disorder measures through reusable sort buffers.
+// The simulator records SDM (and optionally GDM) every cycle; routing
+// those computations through one Scratch makes them allocation-free at
+// steady state. The zero value is ready to use. Not safe for concurrent
+// use.
+type Scratch struct {
+	idx        []int
+	alpha, rho []int
+	states     []NodeState
+	byR        bool
+}
+
+// Len implements sort.Interface over the index permutation.
+func (sc *Scratch) Len() int { return len(sc.idx) }
+
+// Swap implements sort.Interface.
+func (sc *Scratch) Swap(x, y int) { sc.idx[x], sc.idx[y] = sc.idx[y], sc.idx[x] }
+
+// Less implements sort.Interface: the attribute-based total order, or —
+// when ranking by coordinate — (R, ID) order.
+func (sc *Scratch) Less(x, y int) bool {
+	sx, sy := sc.states[sc.idx[x]], sc.states[sc.idx[y]]
+	if sc.byR {
+		if sx.R != sy.R {
+			return sx.R < sy.R
+		}
+		return sx.Member.ID < sy.Member.ID
+	}
+	return core.Less(sx.Member, sy.Member)
+}
+
+// sortIdx (re)fills the index permutation and stably sorts it in the
+// requested order.
+func (sc *Scratch) sortIdx(states []NodeState, byR bool) {
+	sc.idx = sc.idx[:0]
+	for i := range states {
+		sc.idx = append(sc.idx, i)
+	}
+	sc.states, sc.byR = states, byR
+	sort.Stable(sc)
+	sc.states = nil // do not retain the caller's slice between calls
+}
+
+// GDM computes the global disorder measure; see the package-level GDM.
+func (sc *Scratch) GDM(states []NodeState) float64 {
+	n := len(states)
+	if n == 0 {
+		return 0
+	}
+	sc.alpha = growInts(sc.alpha, n) // fully overwritten below
+	sc.rho = growInts(sc.rho, n)
+	sc.sortIdx(states, false)
+	for pos, i := range sc.idx {
+		sc.alpha[i] = pos + 1
+	}
+	sc.sortIdx(states, true)
+	for pos, i := range sc.idx {
+		sc.rho[i] = pos + 1
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := float64(sc.alpha[i] - sc.rho[i])
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// SDM computes the slice disorder measure; see the package-level SDM.
+func (sc *Scratch) SDM(states []NodeState, part core.Partition) float64 {
+	n := len(states)
+	if n == 0 {
+		return 0
+	}
+	sc.sortIdx(states, false)
+	sum := 0.0
+	for pos, i := range sc.idx {
+		trueRank := float64(pos+1) / float64(n)
+		actual := part.Index(trueRank)
+		sum += part.SliceDistance(actual, states[i].SliceIndex)
+	}
+	return sum
+}
+
+// growInts returns buf resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite every slot.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
 // GDM returns the global disorder measure (§4.2):
 //
 //	GDM(t) = (1/n) Σ_i (α_i − ρ_i)²
@@ -37,41 +129,8 @@ type NodeState struct {
 // rank in the random-value sequence (ties in both orders broken by
 // identifier). An empty system has zero disorder.
 func GDM(states []NodeState) float64 {
-	n := len(states)
-	if n == 0 {
-		return 0
-	}
-	alpha := make([]int, n) // alpha[i] = attribute rank of states[i], 1-based
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		return core.Less(states[idx[x]].Member, states[idx[y]].Member)
-	})
-	for pos, i := range idx {
-		alpha[i] = pos + 1
-	}
-	rho := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		sx, sy := states[idx[x]], states[idx[y]]
-		if sx.R != sy.R {
-			return sx.R < sy.R
-		}
-		return sx.Member.ID < sy.Member.ID
-	})
-	for pos, i := range idx {
-		rho[i] = pos + 1
-	}
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		d := float64(alpha[i] - rho[i])
-		sum += d * d
-	}
-	return sum / float64(n)
+	var sc Scratch
+	return sc.GDM(states)
 }
 
 // SDM returns the slice disorder measure (§4.4):
@@ -82,24 +141,8 @@ func GDM(states []NodeState) float64 {
 // normalized rank α_i/n — and (l̂_i,û_i] the slice it believes it belongs
 // to. For equal-width slices each term is the absolute index distance.
 func SDM(states []NodeState, part core.Partition) float64 {
-	n := len(states)
-	if n == 0 {
-		return 0
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		return core.Less(states[idx[x]].Member, states[idx[y]].Member)
-	})
-	sum := 0.0
-	for pos, i := range idx {
-		trueRank := float64(pos+1) / float64(n)
-		actual := part.Index(trueRank)
-		sum += part.SliceDistance(actual, states[i].SliceIndex)
-	}
-	return sum
+	var sc Scratch
+	return sc.SDM(states, part)
 }
 
 // MisassignedFraction returns the fraction of nodes whose believed slice

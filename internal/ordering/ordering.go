@@ -91,6 +91,14 @@ type Node struct {
 	policy Policy
 	v      *view.View
 	stats  Stats
+
+	// Reusable per-node buffers for the per-tick view snapshot and the
+	// local-sequence computation. A node is single-threaded (the runtime
+	// serializes it behind a mutex, the simulator runs one goroutine), and
+	// nothing below retains these across calls, so reuse is safe.
+	scratch []view.Entry
+	seq     seqScratch
+	envBuf  []proto.Envelope
 }
 
 var _ proto.Node = (*Node)(nil)
@@ -168,7 +176,8 @@ func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
 		return nil
 	}
 	n.stats.ReqSent++
-	return []proto.Envelope{{To: target, Msg: proto.SwapRequest{R: selfR, Attr: n.attr}}}
+	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: target, Msg: proto.SwapRequest{R: selfR, Attr: n.attr}})
+	return n.envBuf
 }
 
 // neighborCoordinate resolves a neighbor's random value through the
@@ -183,7 +192,14 @@ func neighborCoordinate(state proto.StateReader, e view.Entry) float64 {
 }
 
 func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng *rand.Rand) (core.ID, bool) {
-	entries := n.v.Entries()
+	if n.policy == SelectMaxGain {
+		// localSequences takes (and placeholder-filters) its own view
+		// snapshot; snapshotting here too would copy the view twice per
+		// tick on the paper's default policy.
+		return n.selectMaxGain(selfR, state)
+	}
+	n.scratch = n.v.AppendEntries(n.scratch[:0])
+	entries := n.scratch
 	// Placeholder entries carry no usable coordinates; they are gossip
 	// contacts for the membership layer only.
 	real := entries[:0]
@@ -210,8 +226,6 @@ func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng *rand.R
 			return 0, false
 		}
 		return misplaced[rng.Intn(len(misplaced))].ID, true
-	case SelectMaxGain:
-		return n.selectMaxGain(selfR, state)
 	default:
 		return 0, false
 	}
@@ -253,27 +267,46 @@ type localSeq struct {
 	size   int // c+1 in the paper's notation
 }
 
+// seqScratch holds the reusable buffers of localSequences. It doubles as
+// the sort.Interface over idx so the two stable sorts run without the
+// closure and swapper allocations of sort.SliceStable.
+type seqScratch struct {
+	members []localMember
+	idx     []int
+	byR     bool // false: (attr, id) order; true: (r, id) order
+}
+
+func (s *seqScratch) Len() int      { return len(s.idx) }
+func (s *seqScratch) Swap(x, y int) { s.idx[x], s.idx[y] = s.idx[y], s.idx[x] }
+func (s *seqScratch) Less(x, y int) bool {
+	mx, my := s.members[s.idx[x]], s.members[s.idx[y]]
+	if s.byR {
+		if mx.r != my.r {
+			return mx.r < my.r
+		}
+		return mx.id < my.id
+	}
+	return core.Less(core.Member{ID: mx.id, Attr: mx.attr}, core.Member{ID: my.id, Attr: my.attr})
+}
+
 func (n *Node) localSequences(selfR float64, state proto.StateReader) localSeq {
-	entries := n.v.Entries()
-	members := make([]localMember, 0, len(entries)+1)
-	members = append(members, localMember{id: n.id, attr: n.attr, r: selfR})
-	for _, e := range entries {
+	n.scratch = n.v.AppendEntries(n.scratch[:0])
+	members := append(n.seq.members[:0], localMember{id: n.id, attr: n.attr, r: selfR})
+	for _, e := range n.scratch {
 		if e.Placeholder() {
 			continue
 		}
 		members = append(members, localMember{id: e.ID, attr: e.Attr, r: neighborCoordinate(state, e)})
 	}
+	n.seq.members = members
 	// ℓα: order by (attr, id) — the attribute-based total order.
-	idx := make([]int, len(members))
-	for i := range idx {
-		idx[i] = i
+	idx := n.seq.idx[:0]
+	for i := range members {
+		idx = append(idx, i)
 	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		return core.Less(
-			core.Member{ID: members[idx[x]].id, Attr: members[idx[x]].attr},
-			core.Member{ID: members[idx[y]].id, Attr: members[idx[y]].attr},
-		)
-	})
+	n.seq.idx = idx
+	n.seq.byR = false
+	sort.Stable(&n.seq)
 	for pos, i := range idx {
 		members[i].la = pos
 	}
@@ -281,13 +314,8 @@ func (n *Node) localSequences(selfR float64, state proto.StateReader) localSeq {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(x, y int) bool {
-		mx, my := members[idx[x]], members[idx[y]]
-		if mx.r != my.r {
-			return mx.r < my.r
-		}
-		return mx.id < my.id
-	})
+	n.seq.byR = true
+	sort.Stable(&n.seq)
 	for pos, i := range idx {
 		members[i].lr = pos
 	}
@@ -312,10 +340,12 @@ func (n *Node) LDM(state proto.StateReader) float64 {
 	}
 	local := n.localSequences(selfR, state)
 	sum := 0.0
-	for _, m := range append(local.others, local.self) {
+	for _, m := range local.others {
 		d := float64(m.la - m.lr)
 		sum += d * d
 	}
+	d := float64(local.self.la - local.self.lr)
+	sum += d * d
 	return sum / float64(local.size)
 }
 
@@ -348,7 +378,8 @@ func (n *Node) handleSwapRequest(from core.ID, req proto.SwapRequest) []proto.En
 		// moved on: an unsuccessful swap (§4.5.2).
 		n.stats.SwapFailedAtReceiver++
 	}
-	return []proto.Envelope{{To: from, Msg: reply}}
+	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: reply})
+	return n.envBuf
 }
 
 // handleSwapReply applies the initiator side: refresh the view's record

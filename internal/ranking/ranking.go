@@ -39,6 +39,14 @@ type Node struct {
 	// a slice boundary (Fig. 5 lines 8-10). The paper does; disabling
 	// it (two random targets) is an ablation.
 	boundaryBias bool
+
+	// Reusable per-tick buffers (a node is single-threaded; neither
+	// slice is retained by callers beyond the consuming call).
+	scratch []view.Entry
+	envBuf  []proto.Envelope
+	// updMsg is the node's UPD message, boxed once: the attribute value
+	// it carries never changes (§3.1 assumes static attributes).
+	updMsg proto.Message
 }
 
 // Stats counts protocol events.
@@ -86,6 +94,7 @@ func NewNode(cfg Config) (*Node, error) {
 		v:            cfg.View,
 		scanView:     !cfg.DisableViewScan,
 		boundaryBias: !cfg.DisableBoundaryBias,
+		updMsg:       proto.RankUpdate{Attr: cfg.Attr},
 	}, nil
 }
 
@@ -128,7 +137,8 @@ func (n *Node) lower(m core.Member) bool {
 // returned envelopes carry UPD messages for the boundary-closest
 // neighbor j1 and a random neighbor j2.
 func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
-	entries := n.v.Entries()
+	n.scratch = n.v.AppendEntries(n.scratch[:0])
+	entries := n.scratch
 	// Placeholder entries are contact addresses, not attribute samples;
 	// they are neither observed nor targeted.
 	real := entries[:0]
@@ -147,7 +157,7 @@ func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
 	if len(entries) == 0 {
 		return nil
 	}
-	envs := make([]proto.Envelope, 0, 2)
+	envs := n.envBuf[:0]
 	// j1: the neighbor whose rank estimate is closest to its nearest
 	// slice boundary (Fig. 5 lines 8-10). Estimates resolve through the
 	// state reader so the simulator can model freshness; a live node
@@ -163,12 +173,13 @@ func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
 	} else {
 		j1 = entries[rng.Intn(len(entries))]
 	}
-	envs = append(envs, proto.Envelope{To: j1.ID, Msg: proto.RankUpdate{Attr: n.attr}})
+	envs = append(envs, proto.Envelope{To: j1.ID, Msg: n.updMsg})
 	n.stats.UpdatesSent++
 	// j2: a uniformly random neighbor (Fig. 5 line 12).
 	j2 := entries[rng.Intn(len(entries))]
-	envs = append(envs, proto.Envelope{To: j2.ID, Msg: proto.RankUpdate{Attr: n.attr}})
+	envs = append(envs, proto.Envelope{To: j2.ID, Msg: n.updMsg})
 	n.stats.UpdatesSent++
+	n.envBuf = envs
 	return envs
 }
 

@@ -310,7 +310,10 @@ func (n *Node) tick() {
 	if len(memEnvs) > 0 {
 		n.pendingView = memEnvs[0].To
 	}
-	slEnvs := n.slicer.Tick(n.state, n.rng)
+	// The slicer reuses its envelope buffer across calls, so the slice
+	// must be copied before the lock is released: the passive thread may
+	// call into the slicer (and overwrite the buffer) while we send.
+	slEnvs := append([]proto.Envelope(nil), n.slicer.Tick(n.state, n.rng)...)
 	id := n.slicer.ID()
 	notify := n.notifySliceChange()
 	n.mu.Unlock()
@@ -348,7 +351,9 @@ func (n *Node) handle(from core.ID, msg proto.Message) {
 			n.pendingView = 0
 		}
 	default:
-		replies = n.slicer.Handle(from, msg, n.rng)
+		// Copy: the slicer's envelope buffer is reused on its next call,
+		// which may happen as soon as the lock is released below.
+		replies = append([]proto.Envelope(nil), n.slicer.Handle(from, msg, n.rng)...)
 	}
 	id := n.slicer.ID()
 	notify := n.notifySliceChange()

@@ -1,0 +1,377 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scenario is a named family of specs reproducing one figure (or one
+// extension workload): each spec is one curve of the plot.
+type Scenario struct {
+	// Name is the registry key (e.g. "fig6-burst").
+	Name string `json:"name"`
+	// Figure names the paper figure the family reproduces; empty for
+	// extension scenarios.
+	Figure string `json:"figure,omitempty"`
+	// Description summarizes the workload and what to look for.
+	Description string `json:"description"`
+	// Specs hold one entry per curve, at paper scale.
+	Specs []Spec `json:"specs"`
+}
+
+// uniformAttr is the default attribute law of the figure scenarios: the
+// protocols are distribution-free, and a uniform spread keeps true
+// slices trivially computable.
+func uniformAttr() DistSpec { return DistSpec{Kind: "uniform", Lo: 0, Hi: 1000} }
+
+// ErrUnknown is returned for unregistered scenario names.
+var ErrUnknown = errors.New("scenario: unknown scenario")
+
+// registry holds the built-in scenarios in presentation order.
+var registry = []Scenario{
+	{
+		Name:        "fig4-disorder",
+		Figure:      "Fig. 4(a)",
+		Description: "mod-JK global vs slice disorder: GDM reaches 0 while SDM floors above it",
+		Specs: []Spec{{
+			Name: "mod-jk", Protocol: ProtoOrdering, Policy: PolicyModJK,
+			N: 10000, Slices: 100, ViewSize: 20, Cycles: 200, RecordGDM: true,
+			Attr: uniformAttr(), MinCycles: 60, MinSlices: 10,
+		}},
+	},
+	{
+		Name:        "fig4-policies",
+		Figure:      "Fig. 4(b)",
+		Description: "JK vs mod-JK convergence over 10 slices: mod-JK is faster to the same floor",
+		Specs: []Spec{
+			{Name: "jk", Protocol: ProtoOrdering, Policy: PolicyJK,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 60, Attr: uniformAttr(), MinCycles: 30},
+			{Name: "mod-jk", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 60, Attr: uniformAttr(), MinCycles: 30},
+		},
+	},
+	{
+		Name:        "fig4-concurrency",
+		Figure:      "Fig. 4(c)",
+		Description: "unsuccessful swaps under half and full concurrency, JK vs mod-JK",
+		Specs: []Spec{
+			{Name: "jk-half", Protocol: ProtoOrdering, Policy: PolicyJK, Concurrency: 0.5,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinCycles: 100},
+			{Name: "jk-full", Protocol: ProtoOrdering, Policy: PolicyJK, Concurrency: 1,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinCycles: 100},
+			{Name: "mod-jk-half", Protocol: ProtoOrdering, Policy: PolicyModJK, Concurrency: 0.5,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinCycles: 100},
+			{Name: "mod-jk-full", Protocol: ProtoOrdering, Policy: PolicyModJK, Concurrency: 1,
+				N: 10000, Slices: 10, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinCycles: 100},
+		},
+	},
+	{
+		Name:        "fig4-atomicity",
+		Figure:      "Fig. 4(d)",
+		Description: "mod-JK convergence with atomic vs fully concurrent exchanges",
+		Specs: []Spec{
+			{Name: "no-concurrency", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinSlices: 10},
+			{Name: "full-concurrency", Protocol: ProtoOrdering, Policy: PolicyModJK, Concurrency: 1,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 100, Attr: uniformAttr(), MinSlices: 10},
+		},
+	},
+	{
+		Name:        "fig6-static",
+		Figure:      "Fig. 6(a)",
+		Description: "ordering vs ranking in a static system: ranking ends below the ordering floor",
+		Specs: []Spec{
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				MinCycles: 200, MinSlices: 10},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				MinCycles: 200, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "fig6-sampler",
+		Figure:      "Fig. 6(b)",
+		Description: "ranking over the Cyclon variant vs an idealized uniform sampler: curves overlap",
+		Specs: []Spec{
+			{Name: "sdm-uniform", Protocol: ProtoRanking, Membership: MemUniform,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				MinCycles: 200, MinSlices: 10},
+			{Name: "sdm-views", Protocol: ProtoRanking, Membership: MemCyclon,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				MinCycles: 200, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "fig6-burst",
+		Figure:      "Fig. 6(c)",
+		Description: "correlated churn burst (0.1%/cycle for 200 cycles): ranking recovers, ordering stays stuck",
+		Specs: []Spec{
+			{Name: "jk", Protocol: ProtoOrdering, Policy: PolicyJK,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				Churn: &ChurnSpec{
+					Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001, Cycles: 200}},
+					Pattern: PatternSpec{Kind: PatternCorrelated, Spread: 10},
+				},
+				MinCycles: 300, MinSlices: 10},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				Churn: &ChurnSpec{
+					Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001, Cycles: 200}},
+					Pattern: PatternSpec{Kind: PatternCorrelated, Spread: 10},
+				},
+				MinCycles: 300, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "fig6-steady",
+		Figure:      "Fig. 6(d)",
+		Description: "low steady correlated churn (0.1% every 10 cycles): only the sliding window resists",
+		Specs: []Spec{
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				Churn:     steadyChurn(),
+				MinCycles: 400, MinSlices: 10},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				Churn:     steadyChurn(),
+				MinCycles: 400, MinSlices: 10},
+			{Name: "sliding-window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 10000,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				Churn:     steadyChurn(),
+				MinCycles: 400, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "heavytail",
+		Description: "extension: Pareto(α=1.2) attributes — rank estimation is distribution-free",
+		Specs: []Spec{
+			{Name: "sdm-simulated", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000,
+				Attr:      DistSpec{Kind: "pareto", Xm: 10, Alpha: 1.2},
+				MinCycles: 200, MinSlices: 10},
+			{Name: "sdm-ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000,
+				Attr:      DistSpec{Kind: "pareto", Xm: 10, Alpha: 1.2},
+				MinCycles: 200, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "bimodal",
+		Description: "extension: two-mode capability mixture vs uniform baseline — curves must track",
+		Specs: []Spec{
+			{Name: "sdm-bimodal", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000,
+				Attr: DistSpec{Kind: "mixture", Components: []WeightedDist{
+					{Weight: 0.5, Dist: DistSpec{Kind: "normal", Mean: 50, Stddev: 5}},
+					{Weight: 0.5, Dist: DistSpec{Kind: "normal", Mean: 500, Stddev: 20}},
+				}},
+				MinCycles: 200, MinSlices: 10},
+			{Name: "sdm-uniform", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 10, Cycles: 1000, Attr: uniformAttr(),
+				MinCycles: 200, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "flash-crowd",
+		Description: "extension: a quiet system hit by a 5%/cycle join flood for 20 cycles, then quiet again — the sliding window re-converges faster than the counter",
+		Specs: []Spec{
+			{Name: "counter", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 600, Attr: uniformAttr(),
+				Churn:     flashCrowdChurn(),
+				MinCycles: 150, MinSlices: 10},
+			{Name: "sliding-window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 10000,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 600, Attr: uniformAttr(),
+				Churn:     flashCrowdChurn(),
+				MinCycles: 150, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "mass-departure",
+		Description: "extension: 25% of the lowest-attribute nodes vanish at once (correlated mass exit) — rank estimates must re-center",
+		Specs: []Spec{
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 600, Attr: uniformAttr(),
+				Churn:     massDepartureChurn(),
+				MinCycles: 150, MinSlices: 10},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 600, Attr: uniformAttr(),
+				Churn:     massDepartureChurn(),
+				MinCycles: 150, MinSlices: 10},
+			{Name: "sliding-window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 10000,
+				N: 10000, Slices: 100, ViewSize: 20, Cycles: 600, Attr: uniformAttr(),
+				Churn:     massDepartureChurn(),
+				MinCycles: 150, MinSlices: 10},
+		},
+	},
+	{
+		Name:        "slice-oscillation",
+		Description: "extension: alternating join/leave waves oscillate the population across the top-decile boundary — nodes near the boundary flap between slices",
+		Specs: []Spec{
+			{Name: "counter", Protocol: ProtoRanking, SliceBounds: []float64{0.9},
+				N: 10000, ViewSize: 20, Cycles: 400, Attr: uniformAttr(),
+				Churn:     oscillationChurn(),
+				MinCycles: 100},
+			{Name: "sliding-window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 10000,
+				SliceBounds: []float64{0.9},
+				N:           10000, ViewSize: 20, Cycles: 400, Attr: uniformAttr(),
+				Churn:     oscillationChurn(),
+				MinCycles: 100},
+		},
+	},
+	{
+		Name:        "quickstart",
+		Description: "the README walk-through: 2000 nodes, 10 slices, ranking protocol",
+		Specs: []Spec{{
+			Name: "ranking", Protocol: ProtoRanking,
+			N: 2000, Slices: 10, ViewSize: 20, Cycles: 150, Seed: 42,
+			Attr: uniformAttr(),
+		}},
+	},
+	{
+		Name:        "churnstorm",
+		Description: "uptime-correlated steady churn over exponential session times (examples/churnstorm)",
+		Specs: []Spec{
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 1000, Slices: 10, ViewSize: 15, Cycles: 600, Seed: 99,
+				Attr:      DistSpec{Kind: "exponential", Mean: 3600},
+				Churn:     uptimeChurn(),
+				MinCycles: 150},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 1000, Slices: 10, ViewSize: 15, Cycles: 600, Seed: 99,
+				Attr:      DistSpec{Kind: "exponential", Mean: 3600},
+				Churn:     uptimeChurn(),
+				MinCycles: 150},
+			{Name: "sliding-window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 3000,
+				N: 1000, Slices: 10, ViewSize: 15, Cycles: 600, Seed: 99,
+				Attr:      DistSpec{Kind: "exponential", Mean: 3600},
+				Churn:     uptimeChurn(),
+				MinCycles: 150},
+		},
+	},
+	{
+		Name:        "superpeers",
+		Description: "the paper's motivating workload: Pareto bandwidth, top 10% form the super-peer slice (examples/resourceallocation)",
+		Specs: []Spec{{
+			Name: "ranking", Protocol: ProtoRanking, SliceBounds: []float64{0.9},
+			N: 300, ViewSize: 15, Cycles: 200, Seed: 7,
+			Attr: DistSpec{Kind: "pareto", Xm: 10, Alpha: 1.5},
+			MinN: 50,
+		}},
+	},
+	{
+		Name:        "livecluster",
+		Description: "the 16-node TCP demo's parameters, runnable in simulation (examples/livecluster)",
+		Specs: []Spec{{
+			Name: "ranking", Protocol: ProtoRanking,
+			N: 16, Slices: 4, ViewSize: 6, Cycles: 80, Seed: 1,
+			Attr: uniformAttr(), MinN: 16, MinCycles: 80,
+		}},
+	},
+}
+
+// steadyChurn is Fig. 6(d)'s regime: 0.1% every 10 cycles, correlated.
+func steadyChurn() *ChurnSpec {
+	return &ChurnSpec{
+		Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001, Every: 10}},
+		Pattern: PatternSpec{Kind: PatternCorrelated, Spread: 10},
+	}
+}
+
+// flashCrowdChurn is a quiet period, a 20-cycle 5%/cycle join flood,
+// then quiet for the rest of the run.
+func flashCrowdChurn() *ChurnSpec {
+	return &ChurnSpec{
+		Phases: []ChurnPhase{
+			{Cycles: 100},
+			{Join: 0.05, Cycles: 20},
+			{},
+		},
+		Pattern: PatternSpec{Kind: PatternUniform},
+	}
+}
+
+// massDepartureChurn drops a quarter of the population in one cycle,
+// correlated with the attribute (the lowest values leave).
+func massDepartureChurn() *ChurnSpec {
+	return &ChurnSpec{
+		Phases: []ChurnPhase{
+			{Cycles: 150},
+			{Leave: 0.25, Cycles: 1},
+			{},
+		},
+		Pattern: PatternSpec{Kind: PatternCorrelated, Spread: 10},
+	}
+}
+
+// oscillationChurn alternates 2%/cycle join and leave waves three times,
+// swinging the population (and every rank) across the slice boundary.
+func oscillationChurn() *ChurnSpec {
+	phases := make([]ChurnPhase, 0, 7)
+	for i := 0; i < 3; i++ {
+		phases = append(phases,
+			ChurnPhase{Join: 0.02, Cycles: 25},
+			ChurnPhase{Leave: 0.02, Cycles: 25},
+		)
+	}
+	phases = append(phases, ChurnPhase{})
+	return &ChurnSpec{
+		Phases:  phases,
+		Pattern: PatternSpec{Kind: PatternUniform},
+	}
+}
+
+// uptimeChurn is the churnstorm example's regime: Fig. 6(d)'s rate with
+// a wider correlated spread (uptime gaps).
+func uptimeChurn() *ChurnSpec {
+	return &ChurnSpec{
+		Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001, Every: 10}},
+		Pattern: PatternSpec{Kind: PatternCorrelated, Spread: 20},
+	}
+}
+
+// Names returns the registered scenario names in presentation order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, sc := range registry {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// clone deep-copies a scenario so callers can mutate the returned specs
+// (reseeding, rescaling) without corrupting the process-wide catalog.
+func (sc Scenario) clone() Scenario {
+	specs := make([]Spec, len(sc.Specs))
+	for i, spec := range sc.Specs {
+		if spec.Churn != nil {
+			c := *spec.Churn
+			c.Phases = append([]ChurnPhase(nil), c.Phases...)
+			spec.Churn = &c
+		}
+		spec.SliceBounds = append([]float64(nil), spec.SliceBounds...)
+		spec.Attr.Components = append([]WeightedDist(nil), spec.Attr.Components...)
+		specs[i] = spec
+	}
+	sc.Specs = specs
+	return sc
+}
+
+// All returns every registered scenario, deep-copied.
+func All() []Scenario {
+	out := make([]Scenario, len(registry))
+	for i, sc := range registry {
+		out[i] = sc.clone()
+	}
+	return out
+}
+
+// Lookup finds a scenario by name, deep-copied.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range registry {
+		if sc.Name == name {
+			return sc.clone(), nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+}

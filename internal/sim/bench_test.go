@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/churn"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/ordering"
+)
+
+// benchStep measures the steady-state cost of one simulation cycle: the
+// engine is warmed up first so view bootstrap and slice growth are off
+// the clock, then each iteration advances exactly one cycle.
+func benchStep(b *testing.B, cfg Config) {
+	b.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run(5) // warm-up: views filled, buffers at steady-state size
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepOrdering(b *testing.B) {
+	benchStep(b, Config{
+		N: 2000, Slices: 10, ViewSize: 20,
+		Protocol: Ordering, Policy: ordering.SelectMaxGain,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+	})
+}
+
+func BenchmarkStepOrderingConcurrent(b *testing.B) {
+	benchStep(b, Config{
+		N: 2000, Slices: 10, ViewSize: 20,
+		Protocol: Ordering, Policy: ordering.SelectMaxGain,
+		Concurrency: 1,
+		AttrDist:    dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+	})
+}
+
+func BenchmarkStepRanking(b *testing.B) {
+	benchStep(b, Config{
+		N: 2000, Slices: 10, ViewSize: 20,
+		Protocol: Ranking,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+	})
+}
+
+func BenchmarkStepRankingChurn(b *testing.B) {
+	benchStep(b, Config{
+		N: 2000, Slices: 10, ViewSize: 20,
+		Protocol: Ranking,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+		Schedule: churn.Flat{JoinRate: 0.001, LeaveRate: 0.001},
+		Pattern:  churn.Correlated{Spread: 10},
+	})
+}

@@ -229,6 +229,18 @@ type Engine struct {
 
 	prevReqReceived uint64
 	prevFailed      uint64
+
+	// Reusable per-cycle buffers. The engine is single-threaded and none
+	// of these escape a Step call, so reuse keeps the hot path (permute,
+	// snapshot, measure) allocation-free at steady state.
+	permBuf     []core.ID
+	snapBuf     proto.MapReader
+	statesBuf   []metrics.NodeState
+	membersBuf  []core.Member
+	deferredBuf []deferredEnv
+	sampleBuf   []view.Entry
+	seenBuf     map[int]bool
+	meter       metrics.Scratch
 }
 
 // MessageCounts tallies delivered protocol messages by type, plus
@@ -337,6 +349,11 @@ func (e *Engine) addNode(attr core.Attr) error {
 	default:
 		mem = membership.NewCyclon(id, selfEntry, v)
 	}
+	// The engine delivers every exchange synchronously within a cycle, so
+	// the membership protocols may reuse their payload buffers.
+	if s, ok := mem.(membership.Scratchable); ok {
+		s.EnableScratch()
+	}
 	e.byID[id] = &simNode{node: node, mem: mem}
 	e.order = append(e.order, id)
 	return nil
@@ -361,10 +378,12 @@ func (e *Engine) bootstrapViews(ids ...core.ID) {
 // nodes, excluding one id. It backs both view bootstrapping and the
 // uniform oracle. Rejection sampling keeps it O(k) for k ≪ n — the
 // oracle calls it once per node per cycle, so a full permutation here
-// would make uniform-sampler runs quadratic in the population.
+// would make uniform-sampler runs quadratic in the population. The
+// returned slice is a reusable engine buffer, valid until the next call;
+// both callers copy the entries into a view immediately.
 func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
 	n := len(e.order)
-	out := make([]view.Entry, 0, k)
+	out := e.sampleBuf[:0]
 	if n == 0 || k <= 0 {
 		return out
 	}
@@ -374,9 +393,15 @@ func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.En
 				out = append(out, e.byID[id].node.SelfEntry())
 			}
 		}
+		e.sampleBuf = out
 		return out
 	}
-	seen := make(map[int]bool, 2*k)
+	if e.seenBuf == nil {
+		e.seenBuf = make(map[int]bool, 2*k)
+	} else {
+		clear(e.seenBuf)
+	}
+	seen := e.seenBuf
 	for len(out) < k && len(seen) < n {
 		i := rng.Intn(n)
 		if seen[i] {
@@ -389,5 +414,6 @@ func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.En
 		}
 		out = append(out, e.byID[id].node.SelfEntry())
 	}
+	e.sampleBuf = out
 	return out
 }

@@ -27,12 +27,20 @@ func (e *Engine) Run(cycles int) {
 
 // permutedIDs returns the live node ids in a fresh random order. The
 // iteration base is the deterministic insertion order, so equal seeds
-// yield equal runs.
+// yield equal runs. The shuffle replicates rand.Perm's draw sequence
+// in-place over a reusable buffer, so a seeded run's trajectory is
+// unchanged while the per-cycle []int allocation of rand.Perm is gone.
 func (e *Engine) permutedIDs() []core.ID {
-	perm := make([]core.ID, len(e.order))
-	for i, idx := range e.rng.Perm(len(e.order)) {
-		perm[i] = e.order[idx]
+	perm := e.permBuf[:0]
+	for i, id := range e.order {
+		j := e.rng.Intn(i + 1)
+		perm = append(perm, id)
+		if j != i {
+			perm[i] = perm[j]
+			perm[j] = id
+		}
 	}
+	e.permBuf = perm
 	return perm
 }
 
@@ -65,13 +73,15 @@ func (e *Engine) applyChurn() {
 	e.bootstrapViews(joined...)
 }
 
-// sortedMembers returns the live membership in attribute order.
+// sortedMembers returns the live membership in attribute order. The
+// slice is a reusable engine buffer, valid until the next call.
 func (e *Engine) sortedMembers() []core.Member {
-	members := make([]core.Member, 0, len(e.order))
+	members := e.membersBuf[:0]
 	for _, id := range e.order {
 		members = append(members, e.byID[id].node.Member())
 	}
 	core.SortMembers(members)
+	e.membersBuf = members
 	return members
 }
 
@@ -122,6 +132,13 @@ func (e *Engine) membershipPhase(perm []core.ID) {
 	}
 }
 
+// deferredEnv is an overlapping message held back until the end of the
+// cycle (§4.5.2).
+type deferredEnv struct {
+	from core.ID
+	env  proto.Envelope
+}
+
 // protocolPhase runs the slicing step of every node. Ordering exchanges
 // honor the concurrency model; ranking updates are one-way and always
 // valid, so they deliver immediately (§5: "concurrency has no impact on
@@ -132,11 +149,7 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 	if e.cfg.Protocol == Ordering && e.cfg.Concurrency > 0 {
 		snapshot = e.snapshotR()
 	}
-	type deferred struct {
-		from core.ID
-		env  proto.Envelope
-	}
-	var overlapping []deferred
+	overlapping := e.deferredBuf[:0]
 	for _, id := range perm {
 		sn, ok := e.byID[id]
 		if !ok {
@@ -150,12 +163,13 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 		envs := sn.node.Tick(reader, e.rng)
 		for _, env := range envs {
 			if overlap {
-				overlapping = append(overlapping, deferred{from: id, env: env})
+				overlapping = append(overlapping, deferredEnv{from: id, env: env})
 				continue
 			}
 			e.deliver(id, env)
 		}
 	}
+	e.deferredBuf = overlapping[:0]
 	// Overlapping messages land in random order at the end of the cycle;
 	// by then their payload and partner choice may be stale.
 	e.rng.Shuffle(len(overlapping), func(i, j int) {
@@ -227,22 +241,27 @@ func (e *Engine) liveReader() proto.FuncReader {
 	}
 }
 
-// snapshotR captures every node's coordinate at the start of the cycle.
+// snapshotR captures every node's coordinate at the start of the cycle
+// into a reusable map (cleared, not reallocated, between cycles).
 func (e *Engine) snapshotR() proto.MapReader {
-	snap := make(proto.MapReader, len(e.order))
-	for _, id := range e.order {
-		snap[id] = e.byID[id].node.Estimate()
+	if e.snapBuf == nil {
+		e.snapBuf = make(proto.MapReader, len(e.order))
+	} else {
+		clear(e.snapBuf)
 	}
-	return snap
+	for _, id := range e.order {
+		e.snapBuf[id] = e.byID[id].node.Estimate()
+	}
+	return e.snapBuf
 }
 
 // record appends the cycle's measurements to the result series.
 func (e *Engine) record() {
-	states := e.States()
-	e.sdm.Add(e.cycle, metrics.SDM(states, e.part))
+	states := e.liveStates()
+	e.sdm.Add(e.cycle, e.meter.SDM(states, e.part))
 	e.size.Add(e.cycle, float64(len(states)))
 	if e.cfg.RecordGDM {
-		e.gdm.Add(e.cycle, metrics.GDM(states))
+		e.gdm.Add(e.cycle, e.meter.GDM(states))
 	}
 	if e.cfg.Protocol == Ordering {
 		var received, failed uint64
@@ -270,9 +289,21 @@ func min64(a, b uint64) uint64 {
 	return b
 }
 
-// States snapshots every live node for measurement.
+// States snapshots every live node for measurement. The caller owns the
+// returned slice.
 func (e *Engine) States() []metrics.NodeState {
 	states := make([]metrics.NodeState, 0, len(e.order))
+	return e.appendStates(states)
+}
+
+// liveStates is States over a reusable engine buffer, for the per-cycle
+// measurements; the result is valid until the next call.
+func (e *Engine) liveStates() []metrics.NodeState {
+	e.statesBuf = e.appendStates(e.statesBuf[:0])
+	return e.statesBuf
+}
+
+func (e *Engine) appendStates(states []metrics.NodeState) []metrics.NodeState {
 	for _, id := range e.order {
 		sn := e.byID[id]
 		states = append(states, metrics.NodeState{

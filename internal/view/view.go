@@ -88,6 +88,14 @@ func (v *View) Entries() []Entry {
 	return out
 }
 
+// AppendEntries appends every entry to buf and returns it. Protocol hot
+// paths pass a reusable scratch slice (buf[:0]) here instead of calling
+// Entries, so a per-cycle view snapshot costs no allocation once the
+// scratch has grown to view size.
+func (v *View) AppendEntries(buf []Entry) []Entry {
+	return append(buf, v.entries...)
+}
+
 // ForEach calls fn on every entry without copying.
 func (v *View) ForEach(fn func(Entry)) {
 	for _, e := range v.entries {
@@ -127,6 +135,9 @@ func (v *View) Add(e Entry) {
 	}
 	v.entries = append(v.entries, e)
 }
+
+// Clear removes every entry, keeping the allocated storage.
+func (v *View) Clear() { v.entries = v.entries[:0] }
 
 // Remove deletes the entry for id, reporting whether it was present.
 func (v *View) Remove(id core.ID) bool {

@@ -10,6 +10,7 @@ import (
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/ranking"
 	"github.com/gossipkit/slicing/internal/runtime"
+	"github.com/gossipkit/slicing/internal/scenario"
 	"github.com/gossipkit/slicing/internal/sim"
 	"github.com/gossipkit/slicing/internal/stats"
 	"github.com/gossipkit/slicing/internal/transport"
@@ -179,6 +180,33 @@ func Simulate(cfg SimConfig, cycles int) (*SimResult, error) { return sim.Run(cf
 
 // NewSimulation builds a stepwise-controllable engine.
 func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// Scenario catalog: the declarative layer behind cmd/slicebench. A
+// Scenario is a named family of Specs — one per curve of a paper figure
+// or extension workload — and a Spec is a JSON-serializable description
+// of one run that translates into a SimConfig via its Config method.
+type (
+	// Scenario is a named family of runnable specs.
+	Scenario = scenario.Scenario
+	// ScenarioSpec declares one run as plain data.
+	ScenarioSpec = scenario.Spec
+	// ScenarioGrid declares a sweep (scenarios × seed replicas × scale).
+	ScenarioGrid = scenario.Grid
+	// ScenarioRunner fans grid runs across a worker pool.
+	ScenarioRunner = scenario.Runner
+	// ScenarioRunResult is one run's summary (and optional SDM series).
+	ScenarioRunResult = scenario.RunResult
+)
+
+// Scenarios returns the built-in scenario catalog: the paper's figure
+// families plus the extension workloads.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioNames lists the catalog in presentation order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LookupScenario finds a catalog scenario by name (e.g. "fig6-burst").
+func LookupScenario(name string) (Scenario, error) { return scenario.Lookup(name) }
 
 // Live runtime API.
 type (
