@@ -21,10 +21,16 @@ bench:
 # A small sweep over the full scenario catalog via slicebench: every
 # registered scenario must smoke-run, and the per-run wall time and
 # cycles/sec land in BENCH_sweep.json (CI uploads it as an artifact).
+# The scale-* family additionally runs at FULL scale — N=10k/50k/100k,
+# single worker, timing on — so BENCH_scale.json tracks the engine's
+# cycles/sec as a function of N from build to build.
 bench-json:
 	$(GO) run ./cmd/slicebench sweep -scenarios all -scale 0.01 -workers 4 \
 		-out BENCH_sweep.json -quiet
 	@echo "wrote BENCH_sweep.json"
+	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k \
+		-workers 1 -out BENCH_scale.json -quiet
+	@echo "wrote BENCH_scale.json"
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

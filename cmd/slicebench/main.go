@@ -8,7 +8,9 @@
 //	slicebench list
 //	slicebench run fig6-burst -scale 0.05
 //	slicebench run fig4-policies -format csv -every 5
+//	slicebench run scale-100k -cpuprofile cpu.prof -memprofile mem.prof
 //	slicebench sweep -scenarios all -scale 0.02 -replicas 2 -workers 8
+//	slicebench sweep -scenarios scale-10k,scale-50k,scale-100k -out BENCH_scale.json
 //	slicebench sweep -scenarios fig4-concurrency,fig6-steady -format csv
 //
 // run executes one scenario family and prints its SDM curves side by
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -93,6 +97,8 @@ func runOne(args []string, out, errOut io.Writer) error {
 		format  = fs.String("format", "table", "output format: table|csv|json")
 		every   = fs.Int("every", 1, "record the SDM every k-th cycle")
 		timing  = fs.Bool("timing", true, "report wall time per run (json only)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	// Accept the scenario name before the flags (the natural word order)
 	// or after them; the flag package only parses flags up front.
@@ -124,8 +130,30 @@ func runOne(args []string, out, errOut io.Writer) error {
 			runs[i].Spec.SampleEvery = *every
 		}
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	r := scenario.Runner{Workers: *workers, DisableTiming: !*timing}
 	results := r.Sweep(runs, nil)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap before profiling it
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	for _, res := range results {
 		if res.Error != "" {
 			return fmt.Errorf("%s/%s: %s", res.Scenario, res.Spec.Name, res.Error)

@@ -62,6 +62,29 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunWritesProfiles exercises the -cpuprofile/-memprofile pair: both
+// files must exist and be non-empty after a profiled run.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	err := run([]string{"run", "livecluster",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
 func TestRunUnknownScenario(t *testing.T) {
 	if err := run([]string{"run", "fig9"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown scenario accepted")

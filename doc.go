@@ -62,7 +62,12 @@
 // LookupScenario expose the catalog; cmd/slicebench lists, runs and
 // sweeps it (scenario grids fan out across a worker pool with
 // deterministic per-run seeds), and the examples and the experiments
-// package are thin wrappers over the same entries.
+// package are thin wrappers over the same entries. The scale-10k,
+// scale-50k and scale-100k families push the arena-based simulation
+// engine well past the paper's N=10,000 evaluation ceiling — both
+// protocols, static and churning, at up to 100,000 nodes — and double
+// as the engine's throughput benchmarks (see BenchmarkEngineScaling
+// and `make bench-json`).
 //
 // # Quick start
 //

@@ -194,8 +194,10 @@ type Pattern interface {
 	// members is sorted by the attribute-based total order.
 	PickLeavers(rng *rand.Rand, members []core.Member, count int) []core.ID
 	// JoinAttr draws the attribute value of one arriving node. members
-	// is sorted by the attribute-based total order and includes nodes
-	// that joined earlier in the same event.
+	// is the pre-event membership, sorted by the attribute-based total
+	// order: every joiner of one event draws against the same snapshot
+	// (the simulator sorts the membership once per event, not once per
+	// joiner).
 	JoinAttr(rng *rand.Rand, members []core.Member) core.Attr
 	fmt.Stringer
 }

@@ -121,6 +121,26 @@ func growInts(buf []int, n int) []int {
 	return buf[:n]
 }
 
+// SDMSorted computes the slice disorder measure from nodes already in
+// attribute order: believed[i] is the slice that the i-th node of the
+// attribute-based sequence believes it belongs to. A caller that
+// maintains the attribute order incrementally (the simulator's engine
+// keeps its membership sorted across churn events) skips the per-cycle
+// O(n log n) sort that SDM and Scratch.SDM pay, making the measurement
+// linear.
+func SDMSorted(believed []int, part core.Partition) float64 {
+	n := len(believed)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for pos, b := range believed {
+		trueRank := float64(pos+1) / float64(n)
+		sum += part.SliceDistance(part.Index(trueRank), b)
+	}
+	return sum
+}
+
 // GDM returns the global disorder measure (§4.2):
 //
 //	GDM(t) = (1/n) Σ_i (α_i − ρ_i)²

@@ -164,6 +164,39 @@ func TestSDMZeroIffAllAssigned(t *testing.T) {
 	}
 }
 
+// Property: SDMSorted over states pre-sorted into attribute order
+// equals the sort-based SDM over the same states in any order.
+func TestSDMSortedMatchesSDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		part := core.MustEqual(2 + rng.Intn(8))
+		n := 1 + rng.Intn(60)
+		states := make([]NodeState, n)
+		for i := range states {
+			states[i] = NodeState{
+				Member:     core.Member{ID: core.ID(i + 1), Attr: core.Attr(rng.Intn(10))},
+				R:          rng.Float64(),
+				SliceIndex: rng.Intn(part.Len()),
+			}
+		}
+		want := SDM(states, part)
+		sorted := append([]NodeState(nil), states...)
+		sort.SliceStable(sorted, func(x, y int) bool {
+			return core.Less(sorted[x].Member, sorted[y].Member)
+		})
+		believed := make([]int, n)
+		for i, st := range sorted {
+			believed[i] = st.SliceIndex
+		}
+		if got := SDMSorted(believed, part); got != want {
+			t.Fatalf("trial %d: SDMSorted = %v, SDM = %v", trial, got, want)
+		}
+	}
+	if got := SDMSorted(nil, core.MustEqual(3)); got != 0 {
+		t.Errorf("SDMSorted(empty) = %v, want 0", got)
+	}
+}
+
 // Property: GDM is invariant under permuting the input order (it depends
 // only on the population).
 func TestGDMPermutationInvariant(t *testing.T) {

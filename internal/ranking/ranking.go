@@ -137,17 +137,17 @@ func (n *Node) lower(m core.Member) bool {
 // returned envelopes carry UPD messages for the boundary-closest
 // neighbor j1 and a random neighbor j2.
 func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
-	n.scratch = n.v.AppendEntries(n.scratch[:0])
-	entries := n.scratch
 	// Placeholder entries are contact addresses, not attribute samples;
-	// they are neither observed nor targeted.
-	real := entries[:0]
-	for _, e := range entries {
+	// they are neither observed nor targeted. The filter reads the view's
+	// backing slice directly (no snapshot copy): nothing below mutates
+	// the view.
+	entries := n.scratch[:0]
+	for _, e := range n.v.Raw() {
 		if !e.Placeholder() {
-			real = append(real, e)
+			entries = append(entries, e)
 		}
 	}
-	entries = real
+	n.scratch = entries
 	if n.scanView {
 		for _, e := range entries {
 			n.est.Observe(n.lower(e.Member()))

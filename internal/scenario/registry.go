@@ -219,6 +219,9 @@ var registry = []Scenario{
 				MinCycles: 100},
 		},
 	},
+	scaleScenario(10_000, 50),
+	scaleScenario(50_000, 30),
+	scaleScenario(100_000, 20),
 	{
 		Name:        "quickstart",
 		Description: "the README walk-through: 2000 nodes, 10 slices, ranking protocol",
@@ -268,6 +271,48 @@ var registry = []Scenario{
 			Attr: uniformAttr(), MinN: 16, MinCycles: 80,
 		}},
 	},
+}
+
+// scaleScenario builds one member of the scale-* family: the
+// engine-throughput workloads that push the simulator past the paper's
+// N=10,000 ceiling (§4.5 stops there; the arena-based engine core is
+// benchmarked to 100k+). Each family runs both protocols, static and
+// under 0.1%/cycle uniform churn, with short fixed cycle counts — the
+// point is cycles/sec as a function of N, not convergence. Sweeping
+// them with -timing on records the N-scaling trajectory (see `make
+// bench-json`, which writes BENCH_scale.json at full scale).
+func scaleScenario(n, cycles int) Scenario {
+	name := fmt.Sprintf("scale-%dk", n/1000)
+	churn := &ChurnSpec{
+		Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001}},
+		Pattern: PatternSpec{Kind: PatternUniform},
+	}
+	spec := func(label, protocol string, churned bool) Spec {
+		s := Spec{
+			Name: label, Protocol: protocol,
+			N: n, Slices: 100, ViewSize: 20, Cycles: cycles,
+			Attr:      uniformAttr(),
+			MinCycles: 10, MinSlices: 10,
+		}
+		if protocol == ProtoOrdering {
+			s.Policy = PolicyModJK
+		}
+		if churned {
+			s.Churn = churn
+		}
+		return s
+	}
+	return Scenario{
+		Name: name,
+		Description: fmt.Sprintf(
+			"engine throughput at n=%d: both protocols, static and under 0.1%%/cycle uniform churn", n),
+		Specs: []Spec{
+			spec("ordering-static", ProtoOrdering, false),
+			spec("ordering-churn", ProtoOrdering, true),
+			spec("ranking-static", ProtoRanking, false),
+			spec("ranking-churn", ProtoRanking, true),
+		},
+	}
 }
 
 // steadyChurn is Fig. 6(d)'s regime: 0.1% every 10 cycles, correlated.

@@ -304,6 +304,9 @@ func (s Spec) Config() (sim.Config, error) {
 	if s.SampleEvery < 0 {
 		return cfg, specErr("%s: sampleEvery must be ≥ 0", s.Name)
 	}
+	if s.MinN < 0 || s.MinCycles < 0 || s.MinSlices < 0 {
+		return cfg, specErr("%s: scale floors must be ≥ 0", s.Name)
+	}
 	cfg = sim.Config{
 		N:             s.N,
 		ViewSize:      s.ViewSize,

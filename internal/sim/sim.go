@@ -17,6 +17,20 @@
 // (crash and departure are indistinguishable), joiners arrive with a
 // bootstrap view of random live nodes, a fresh random value (ordering)
 // or an empty estimator (ranking).
+//
+// # Engine core
+//
+// Nodes live in a dense arena: a contiguous []simNode slice addressed by
+// index, plus one ID→index table ([]int32, indexed directly by the
+// monotonically assigned core.ID). Every hot-path lookup — message
+// delivery, state reads, snapshots, sampling, measurement — is therefore
+// a bounds check and a slice index: no hashing, no pointer chasing.
+// Churn is O(1) amortized per node: leavers are swap-deleted from the
+// arena, and the attribute-ordered membership (which the churn patterns
+// and the per-cycle SDM both consume) is maintained incrementally by a
+// single merge pass per churn event instead of being re-sorted. The
+// engine scales to populations of 100k+ nodes; see the scale-* scenario
+// family and BenchmarkEngineScaling.
 package sim
 
 import (
@@ -197,10 +211,17 @@ func (cfg *Config) validate() error {
 }
 
 // simNode couples a slicing protocol instance with its membership
-// protocol; they share one view.
+// protocol; they share one view. Nodes are stored by value in the
+// engine's arena.
 type simNode struct {
+	id   core.ID
 	node proto.Node
 	mem  membership.Protocol
+	// self caches node.SelfEntry() so bootstrap and oracle sampling read
+	// a struct field instead of calling through the protocol interface
+	// once per drawn sample. Refreshed by refreshSelfEntries; see there
+	// for the staleness contract.
+	self view.Entry
 }
 
 // orderingNode returns the node as *ordering.Node when applicable.
@@ -209,15 +230,32 @@ func (s *simNode) orderingNode() (*ordering.Node, bool) {
 	return n, ok
 }
 
+// noSlot marks a departed (or never-assigned) ID in the slot table.
+const noSlot = int32(-1)
+
 // Engine is a running simulation. Not safe for concurrent use.
 type Engine struct {
-	cfg    Config
-	part   core.Partition
-	rng    *rand.Rand
-	byID   map[core.ID]*simNode
-	order  []core.ID // deterministic iteration order (insertion order)
-	nextID core.ID
-	cycle  int
+	cfg  Config
+	part core.Partition
+	rng  *rand.Rand
+
+	// nodes is the arena: every live node, contiguous, addressed by
+	// index ("slot"). Slots are stable within a cycle; churn swap-deletes
+	// leavers and appends joiners, so slot order changes only at churn
+	// boundaries.
+	nodes []simNode
+	// slots maps core.ID → arena slot. IDs are assigned sequentially
+	// from 1, so the table is indexed directly by ID — an ID lookup is a
+	// bounds check and a slice load, never a hash. Departed IDs hold
+	// noSlot. The table grows by one int32 per node ever created.
+	slots []int32
+	// members is the live membership in the attribute-based total order,
+	// maintained incrementally: one merge pass per churn event (see
+	// mergeMembers), zero sorts at steady state. It feeds the churn
+	// patterns and the per-cycle SDM.
+	members []core.Member
+	nextID  core.ID
+	cycle   int
 
 	sdm    metrics.Series
 	gdm    metrics.Series
@@ -233,14 +271,20 @@ type Engine struct {
 	// Reusable per-cycle buffers. The engine is single-threaded and none
 	// of these escape a Step call, so reuse keeps the hot path (permute,
 	// snapshot, measure) allocation-free at steady state.
-	permBuf     []core.ID
-	snapBuf     proto.MapReader
+	permBuf     []int32
+	snapBuf     []float64 // per-slot cycle-start coordinates
 	statesBuf   []metrics.NodeState
-	membersBuf  []core.Member
+	believedBuf []int         // per-cycle believed slice indices, attr order
+	joinersBuf  []core.Member // joiners of the current churn event
+	membersBuf  []core.Member // double buffer for the membership merge
 	deferredBuf []deferredEnv
 	sampleBuf   []view.Entry
-	seenBuf     map[int]bool
-	meter       metrics.Scratch
+	// seenGen stamps rejection-sampling draws in sampleEntries with the
+	// current generation instead of hashing them into a set: seenGen[i]
+	// == sampleGen means slot i was already drawn this call.
+	seenGen   []uint32
+	sampleGen uint32
+	meter     metrics.Scratch
 }
 
 // MessageCounts tallies delivered protocol messages by type, plus
@@ -281,25 +325,54 @@ func New(cfg Config) (*Engine, error) {
 		cfg:    cfg,
 		part:   part,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		byID:   make(map[core.ID]*simNode, cfg.N),
+		nodes:  make([]simNode, 0, cfg.N),
+		slots:  make([]int32, 1, cfg.N+1), // slot 0 is the unused ID 0
 		sdm:    metrics.Series{Name: "sdm"},
 		gdm:    metrics.Series{Name: "gdm"},
 		unsucc: metrics.Series{Name: "unsuccessful%"},
 		size:   metrics.Series{Name: "n"},
 	}
+	e.slots[0] = noSlot
 	for i := 0; i < cfg.N; i++ {
 		attr := core.Attr(cfg.AttrDist.Sample(e.rng))
 		if err := e.addNode(attr); err != nil {
 			return nil, err
 		}
 	}
-	e.bootstrapViews()
+	// The one full membership sort of a run; churn events maintain the
+	// order incrementally from here on.
+	e.members = make([]core.Member, 0, cfg.N)
+	for i := range e.nodes {
+		e.members = append(e.members, e.nodes[i].node.Member())
+	}
+	core.SortMembers(e.members)
+	e.bootstrapViews(0)
 	e.record()
 	return e, nil
 }
 
-// addNode creates a node with the next identifier. Views start empty;
-// the caller bootstraps them.
+// slotOf resolves an ID to its arena slot: one bounds check and one
+// slice load. The second result is false for departed or unknown IDs.
+func (e *Engine) slotOf(id core.ID) (int32, bool) {
+	if id < 1 || int(id) >= len(e.slots) {
+		return noSlot, false
+	}
+	s := e.slots[id]
+	return s, s >= 0
+}
+
+// lookup returns the live node for id, or nil if it has departed.
+func (e *Engine) lookup(id core.ID) *simNode {
+	s, ok := e.slotOf(id)
+	if !ok {
+		return nil
+	}
+	return &e.nodes[s]
+}
+
+// addNode creates a node with the next identifier and appends it to the
+// arena. Views start empty and the attribute-ordered membership is not
+// updated; the caller bootstraps views and merges the membership.
 func (e *Engine) addNode(attr core.Attr) error {
 	e.nextID++
 	id := e.nextID
@@ -354,65 +427,81 @@ func (e *Engine) addNode(attr core.Attr) error {
 	if s, ok := mem.(membership.Scratchable); ok {
 		s.EnableScratch()
 	}
-	e.byID[id] = &simNode{node: node, mem: mem}
-	e.order = append(e.order, id)
+	e.slots = append(e.slots, int32(len(e.nodes)))
+	e.nodes = append(e.nodes, simNode{id: id, node: node, mem: mem, self: node.SelfEntry()})
 	return nil
 }
 
-// bootstrapViews fills every node's view with ViewSize random other
-// nodes.
-func (e *Engine) bootstrapViews(ids ...core.ID) {
-	targets := ids
-	if len(targets) == 0 {
-		targets = e.order
+// refreshSelfEntries re-caches every live node's SelfEntry. Called once
+// per cycle for uniform-oracle runs (before the membership phase, so
+// oracle draws see coordinates at most one phase old — exactly what a
+// fresh gossip entry would carry) and once per joining churn event
+// (before bootstrap views are sampled). Cyclon and Newscast read their
+// own SelfEntry funcs directly and never consume the cache.
+func (e *Engine) refreshSelfEntries() {
+	for i := range e.nodes {
+		sn := &e.nodes[i]
+		sn.self = sn.node.SelfEntry()
 	}
-	for _, id := range targets {
-		sn := e.byID[id]
-		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, id) {
+}
+
+// bootstrapViews fills the view of every node in nodes[from:] with
+// ViewSize random other nodes.
+func (e *Engine) bootstrapViews(from int) {
+	for i := from; i < len(e.nodes); i++ {
+		sn := &e.nodes[i]
+		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, sn.id) {
 			sn.mem.View().Add(entry)
 		}
 	}
 }
 
-// sampleEntries returns fresh entries for up to k distinct random live
-// nodes, excluding one id. It backs both view bootstrapping and the
+// sampleEntries returns cached self entries for up to k distinct random
+// live nodes, excluding one id. It backs both view bootstrapping and the
 // uniform oracle. Rejection sampling keeps it O(k) for k ≪ n — the
 // oracle calls it once per node per cycle, so a full permutation here
-// would make uniform-sampler runs quadratic in the population. The
-// returned slice is a reusable engine buffer, valid until the next call;
-// both callers copy the entries into a view immediately.
+// would make uniform-sampler runs quadratic in the population — and the
+// generation-stamped seenGen slice keeps each rejection test a single
+// slice load instead of a map probe. The returned slice is a reusable
+// engine buffer, valid until the next call; both callers copy the
+// entries into a view immediately.
 func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
-	n := len(e.order)
+	n := len(e.nodes)
 	out := e.sampleBuf[:0]
 	if n == 0 || k <= 0 {
 		return out
 	}
 	if k >= n {
-		for _, id := range e.order {
-			if id != exclude {
-				out = append(out, e.byID[id].node.SelfEntry())
+		for i := range e.nodes {
+			if e.nodes[i].id != exclude {
+				out = append(out, e.nodes[i].self)
 			}
 		}
 		e.sampleBuf = out
 		return out
 	}
-	if e.seenBuf == nil {
-		e.seenBuf = make(map[int]bool, 2*k)
-	} else {
-		clear(e.seenBuf)
+	if cap(e.seenGen) < n {
+		e.seenGen = make([]uint32, n)
 	}
-	seen := e.seenBuf
-	for len(out) < k && len(seen) < n {
+	e.seenGen = e.seenGen[:n]
+	e.sampleGen++
+	if e.sampleGen == 0 { // wrapped: stale stamps could collide, reset them
+		clear(e.seenGen)
+		e.sampleGen = 1
+	}
+	gen := e.sampleGen
+	drawn := 0
+	for len(out) < k && drawn < n {
 		i := rng.Intn(n)
-		if seen[i] {
+		if e.seenGen[i] == gen {
 			continue
 		}
-		seen[i] = true
-		id := e.order[i]
-		if id == exclude {
+		e.seenGen[i] = gen
+		drawn++
+		if e.nodes[i].id == exclude {
 			continue
 		}
-		out = append(out, e.byID[id].node.SelfEntry())
+		out = append(out, e.nodes[i].self)
 	}
 	e.sampleBuf = out
 	return out

@@ -10,8 +10,13 @@ import (
 // Step runs one simulation cycle: churn, membership exchanges, slicing
 // exchanges (with the configured concurrency model), then measurement.
 func (e *Engine) Step() {
-	e.applyChurn()
-	perm := e.permutedIDs()
+	refreshed := e.applyChurn()
+	if e.cfg.Membership == UniformOracle && !refreshed {
+		// Oracle draws serve from the self-entry cache; skip the refresh
+		// when a joining churn event already ran one this cycle.
+		e.refreshSelfEntries()
+	}
+	perm := e.permutedSlots()
 	e.membershipPhase(perm)
 	e.protocolPhase(perm)
 	e.cycle++
@@ -25,19 +30,19 @@ func (e *Engine) Run(cycles int) {
 	}
 }
 
-// permutedIDs returns the live node ids in a fresh random order. The
-// iteration base is the deterministic insertion order, so equal seeds
-// yield equal runs. The shuffle replicates rand.Perm's draw sequence
-// in-place over a reusable buffer, so a seeded run's trajectory is
-// unchanged while the per-cycle []int allocation of rand.Perm is gone.
-func (e *Engine) permutedIDs() []core.ID {
+// permutedSlots returns the live arena slots in a fresh random order.
+// The iteration base is arena order, which is deterministic under a
+// fixed seed (it changes only through deterministic swap-deletes), so
+// equal seeds yield equal runs. The shuffle replicates rand.Perm's draw
+// sequence in-place over a reusable buffer.
+func (e *Engine) permutedSlots() []int32 {
 	perm := e.permBuf[:0]
-	for i, id := range e.order {
+	for i := range e.nodes {
 		j := e.rng.Intn(i + 1)
-		perm = append(perm, id)
+		perm = append(perm, int32(i))
 		if j != i {
 			perm[i] = perm[j]
-			perm[j] = id
+			perm[j] = int32(i)
 		}
 	}
 	e.permBuf = perm
@@ -46,81 +51,110 @@ func (e *Engine) permutedIDs() []core.ID {
 
 // applyChurn executes the cycle's churn event (§3.3): leavers vanish
 // without notice, joiners arrive with fresh state and a bootstrap view.
-func (e *Engine) applyChurn() {
+// The whole event costs one merge pass over the membership — leavers are
+// swap-deleted from the arena in O(1) each, and both PickLeavers and
+// every JoinAttr draw read the same pre-event attribute-ordered
+// membership, so no event ever re-sorts the population. It reports
+// whether it refreshed the self-entry cache, so Step can avoid a
+// duplicate refresh pass for oracle runs.
+func (e *Engine) applyChurn() (refreshed bool) {
 	if e.cfg.Schedule == nil || e.cfg.Pattern == nil {
-		return
+		return false
 	}
-	ev := e.cfg.Schedule.At(e.cycle, len(e.order))
+	ev := e.cfg.Schedule.At(e.cycle, len(e.nodes))
 	if ev.Leave == 0 && ev.Join == 0 {
-		return
+		return false
 	}
+	members := e.members // pre-event membership, attribute order
 	if ev.Leave > 0 {
-		members := e.sortedMembers()
 		for _, id := range e.cfg.Pattern.PickLeavers(e.rng, members, ev.Leave) {
 			e.removeNode(id)
 		}
 	}
-	joined := make([]core.ID, 0, ev.Join)
+	joiners := e.joinersBuf[:0]
 	for i := 0; i < ev.Join; i++ {
-		attr := e.cfg.Pattern.JoinAttr(e.rng, e.sortedMembers())
+		attr := e.cfg.Pattern.JoinAttr(e.rng, members)
 		if err := e.addNode(attr); err != nil {
 			// addNode only fails on invalid static configuration, which
 			// New has already validated.
 			panic(err)
 		}
-		joined = append(joined, e.nextID)
+		joiners = append(joiners, core.Member{ID: e.nextID, Attr: attr})
 	}
-	e.bootstrapViews(joined...)
+	e.joinersBuf = joiners
+	e.mergeMembers(joiners)
+	if ev.Join > 0 {
+		// Bootstrap views sample the cached self entries; re-cache so
+		// joiners see current coordinates, not cycle-of-creation ones.
+		e.refreshSelfEntries()
+		e.bootstrapViews(len(e.nodes) - ev.Join)
+		return true
+	}
+	return false
 }
 
-// sortedMembers returns the live membership in attribute order. The
-// slice is a reusable engine buffer, valid until the next call.
-func (e *Engine) sortedMembers() []core.Member {
-	members := e.membersBuf[:0]
-	for _, id := range e.order {
-		members = append(members, e.byID[id].node.Member())
+// mergeMembers rebuilds the attribute-ordered membership after a churn
+// event in one pass: departed members are dropped (their slot is gone)
+// and the event's joiners — sorted among themselves, at most a handful —
+// are merged in. O(n + j·log j) per event, against the O(n·log n) sort
+// per joiner the map-based engine paid.
+func (e *Engine) mergeMembers(joiners []core.Member) {
+	core.SortMembers(joiners)
+	out := e.membersBuf[:0]
+	j := 0
+	for _, m := range e.members {
+		if e.slots[m.ID] == noSlot {
+			continue // departed this event
+		}
+		for j < len(joiners) && core.Less(joiners[j], m) {
+			out = append(out, joiners[j])
+			j++
+		}
+		out = append(out, m)
 	}
-	core.SortMembers(members)
-	e.membersBuf = members
-	return members
+	out = append(out, joiners[j:]...)
+	e.members, e.membersBuf = out, e.members
 }
 
+// removeNode swap-deletes a node from the arena: the last node moves
+// into the vacated slot and the departed ID's slot entry is tombstoned.
+// O(1) per removal; the attribute-ordered membership is compacted later
+// by mergeMembers.
 func (e *Engine) removeNode(id core.ID) {
-	if _, ok := e.byID[id]; !ok {
+	s, ok := e.slotOf(id)
+	if !ok {
 		return
 	}
-	delete(e.byID, id)
-	for i, other := range e.order {
-		if other == id {
-			e.order = append(e.order[:i], e.order[i+1:]...)
-			break
-		}
+	last := int32(len(e.nodes) - 1)
+	if s != last {
+		e.nodes[s] = e.nodes[last]
+		e.slots[e.nodes[s].id] = s
 	}
+	e.nodes[last] = simNode{} // release protocol state to the GC
+	e.nodes = e.nodes[:last]
+	e.slots[id] = noSlot
 }
 
 // membershipPhase completes one view exchange per node, synchronously
 // ("each node updates its view before sending its random value or its
 // attribute value", §4.5.2). Requests to departed nodes time out,
 // dropping the stale entry.
-func (e *Engine) membershipPhase(perm []core.ID) {
-	for _, id := range perm {
-		sn, ok := e.byID[id]
-		if !ok {
-			continue // removed by churn mid-iteration safety
-		}
+func (e *Engine) membershipPhase(perm []int32) {
+	for _, s := range perm {
+		sn := &e.nodes[s]
 		for _, env := range sn.mem.Tick(e.rng) {
 			req, ok := env.Msg.(proto.ViewRequest)
 			if !ok {
 				continue
 			}
-			target, live := e.byID[env.To]
-			if !live {
+			target := e.lookup(env.To)
+			if target == nil {
 				e.Delivered.Dropped++
 				sn.mem.OnTimeout(env.To)
 				continue
 			}
 			e.Delivered.ViewRequests++
-			for _, rep := range target.mem.HandleRequest(id, req, e.rng) {
+			for _, rep := range target.mem.HandleRequest(sn.id, req, e.rng) {
 				repMsg, ok := rep.Msg.(proto.ViewReply)
 				if !ok {
 					continue
@@ -133,9 +167,10 @@ func (e *Engine) membershipPhase(perm []core.ID) {
 }
 
 // deferredEnv is an overlapping message held back until the end of the
-// cycle (§4.5.2).
+// cycle (§4.5.2). The sender is recorded by arena slot: churn never runs
+// mid-cycle, so slots are stable for the lifetime of the deferral.
 type deferredEnv struct {
-	from core.ID
+	from int32
 	env  proto.Envelope
 }
 
@@ -143,18 +178,16 @@ type deferredEnv struct {
 // honor the concurrency model; ranking updates are one-way and always
 // valid, so they deliver immediately (§5: "concurrency has no impact on
 // convergence speed").
-func (e *Engine) protocolPhase(perm []core.ID) {
-	live := e.liveReader()
-	var snapshot proto.MapReader
+func (e *Engine) protocolPhase(perm []int32) {
+	live := (*liveReader)(e)
+	var snapshot proto.StateReader
 	if e.cfg.Protocol == Ordering && e.cfg.Concurrency > 0 {
-		snapshot = e.snapshotR()
+		e.captureSnapshot()
+		snapshot = (*snapReader)(e)
 	}
 	overlapping := e.deferredBuf[:0]
-	for _, id := range perm {
-		sn, ok := e.byID[id]
-		if !ok {
-			continue
-		}
+	for _, s := range perm {
+		sn := &e.nodes[s]
 		overlap := snapshot != nil && e.rng.Float64() < e.cfg.Concurrency
 		reader := proto.StateReader(live)
 		if overlap {
@@ -163,10 +196,10 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 		envs := sn.node.Tick(reader, e.rng)
 		for _, env := range envs {
 			if overlap {
-				overlapping = append(overlapping, deferredEnv{from: id, env: env})
+				overlapping = append(overlapping, deferredEnv{from: s, env: env})
 				continue
 			}
-			e.deliver(id, env)
+			e.deliver(sn.id, env)
 		}
 	}
 	e.deferredBuf = overlapping[:0]
@@ -176,10 +209,7 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 		overlapping[i], overlapping[j] = overlapping[j], overlapping[i]
 	})
 	for _, d := range overlapping {
-		sn, stillLive := e.byID[d.from]
-		if !stillLive {
-			continue
-		}
+		sn := &e.nodes[d.from]
 		env := d.env
 		if req, ok := env.Msg.(proto.SwapRequest); ok && !e.cfg.StalePayloads {
 			// The exchange executes on live values; only the partner
@@ -189,7 +219,7 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 			req.R = sn.node.Estimate()
 			env.Msg = req
 		}
-		e.deliver(d.from, env)
+		e.deliver(sn.id, env)
 	}
 }
 
@@ -197,15 +227,15 @@ func (e *Engine) protocolPhase(perm []core.ID) {
 // any replies back to the sender (the REQ/ACK round of Fig. 2, or the
 // one-way UPD of Fig. 5).
 func (e *Engine) deliver(from core.ID, env proto.Envelope) {
-	target, ok := e.byID[env.To]
-	if !ok {
+	target := e.lookup(env.To)
+	if target == nil {
 		e.Delivered.Dropped++
 		return
 	}
 	e.countMessage(env.Msg)
 	for _, rep := range target.node.Handle(from, env.Msg, e.rng) {
-		sender, ok := e.byID[rep.To]
-		if !ok {
+		sender := e.lookup(rep.To)
+		if sender == nil {
 			e.Delivered.Dropped++
 			continue
 		}
@@ -229,44 +259,66 @@ func (e *Engine) countMessage(msg proto.Message) {
 	}
 }
 
-// liveReader resolves coordinates from the nodes' current state: the
-// cycle model's "views are up to date" assumption.
-func (e *Engine) liveReader() proto.FuncReader {
-	return func(id core.ID) (float64, bool) {
-		sn, ok := e.byID[id]
-		if !ok {
-			return 0, false
-		}
-		return sn.node.Estimate(), true
+// liveReader resolves coordinates from the nodes' current state — the
+// cycle model's "views are up to date" assumption — through the arena:
+// a slot load and an interface call, no hashing, no allocation (the
+// reader is the engine itself behind a defined pointer type).
+type liveReader Engine
+
+// R implements proto.StateReader.
+func (lr *liveReader) R(id core.ID) (float64, bool) {
+	e := (*Engine)(lr)
+	sn := e.lookup(id)
+	if sn == nil {
+		return 0, false
+	}
+	return sn.node.Estimate(), true
+}
+
+// snapReader serves the cycle-start snapshot captured by
+// captureSnapshot, resolving IDs to slots without hashing.
+type snapReader Engine
+
+// R implements proto.StateReader.
+func (sr *snapReader) R(id core.ID) (float64, bool) {
+	e := (*Engine)(sr)
+	s, ok := e.slotOf(id)
+	if !ok {
+		return 0, false
+	}
+	return e.snapBuf[s], true
+}
+
+// captureSnapshot records every node's coordinate at the start of the
+// cycle into the per-slot snapshot buffer (reused across cycles).
+func (e *Engine) captureSnapshot() {
+	if cap(e.snapBuf) < len(e.nodes) {
+		e.snapBuf = make([]float64, len(e.nodes))
+	}
+	e.snapBuf = e.snapBuf[:len(e.nodes)]
+	for i := range e.nodes {
+		e.snapBuf[i] = e.nodes[i].node.Estimate()
 	}
 }
 
-// snapshotR captures every node's coordinate at the start of the cycle
-// into a reusable map (cleared, not reallocated, between cycles).
-func (e *Engine) snapshotR() proto.MapReader {
-	if e.snapBuf == nil {
-		e.snapBuf = make(proto.MapReader, len(e.order))
-	} else {
-		clear(e.snapBuf)
-	}
-	for _, id := range e.order {
-		e.snapBuf[id] = e.byID[id].node.Estimate()
-	}
-	return e.snapBuf
-}
-
-// record appends the cycle's measurements to the result series.
+// record appends the cycle's measurements to the result series. SDM
+// reads the incrementally maintained attribute order, so the per-cycle
+// measurement is O(n) — no sort.
 func (e *Engine) record() {
-	states := e.liveStates()
-	e.sdm.Add(e.cycle, e.meter.SDM(states, e.part))
-	e.size.Add(e.cycle, float64(len(states)))
+	believed := e.believedBuf[:0]
+	for _, m := range e.members {
+		believed = append(believed, e.nodes[e.slots[m.ID]].node.SliceIndex())
+	}
+	e.believedBuf = believed
+	e.sdm.Add(e.cycle, metrics.SDMSorted(believed, e.part))
+	e.size.Add(e.cycle, float64(len(e.nodes)))
 	if e.cfg.RecordGDM {
-		e.gdm.Add(e.cycle, e.meter.GDM(states))
+		e.gdm.Add(e.cycle, e.meter.GDM(e.liveStates()))
 	}
 	if e.cfg.Protocol == Ordering {
 		var received, failed uint64
-		for _, id := range e.order {
-			if on, ok := e.byID[id].orderingNode(); ok {
+		for i := range e.nodes {
+			if on, ok := e.nodes[i].orderingNode(); ok {
 				st := on.Stats()
 				received += st.ReqReceived
 				failed += st.SwapFailedAtReceiver
@@ -289,10 +341,10 @@ func min64(a, b uint64) uint64 {
 	return b
 }
 
-// States snapshots every live node for measurement. The caller owns the
-// returned slice.
+// States snapshots every live node for measurement, in arena order. The
+// caller owns the returned slice.
 func (e *Engine) States() []metrics.NodeState {
-	states := make([]metrics.NodeState, 0, len(e.order))
+	states := make([]metrics.NodeState, 0, len(e.nodes))
 	return e.appendStates(states)
 }
 
@@ -304,8 +356,8 @@ func (e *Engine) liveStates() []metrics.NodeState {
 }
 
 func (e *Engine) appendStates(states []metrics.NodeState) []metrics.NodeState {
-	for _, id := range e.order {
-		sn := e.byID[id]
+	for i := range e.nodes {
+		sn := &e.nodes[i]
 		states = append(states, metrics.NodeState{
 			Member:     sn.node.Member(),
 			R:          sn.node.Estimate(),
@@ -319,7 +371,7 @@ func (e *Engine) appendStates(states []metrics.NodeState) []metrics.NodeState {
 func (e *Engine) Cycle() int { return e.cycle }
 
 // N returns the current live system size.
-func (e *Engine) N() int { return len(e.order) }
+func (e *Engine) N() int { return len(e.nodes) }
 
 // Partition returns the slice partition in force.
 func (e *Engine) Partition() core.Partition { return e.part }
@@ -341,8 +393,8 @@ func (e *Engine) Size() metrics.Series { return e.size }
 // OrderingStats sums the event counters over all live ordering nodes.
 func (e *Engine) OrderingStats() ordering.Stats {
 	var total ordering.Stats
-	for _, id := range e.order {
-		if on, ok := e.byID[id].orderingNode(); ok {
+	for i := range e.nodes {
+		if on, ok := e.nodes[i].orderingNode(); ok {
 			st := on.Stats()
 			total.ReqSent += st.ReqSent
 			total.ReqReceived += st.ReqReceived

@@ -55,6 +55,15 @@ func (e Entry) Member() core.Member { return core.Member{ID: e.ID, Attr: e.Attr}
 type View struct {
 	capacity int
 	entries  []Entry
+	// ids mirrors entries[i].ID in a packed slice: the duplicate scan of
+	// index() — run once per incoming entry on every gossip merge — then
+	// touches 8 bytes per probe instead of a 32-byte Entry, and never
+	// falls out of lockstep because every insert, delete and reorder
+	// below updates both slices.
+	ids []core.ID
+	// ageScratch backs trimOldestExact's threshold selection; reused
+	// across merges so trimming allocates nothing at steady state.
+	ageScratch []uint32
 }
 
 // New returns an empty view with the given capacity c (the paper's view
@@ -63,7 +72,11 @@ func New(capacity int) (*View, error) {
 	if capacity < 1 {
 		return nil, ErrCapacity
 	}
-	return &View{capacity: capacity, entries: make([]Entry, 0, capacity)}, nil
+	return &View{
+		capacity: capacity,
+		entries:  make([]Entry, 0, capacity),
+		ids:      make([]core.ID, 0, capacity),
+	}, nil
 }
 
 // MustNew is New for static configuration; it panics on error.
@@ -96,6 +109,13 @@ func (v *View) AppendEntries(buf []Entry) []Entry {
 	return append(buf, v.entries...)
 }
 
+// Raw exposes the backing entry slice without copying. Read-only, and
+// valid only until the next mutating call: protocol hot paths that scan
+// the view once per tick (partner selection, estimator feeds) use it to
+// avoid a per-tick snapshot copy. Callers that mutate the view while
+// iterating must use AppendEntries instead.
+func (v *View) Raw() []Entry { return v.entries }
+
 // ForEach calls fn on every entry without copying.
 func (v *View) ForEach(fn func(Entry)) {
 	for _, e := range v.entries {
@@ -115,8 +135,8 @@ func (v *View) Get(id core.ID) (Entry, bool) {
 func (v *View) Has(id core.ID) bool { return v.index(id) >= 0 }
 
 func (v *View) index(id core.ID) int {
-	for i, e := range v.entries {
-		if e.ID == id {
+	for i, vid := range v.ids {
+		if vid == id {
 			return i
 		}
 	}
@@ -134,10 +154,14 @@ func (v *View) Add(e Entry) {
 		v.evictOldest()
 	}
 	v.entries = append(v.entries, e)
+	v.ids = append(v.ids, e.ID)
 }
 
 // Clear removes every entry, keeping the allocated storage.
-func (v *View) Clear() { v.entries = v.entries[:0] }
+func (v *View) Clear() {
+	v.entries = v.entries[:0]
+	v.ids = v.ids[:0]
+}
 
 // Remove deletes the entry for id, reporting whether it was present.
 func (v *View) Remove(id core.ID) bool {
@@ -146,6 +170,7 @@ func (v *View) Remove(id core.ID) bool {
 		return false
 	}
 	v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	v.ids = append(v.ids[:i], v.ids[i+1:]...)
 	return true
 }
 
@@ -206,6 +231,7 @@ func (v *View) evictOldest() {
 		}
 	}
 	v.entries = append(v.entries[:best], v.entries[best+1:]...)
+	v.ids = append(v.ids[:best], v.ids[best+1:]...)
 }
 
 // Merge incorporates entries received from a gossip exchange, following
@@ -226,10 +252,109 @@ func (v *View) Merge(incoming []Entry, self core.ID) {
 			continue
 		}
 		v.entries = append(v.entries, e)
+		v.ids = append(v.ids, e.ID)
 	}
-	for len(v.entries) > v.capacity {
-		v.evictOldest()
+	v.trimOldest(len(v.entries) - v.capacity)
+}
+
+// trimBuckets histograms ages 0..trimMaxAge; older ages (and the
+// AgeUnknown placeholder marker) clamp into the overflow bucket.
+const trimMaxAge = 63
+
+// trimOldest removes the k oldest entries in one compaction pass,
+// producing exactly the survivors k repeated evictOldest calls would
+// leave (entries strictly older than the k-th-largest age all go; ties
+// at that age go earliest-stored first) while preserving the survivors'
+// order. Repeated evictOldest is O(k·n) with a memmove per eviction —
+// measurably the hottest membership cost at simulation scale, since
+// every gossip merge over-fills the view by up to capacity+1 entries.
+// The k-th-largest-age threshold comes from a small counting histogram:
+// gossiped entries are nearly always young (an entry older than the
+// view turnover time has long been evicted), so ages concentrate near
+// zero and the O(n + trimMaxAge) count beats any comparison select.
+func (v *View) trimOldest(k int) {
+	if k <= 0 {
+		return
 	}
+	var buckets [trimMaxAge + 2]int32
+	for _, e := range v.entries {
+		a := e.Age
+		if a > trimMaxAge {
+			a = trimMaxAge + 1
+		}
+		buckets[a]++
+	}
+	// Walk from the oldest bucket down, accumulating until the k-th
+	// largest age is covered.
+	if k <= int(buckets[trimMaxAge+1]) {
+		// The threshold falls inside the clamped bucket: resolve it
+		// exactly among the (rare) over-limit ages.
+		v.trimOldestExact(k)
+		return
+	}
+	// Every over-limit entry ranks above any in-range age; all of them
+	// go, and the threshold lies in the in-range buckets.
+	thresh := uint32(0)
+	removeAtThresh := 0
+	remaining := k - int(buckets[trimMaxAge+1])
+	for a := trimMaxAge; a >= 0; a-- {
+		n := int(buckets[a])
+		if remaining <= n {
+			thresh = uint32(a)
+			removeAtThresh = remaining
+			break
+		}
+		remaining -= n
+	}
+	v.removeByThreshold(thresh, removeAtThresh)
+}
+
+// removeByThreshold drops every entry older than thresh plus the first
+// removeAtThresh entries aged exactly thresh, preserving the survivors'
+// order — the shared compaction of both trim paths, encoding the
+// evictOldest tie-break (earliest-stored goes first) exactly once.
+func (v *View) removeByThreshold(thresh uint32, removeAtThresh int) {
+	kept := v.entries[:0]
+	for _, e := range v.entries {
+		if e.Age > thresh {
+			continue
+		}
+		if e.Age == thresh && removeAtThresh > 0 {
+			removeAtThresh--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	v.entries = kept
+	v.reindex()
+}
+
+// trimOldestExact is trimOldest's fallback when the age threshold lands
+// beyond trimMaxAge: a descending insertion sort of the raw ages finds
+// the exact k-th largest.
+func (v *View) trimOldestExact(k int) {
+	ages := v.ageScratch[:0]
+	for _, e := range v.entries {
+		ages = append(ages, e.Age)
+	}
+	v.ageScratch = ages
+	for i := 1; i < len(ages); i++ {
+		a := ages[i]
+		j := i - 1
+		for j >= 0 && ages[j] < a {
+			ages[j+1] = ages[j]
+			j--
+		}
+		ages[j+1] = a
+	}
+	thresh := ages[k-1]
+	removeAtThresh := 0
+	for _, a := range ages[:k] {
+		if a == thresh {
+			removeAtThresh++
+		}
+	}
+	v.removeByThreshold(thresh, removeAtThresh)
 }
 
 // MergeFresh incorporates entries keeping, for duplicated IDs, the entry
@@ -247,12 +372,23 @@ func (v *View) MergeFresh(incoming []Entry, self core.ID) {
 			continue
 		}
 		v.entries = append(v.entries, e)
+		v.ids = append(v.ids, e.ID)
 	}
 	if len(v.entries) > v.capacity {
 		sort.SliceStable(v.entries, func(i, j int) bool {
 			return v.entries[i].Age < v.entries[j].Age
 		})
 		v.entries = v.entries[:v.capacity]
+		v.reindex()
+	}
+}
+
+// reindex rebuilds the packed id mirror after a bulk reorder or
+// compaction of the entry slice.
+func (v *View) reindex() {
+	v.ids = v.ids[:0]
+	for i := range v.entries {
+		v.ids = append(v.ids, v.entries[i].ID)
 	}
 }
 
@@ -260,6 +396,7 @@ func (v *View) MergeFresh(incoming []Entry, self core.ID) {
 func (v *View) Clone() *View {
 	c := &View{capacity: v.capacity, entries: make([]Entry, len(v.entries))}
 	copy(c.entries, v.entries)
+	c.reindex()
 	return c
 }
 
@@ -284,6 +421,14 @@ func (v *View) Validate() error {
 			return fmt.Errorf("view: duplicate entry for %v", e.ID)
 		}
 		seen[e.ID] = true
+	}
+	if len(v.ids) != len(v.entries) {
+		return fmt.Errorf("view: id mirror has %d entries, view %d", len(v.ids), len(v.entries))
+	}
+	for i, e := range v.entries {
+		if v.ids[i] != e.ID {
+			return fmt.Errorf("view: id mirror diverges at %d: %v vs %v", i, v.ids[i], e.ID)
+		}
 	}
 	return nil
 }

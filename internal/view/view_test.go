@@ -285,6 +285,52 @@ func TestViewInvariantsUnderRandomOps(t *testing.T) {
 	}
 }
 
+// TestTrimOldestMatchesRepeatedEviction pins the single-pass trim to
+// its reference semantics: k repeated evictOldest calls (first-stored
+// entry wins age ties), including ages beyond the histogram range and
+// AgeUnknown placeholders, which exercise the exact-selection fallback.
+func TestTrimOldestMatchesRepeatedEviction(t *testing.T) {
+	ageAt := func(rng *rand.Rand) uint32 {
+		switch rng.Intn(6) {
+		case 0:
+			return AgeUnknown // placeholder: maximally old
+		case 1:
+			return trimMaxAge + uint32(rng.Intn(50)) // beyond the histogram
+		default:
+			return uint32(rng.Intn(8))
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		k := 1 + rng.Intn(n-1)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{ID: core.ID(i + 1), Age: ageAt(rng)}
+		}
+		fast := &View{capacity: n, entries: append([]Entry(nil), entries...)}
+		fast.reindex()
+		fast.trimOldest(k)
+		slow := &View{capacity: n, entries: append([]Entry(nil), entries...)}
+		slow.reindex()
+		for i := 0; i < k; i++ {
+			slow.evictOldest()
+		}
+		if len(fast.entries) != len(slow.entries) {
+			return false
+		}
+		for i := range fast.entries {
+			if fast.entries[i] != slow.entries[i] {
+				return false
+			}
+		}
+		return fast.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestViewString(t *testing.T) {
 	v := MustNew(2)
 	v.Add(entry(1, 3))
