@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json lint ci
+.PHONY: all build test test-hot bench bench-json lint ci
 
 all: build
 
@@ -13,6 +13,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# An explicit, uncached race pass over the concurrency-heavy packages:
+# the sharded scheduler / live clusters and both transports. `make test`
+# covers them too, but this target re-executes them even when cached —
+# interleavings differ run to run, so caching hides races.
+test-hot:
+	$(GO) test -race -count=1 ./internal/runtime/... ./internal/transport/...
 
 # One iteration per benchmark: a smoke pass that proves they still run.
 bench:
@@ -31,10 +38,16 @@ bench-json:
 	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k \
 		-workers 1 -out BENCH_scale.json -quiet
 	@echo "wrote BENCH_scale.json"
+	$(GO) run ./cmd/slicebench sweep -backend live -scale 0.1 -workers 2 \
+		-out BENCH_live.json -quiet
+	@echo "wrote BENCH_live.json"
+	$(GO) run ./cmd/slicebench sweep -backend live -scenarios live-scale-10k \
+		-workers 1 -out BENCH_live10k.json -quiet
+	@echo "wrote BENCH_live10k.json (n=10,000 live convergence run)"
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test bench bench-json
+ci: lint build test test-hot bench bench-json

@@ -8,9 +8,11 @@
 //	slicebench list
 //	slicebench run fig6-burst -scale 0.05
 //	slicebench run fig4-policies -format csv -every 5
+//	slicebench run live-convergence -backend live -scale 0.1
 //	slicebench run scale-100k -cpuprofile cpu.prof -memprofile mem.prof
 //	slicebench sweep -scenarios all -scale 0.02 -replicas 2 -workers 8
 //	slicebench sweep -scenarios scale-10k,scale-50k,scale-100k -out BENCH_scale.json
+//	slicebench sweep -backend live -scale 0.1 -workers 2 -out BENCH_live.json
 //	slicebench sweep -scenarios fig4-concurrency,fig6-steady -format csv
 //
 // run executes one scenario family and prints its SDM curves side by
@@ -19,6 +21,14 @@
 // run, including wall time and cycles/sec, so a sweep doubles as a
 // benchmark. Sweep output is deterministic: with -timing=false the same
 // grid and seed produce byte-identical JSON regardless of -workers.
+//
+// Both run and sweep accept -backend sim|live (default sim): one spec,
+// two engines. The live backend materializes each spec as a cluster of
+// real protocol participants on the runtime's sharded scheduler —
+// churn as actual joins and crashes, latency/loss injected per the
+// spec's live block — and reports the same result shape plus a backend
+// tag. Scenarios declare the backends they support (see list); a live
+// sweep over "all" auto-selects the live-capable families.
 package main
 
 import (
@@ -74,16 +84,51 @@ func run(args []string, out, errOut io.Writer) error {
 
 // runList prints the scenario catalog.
 func runList(out io.Writer) error {
-	tab := metrics.NewTable("name", "figure", "specs", "description")
+	tab := metrics.NewTable("name", "figure", "backends", "specs", "description")
 	for _, sc := range scenario.All() {
 		fig := sc.Figure
 		if fig == "" {
 			fig = "extension"
 		}
-		tab.AddRow(sc.Name, fig, len(sc.Specs), sc.Description)
+		backends := scenario.BackendSim
+		if sc.SupportsBackend(scenario.BackendLive) {
+			backends += "+" + scenario.BackendLive
+		}
+		tab.AddRow(sc.Name, fig, backends, len(sc.Specs), sc.Description)
 	}
 	_, err := tab.WriteTo(out)
 	return err
+}
+
+// liveWorkers resolves the -workers default per backend: 0 means "all
+// cores" for sim runs, but each live run spins up its own
+// scheduler-shard worker pool, so defaulting live sweeps to all cores
+// would oversubscribe the machine quadratically. Explicit values are
+// honored either way.
+func liveWorkers(workers int, be scenario.Backend) int {
+	if workers == 0 && be != nil && be.Name() == scenario.BackendLive {
+		return 2
+	}
+	return workers
+}
+
+// resolveBackend parses the -backend flag and checks the named
+// scenarios against it.
+func resolveBackend(name string, scenarios []string) (scenario.Backend, error) {
+	b, err := scenario.BackendByName(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, scName := range scenarios {
+		sc, err := scenario.Lookup(scName)
+		if err != nil {
+			return nil, err
+		}
+		if !sc.SupportsBackend(b.Name()) {
+			return nil, fmt.Errorf("scenario %q does not declare the %q backend (see 'slicebench list')", scName, b.Name())
+		}
+	}
+	return b, nil
 }
 
 // runOne executes one scenario family and renders its SDM curves.
@@ -93,7 +138,8 @@ func runOne(args []string, out, errOut io.Writer) error {
 	var (
 		scale   = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
 		seed    = fs.Int64("seed", 1, "base seed for per-run seed derivation")
-		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		workers = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
+		backend = fs.String("backend", "sim", "execution backend: sim|live")
 		format  = fs.String("format", "table", "output format: table|csv|json")
 		every   = fs.Int("every", 1, "record the SDM every k-th cycle")
 		timing  = fs.Bool("timing", true, "report wall time per run (json only)")
@@ -120,6 +166,10 @@ func runOne(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	be, err := resolveBackend(*backend, []string{name})
+	if err != nil {
+		return err
+	}
 	g := scenario.Grid{Scenarios: []string{name}, Scale: *scale, BaseSeed: *seed}
 	runs, err := g.Expand()
 	if err != nil {
@@ -141,7 +191,7 @@ func runOne(args []string, out, errOut io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	r := scenario.Runner{Workers: *workers, DisableTiming: !*timing}
+	r := scenario.Runner{Workers: liveWorkers(*workers, be), DisableTiming: !*timing, Backend: be}
 	results := r.Sweep(runs, nil)
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
@@ -222,7 +272,8 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		replicas  = fs.Int("replicas", 1, "seed replicas per spec")
 		scale     = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
 		seed      = fs.Int64("seed", 1, "base seed for per-run seed derivation")
-		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
+		backend   = fs.String("backend", "sim", "execution backend: sim|live ('all' scenarios auto-filter to the backend)")
 		format    = fs.String("format", "json", "output format: json|csv")
 		timing    = fs.Bool("timing", true, "include wall time and cycles/sec (disable for byte-identical output)")
 		outPath   = fs.String("out", "", "write output to a file instead of stdout")
@@ -235,8 +286,26 @@ func runSweep(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("sweep takes flags only, got %q", fs.Args())
 	}
 	g := scenario.Grid{Replicas: *replicas, Scale: *scale, BaseSeed: *seed}
+	var be scenario.Backend
 	if *scenarios != "all" && *scenarios != "" {
 		g.Scenarios = strings.Split(*scenarios, ",")
+		b, err := resolveBackend(*backend, g.Scenarios)
+		if err != nil {
+			return err
+		}
+		be = b
+	} else {
+		// "all" means every scenario the backend can execute.
+		b, err := scenario.BackendByName(*backend)
+		if err != nil {
+			return err
+		}
+		be = b
+		for _, sc := range scenario.All() {
+			if sc.SupportsBackend(be.Name()) {
+				g.Scenarios = append(g.Scenarios, sc.Name)
+			}
+		}
 	}
 	runs, err := g.Expand()
 	if err != nil {
@@ -247,7 +316,7 @@ func runSweep(args []string, out, errOut io.Writer) error {
 			fmt.Fprintln(errOut, res.Summary())
 		}
 	}
-	r := scenario.Runner{Workers: *workers, DisableTiming: !*timing}
+	r := scenario.Runner{Workers: liveWorkers(*workers, be), DisableTiming: !*timing, Backend: be}
 	results := r.Sweep(runs, onResult)
 	failed := 0
 	for _, res := range results {

@@ -172,3 +172,91 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// The list output advertises backend support so operators know what
+// -backend live can execute.
+func TestListShowsBackends(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backends") {
+		t.Error("list output missing backends column")
+	}
+	if !strings.Contains(out.String(), "sim+live") {
+		t.Error("list output missing a sim+live scenario")
+	}
+}
+
+// One spec, two engines: the same scenario runs on the live backend and
+// reports the same JSON result shape plus the backend tag.
+func TestRunLiveBackendJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "livecluster", "-backend", "live", "-format", "json"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []scenario.RunResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("live run output is not valid JSON: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	res := results[0]
+	if res.Backend != scenario.BackendLive {
+		t.Errorf("backend tag = %q, want %q", res.Backend, scenario.BackendLive)
+	}
+	if res.Error != "" {
+		t.Fatalf("live run failed: %s", res.Error)
+	}
+	if len(res.SDM) == 0 {
+		t.Error("live run carries no SDM series")
+	}
+}
+
+// A sim-only scenario is refused on the live backend instead of
+// producing meaningless output.
+func TestRunLiveBackendRefusesSimOnly(t *testing.T) {
+	err := run([]string{"run", "fig4-concurrency", "-backend", "live", "-scale", "0.01"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "does not declare") {
+		t.Fatalf("sim-only scenario accepted on live backend: %v", err)
+	}
+}
+
+// A live sweep over "all" auto-selects the live-capable scenarios.
+func TestSweepLiveBackendAutoFilters(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"sweep", "-backend", "live", "-scale", "0.05", "-workers", "2", "-quiet"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("%v\nstderr:\n%s", err, errOut.String())
+	}
+	var results []scenario.RunResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("live sweep output is not valid JSON: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("live sweep expanded to zero runs")
+	}
+	for _, res := range results {
+		sc, err := scenario.Lookup(res.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.SupportsBackend(scenario.BackendLive) {
+			t.Errorf("live sweep ran sim-only scenario %q", res.Scenario)
+		}
+		if res.Backend != scenario.BackendLive {
+			t.Errorf("%s: backend tag %q", res.Scenario, res.Backend)
+		}
+		if res.Error != "" {
+			t.Errorf("%s/%s: %s", res.Scenario, res.Spec.Name, res.Error)
+		}
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	if err := run([]string{"run", "quickstart", "-backend", "peersim"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -33,8 +33,33 @@
 //   - Simulated: a deterministic cycle-based engine (the paper's
 //     PeerSim model) via Simulate, reproducing every figure of the
 //     paper's evaluation — see cmd/slicesim.
-//   - Live: goroutine-per-node clusters over an in-memory or TCP
-//     transport via NewCluster / NewNode — see cmd/slicenode.
+//   - Live: clusters of real protocol participants multiplexed onto a
+//     sharded scheduler via NewCluster (10,000+ gossiping nodes in one
+//     process), or standalone goroutine-per-node processes via NewNode
+//     over an in-memory or TCP transport — see cmd/slicenode.
+//
+// # Engines and backends
+//
+// The two execution regimes sit behind one abstraction: a
+// ScenarioBackend runs a ScenarioSpec either on the simulator
+// (SimScenarioBackend — logical cycles, atomic exchanges, bit-exact
+// per seed) or on the live runtime (LiveScenarioBackend — a real
+// cluster with interleaved gossip, churn applied as actual joins and
+// crashes on the spec's schedule, and seeded latency/loss injection
+// from the spec's live block). Both return the same result shape, so
+// the slice-disorder trajectory of a live cluster is directly
+// comparable, cycle for cycle, with its simulation — the asynchronous
+// regime §4.5.2 of the paper approximates with artificial overlap
+// probabilities is measured here natively.
+//
+// The live runtime's cluster core is a sharded scheduler: a fixed
+// worker pool (one worker per shard) drains per-shard timer wheels of
+// node ticks and message deliveries, so a cluster costs O(shards)
+// goroutines instead of O(nodes). Behind the LiveClock abstraction a
+// cluster runs on the wall clock or — handed a VirtualClock — in
+// driven virtual time, where Cluster.Advance executes each period's
+// work concurrently and returns without sleeping: live evaluation runs
+// and tests are compute-bound, not period-bound.
 //
 // # Attribute distributions
 //

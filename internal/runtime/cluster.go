@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"github.com/gossipkit/slicing/internal/core"
@@ -19,6 +20,24 @@ import (
 var (
 	ErrClusterSize = errors.New("runtime: cluster needs at least two nodes")
 	ErrNoDist      = errors.New("runtime: cluster needs an attribute distribution")
+	// ErrLossRange is returned for loss rates outside [0,1).
+	ErrLossRange = errors.New("runtime: Loss must lie in [0,1)")
+	// ErrLatencyRange is returned when MaxLatency < MinLatency or a
+	// latency bound is negative.
+	ErrLatencyRange = errors.New("runtime: latency bounds need 0 ≤ MinLatency ≤ MaxLatency")
+	// ErrExternalInjection is returned when loss/latency injection is
+	// combined with an external Transport: injection belongs to the
+	// scheduler-routed internal network (configure the external
+	// transport's own injection instead).
+	ErrExternalInjection = errors.New("runtime: latency/loss injection requires the scheduler-routed network (leave Transport nil)")
+	// ErrExternalDriven is returned when a VirtualClock is combined with
+	// an external Transport: driven time can only quiesce traffic it
+	// routes itself.
+	ErrExternalDriven = errors.New("runtime: a VirtualClock requires the scheduler-routed network (leave Transport nil)")
+	// ErrNotDriven is returned by Advance on a wall-clock cluster.
+	ErrNotDriven = errors.New("runtime: Advance needs a cluster built with a VirtualClock")
+	// ErrStopped is returned by Join after Stop.
+	ErrStopped = errors.New("runtime: cluster is stopped")
 )
 
 // EstimatorFactory builds one estimator per ranking node.
@@ -39,30 +58,66 @@ type ClusterConfig struct {
 	Membership Membership
 	// Period is the gossip period for every node. Required.
 	Period time.Duration
-	// JitterFrac desynchronizes node periods. Default 0.1.
+	// JitterFrac desynchronizes node periods. Zero means
+	// DefaultJitterFrac; pass JitterNone (or any negative value) for
+	// strictly periodic nodes.
 	JitterFrac float64
 	// AttrDist draws the attribute values. Required.
 	AttrDist dist.Source
 	// Seed makes the construction reproducible.
 	Seed int64
-	// Transport carries the traffic; nil uses a fresh in-memory
-	// transport owned (and closed) by the cluster.
+	// Transport, when non-nil, carries the traffic over an external
+	// transport (e.g. TCP): the cluster registers its nodes there and
+	// only node ticks run on the scheduler. When nil — the default, and
+	// the path that scales to 10k+ nodes — messages are routed by the
+	// cluster's sharded scheduler itself, with optional latency and loss
+	// injection below; no per-node goroutines exist in that mode.
 	Transport transport.Transport
 	// BootstrapDegree is the number of random nodes seeded into each
 	// initial view. Default min(ViewSize, N-1).
 	BootstrapDegree int
+	// Clock drives the scheduler. Nil means the wall clock; a
+	// *VirtualClock puts the cluster in driven mode, where time moves
+	// only through Advance.
+	Clock Clock
+	// Shards is the scheduler's worker count. Default GOMAXPROCS
+	// (capped at 32).
+	Shards int
+	// MinLatency and MaxLatency bound the uniformly drawn delivery
+	// delay of the internal network (scheduler-routed mode only). Zero
+	// delivers at the next scheduling opportunity.
+	MinLatency, MaxLatency time.Duration
+	// Loss is the probability a message on the internal network is
+	// silently dropped (scheduler-routed mode only).
+	Loss float64
 }
 
-// Cluster is a set of live nodes sharing a transport.
+// Cluster is a set of live nodes multiplexed onto a sharded scheduler.
 type Cluster struct {
-	nodes         []*Node
-	part          core.Partition
-	tr            transport.Transport
-	ownsTransport bool
+	part   core.Partition
+	sched  *scheduler
+	tr     transport.Transport // external transport; nil when scheduler-routed
+	driven bool
+
+	// Immutable construction parameters, kept for Join.
+	cfg ClusterConfig
+
+	// The fields below are guarded by the scheduler being quiescent
+	// (driven mode) or by external synchronization of the caller: the
+	// cluster's mutating methods (Join, Kill, Start, Stop) and snapshot
+	// methods are safe to call concurrently with gossip but not with
+	// each other.
+	nodes   []*Node
+	index   map[core.ID]int
+	nextID  core.ID
+	rng     *rand.Rand
+	started bool
+	stopped bool
 }
 
 // NewCluster builds the nodes (ids 1..N) with bootstrap views wired into
-// a random graph. Call Start to begin gossiping.
+// a random graph. Call Start to begin gossiping (and, in driven mode,
+// Advance to move time).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.N < 2 {
 		return nil, ErrClusterSize
@@ -73,118 +128,291 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Period <= 0 {
 		return nil, ErrBadPeriod
 	}
-	if cfg.JitterFrac == 0 {
-		cfg.JitterFrac = 0.1
+	if cfg.JitterFrac >= 1 {
+		return nil, ErrBadJitter
 	}
-	tr := cfg.Transport
-	owns := false
-	if tr == nil {
-		tr = transport.NewInMem(transport.InMemOptions{Seed: cfg.Seed})
-		owns = true
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return nil, ErrLossRange
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MinLatency < 0 || cfg.MaxLatency < cfg.MinLatency {
+		return nil, ErrLatencyRange
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	_, driven := clock.(*VirtualClock)
+	if cfg.Transport != nil {
+		if driven {
+			return nil, ErrExternalDriven
+		}
+		if cfg.Loss > 0 || cfg.MaxLatency > 0 || cfg.MinLatency > 0 {
+			return nil, ErrExternalInjection
+		}
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 32 {
+			shards = 32
+		}
+	}
+	sched := newScheduler(schedConfig{
+		clock:   clock,
+		shards:  shards,
+		seed:    cfg.Seed,
+		quantum: cfg.Period / 4,
+		loss:    cfg.Loss,
+		minLat:  cfg.MinLatency,
+		maxLat:  cfg.MaxLatency,
+	})
+	c := &Cluster{
+		part:   cfg.Partition,
+		sched:  sched,
+		tr:     cfg.Transport,
+		driven: driven,
+		cfg:    cfg,
+		index:  make(map[core.ID]int, cfg.N),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
 	attrs := make([]core.Attr, cfg.N)
 	rs := make([]float64, cfg.N)
 	for i := range attrs {
-		attrs[i] = core.Attr(cfg.AttrDist.Sample(rng))
-		rs[i] = 1 - rng.Float64()
+		attrs[i] = core.Attr(cfg.AttrDist.Sample(c.rng))
+		rs[i] = 1 - c.rng.Float64()
 	}
-	estimators := cfg.Estimators
-	if estimators == nil {
-		estimators = func() ranking.Estimator { return ranking.NewCounter() }
-	}
-	c := &Cluster{part: cfg.Partition, tr: tr, ownsTransport: owns}
 	for i := 0; i < cfg.N; i++ {
-		nodeCfg := NodeConfig{
-			ID:         core.ID(i + 1),
-			Attr:       attrs[i],
-			Partition:  cfg.Partition,
-			ViewSize:   cfg.ViewSize,
-			Protocol:   cfg.Protocol,
-			Policy:     cfg.Policy,
-			Membership: cfg.Membership,
-			Period:     cfg.Period,
-			JitterFrac: cfg.JitterFrac,
-			Seed:       cfg.Seed + int64(i+1),
-			Transport:  tr,
-			InitialR:   rs[i],
-		}
-		if cfg.Protocol == Ranking {
-			nodeCfg.Estimator = estimators()
-		}
-		n, err := NewNode(nodeCfg)
-		if err != nil {
-			if owns {
-				tr.Close()
-			}
+		if _, err := c.buildNode(attrs[i], rs[i], nil); err != nil {
 			return nil, fmt.Errorf("runtime: node %d: %w", i+1, err)
 		}
-		c.nodes = append(c.nodes, n)
 	}
 	// Bootstrap: each node's view holds BootstrapDegree random others.
-	deg := cfg.BootstrapDegree
-	if deg <= 0 || deg > cfg.ViewSize {
-		deg = cfg.ViewSize
-	}
-	if deg > cfg.N-1 {
-		deg = cfg.N - 1
-	}
+	deg := c.bootstrapDegree(cfg.N - 1)
 	for i, n := range c.nodes {
-		seen := map[int]bool{i: true}
-		added := 0
-		for added < deg {
-			j := rng.Intn(cfg.N)
-			if seen[j] {
-				continue
-			}
-			seen[j] = true
-			entry := view.Entry{
-				ID:   core.ID(j + 1),
-				Age:  0,
-				Attr: attrs[j],
-				R:    rs[j],
-			}
+		for _, entry := range c.sampleBootstrap(i, deg) {
 			n.mem.View().Add(entry)
-			added++
 		}
 	}
 	return c, nil
 }
 
-// Start launches every node.
+// sampleBootstrap draws the self entries of up to deg distinct random
+// live nodes, excluding the arena index exclude (-1 for none). It backs
+// both the construction-time view wiring and Join's live bootstrap.
+func (c *Cluster) sampleBootstrap(exclude, deg int) []view.Entry {
+	entries := make([]view.Entry, 0, deg)
+	n := len(c.nodes)
+	seen := make(map[int]bool, deg+1)
+	if exclude >= 0 && exclude < n {
+		seen[exclude] = true
+	}
+	for len(entries) < deg && len(seen) < n {
+		j := c.rng.Intn(n)
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		entries = append(entries, c.nodes[j].SelfEntry())
+	}
+	return entries
+}
+
+// bootstrapDegree clamps the configured bootstrap degree to the number
+// of live peers a new view can actually reference. peers excludes the
+// node being bootstrapped: construction passes N-1 (everyone is already
+// in the arena), Join passes len(c.nodes) (the joiner is not appended
+// yet). It can be zero — a rejoin into a churn-drained cluster starts
+// with an empty view and waits for peers.
+func (c *Cluster) bootstrapDegree(peers int) int {
+	deg := c.cfg.BootstrapDegree
+	if deg <= 0 || deg > c.cfg.ViewSize {
+		deg = c.cfg.ViewSize
+	}
+	if deg > peers {
+		deg = peers
+	}
+	if deg < 0 {
+		deg = 0
+	}
+	return deg
+}
+
+// transportFor returns the transport a node sends through.
+func (c *Cluster) transportFor() transport.Transport {
+	if c.tr != nil {
+		return c.tr
+	}
+	return c.sched.net()
+}
+
+// buildNode creates the node with the next identifier, appends it to
+// the cluster and places it on its scheduler shard. bootstrap may be
+// nil (NewCluster seeds views afterwards).
+func (c *Cluster) buildNode(attr core.Attr, r float64, bootstrap []view.Entry) (*Node, error) {
+	c.nextID++
+	id := c.nextID
+	nodeCfg := NodeConfig{
+		ID:         id,
+		Attr:       attr,
+		Partition:  c.cfg.Partition,
+		ViewSize:   c.cfg.ViewSize,
+		Protocol:   c.cfg.Protocol,
+		Policy:     c.cfg.Policy,
+		Membership: c.cfg.Membership,
+		Period:     c.cfg.Period,
+		JitterFrac: c.cfg.JitterFrac,
+		Seed:       c.cfg.Seed + int64(id),
+		Transport:  c.transportFor(),
+		InitialR:   r,
+		Bootstrap:  bootstrap,
+	}
+	if c.cfg.Protocol == Ranking {
+		est := c.cfg.Estimators
+		if est == nil {
+			est = func() ranking.Estimator { return ranking.NewCounter() }
+		}
+		nodeCfg.Estimator = est()
+	}
+	n, err := NewNode(nodeCfg)
+	if err != nil {
+		c.nextID--
+		return nil, err
+	}
+	c.index[id] = len(c.nodes)
+	c.nodes = append(c.nodes, n)
+	c.sched.addNode(n)
+	return n, nil
+}
+
+// launch registers a node's passive handler and books its first tick at
+// a random phase within one period, so freshly started (or joined)
+// nodes desynchronize immediately instead of thundering together.
+func (c *Cluster) launch(n *Node) error {
+	if c.tr != nil {
+		if err := c.tr.Register(n.ID(), n.handle); err != nil {
+			return err
+		}
+	} else {
+		c.sched.register(n.ID(), n.handle)
+	}
+	c.sched.scheduleTick(n, time.Duration(c.rng.Float64()*float64(c.cfg.Period)))
+	return nil
+}
+
+// Start launches the scheduler workers and every node. A launch
+// failure (possible only with an external Transport refusing a
+// registration) stops the cluster before returning: a partially
+// launched cluster is never left running.
 func (c *Cluster) Start() error {
+	if c.stopped {
+		return ErrStopped
+	}
+	if c.started {
+		return nil
+	}
+	c.started = true
+	c.sched.start()
 	for _, n := range c.nodes {
-		if err := n.Start(); err != nil {
+		if err := c.launch(n); err != nil {
+			c.Stop()
 			return err
 		}
 	}
 	return nil
 }
 
-// Stop halts every node, then the transport if the cluster owns it.
+// Stop halts the scheduler; nodes stop gossiping and external handlers
+// are deregistered.
 func (c *Cluster) Stop() {
-	for _, n := range c.nodes {
-		n.Stop()
+	if c.stopped {
+		return
 	}
-	if c.ownsTransport {
-		c.tr.Close()
+	c.stopped = true
+	c.sched.halt()
+	if c.tr != nil {
+		for _, n := range c.nodes {
+			c.tr.Unregister(n.ID())
+		}
 	}
 }
 
-// Nodes returns the cluster's nodes.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// Advance moves a driven cluster's virtual clock forward by d,
+// executing every node tick and message delivery that falls due
+// (concurrently, across the scheduler's worker shards) before
+// returning. It is the only way time passes under a VirtualClock.
+func (c *Cluster) Advance(d time.Duration) error {
+	if !c.driven {
+		return ErrNotDriven
+	}
+	if c.stopped {
+		// The workers are gone; stepping would park forever waiting for
+		// them to drain the released events.
+		return ErrStopped
+	}
+	c.sched.step(d)
+	return nil
+}
 
-// Kill crashes one node (for failure injection): it stops gossiping and
-// leaves the transport without any goodbye, like the paper's churn.
-func (c *Cluster) Kill(id core.ID) bool {
-	for i, n := range c.nodes {
-		if n.ID() == id {
-			n.Stop()
-			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
-			return true
+// Nodes returns a snapshot of the cluster's live nodes. The caller owns
+// the slice: Kill swap-deletes from (and nils out) the cluster's own
+// list, so handing out the backing array would plant nils under
+// iterating callers.
+func (c *Cluster) Nodes() []*Node {
+	return append([]*Node(nil), c.nodes...)
+}
+
+// MessageCounts reports the traffic delivered and dropped by the
+// cluster's internal network (zero when an external Transport carries
+// the traffic).
+func (c *Cluster) MessageCounts() MessageCounts { return c.sched.counts() }
+
+// Join adds one node with the given attribute to the running cluster —
+// churn's arrival half (§3.3). The joiner bootstraps from
+// BootstrapDegree random live nodes and starts gossiping at a random
+// phase within the next period. Safe to call while the cluster gossips,
+// but not concurrently with other cluster mutations.
+func (c *Cluster) Join(attr core.Attr) (*Node, error) {
+	if c.stopped {
+		return nil, ErrStopped
+	}
+	bootstrap := c.sampleBootstrap(-1, c.bootstrapDegree(len(c.nodes)))
+	n, err := c.buildNode(attr, 1-c.rng.Float64(), bootstrap)
+	if err != nil {
+		return nil, err
+	}
+	if c.started {
+		if err := c.launch(n); err != nil {
+			// Roll the half-added node back out (possible only with an
+			// external Transport refusing the registration): a member
+			// that never gossips must not haunt the measurements.
+			c.Kill(n.ID())
+			return nil, err
 		}
 	}
-	return false
+	return n, nil
+}
+
+// Kill crashes one node (churn's departure half): it stops gossiping
+// and leaves without any goodbye — crash and departure are
+// indistinguishable (§3.3). Queued deliveries to it are dropped.
+func (c *Cluster) Kill(id core.ID) bool {
+	i, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	c.sched.removeNode(id)
+	if c.tr != nil {
+		c.tr.Unregister(id)
+	}
+	last := len(c.nodes) - 1
+	if i != last {
+		c.nodes[i] = c.nodes[last]
+		c.index[c.nodes[i].ID()] = i
+	}
+	c.nodes[last] = nil
+	c.nodes = c.nodes[:last]
+	delete(c.index, id)
+	return true
 }
 
 // States snapshots all live nodes for measurement.
@@ -214,15 +442,33 @@ func (c *Cluster) MisassignedFraction() float64 {
 
 // AwaitSDM polls until the SDM drops to at most target or the timeout
 // expires, returning the last observed value and whether the target was
-// met.
+// met. On a driven cluster the timeout is virtual — one period of it is
+// consumed per probe and no wall time passes; on a wall-clock cluster
+// it is a real deadline that also covers the measurement cost itself.
+// Like every cluster mutation, it must not race Stop: the stopped
+// checks below cover the sequential called-after-Stop case, not a
+// concurrent Stop from another goroutine.
 func (c *Cluster) AwaitSDM(target float64, timeout time.Duration) (float64, bool) {
+	if c.driven {
+		last := c.SDM()
+		for waited := time.Duration(0); ; waited += c.cfg.Period {
+			if last <= target {
+				return last, true
+			}
+			if waited >= timeout || c.stopped {
+				return last, false
+			}
+			c.sched.step(c.cfg.Period)
+			last = c.SDM()
+		}
+	}
 	deadline := time.Now().Add(timeout)
 	last := c.SDM()
 	for {
 		if last <= target {
 			return last, true
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) || c.stopped {
 			return last, false
 		}
 		time.Sleep(5 * time.Millisecond)

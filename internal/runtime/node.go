@@ -1,7 +1,18 @@
-// Package runtime executes the slicing protocols live: every node is a
-// goroutine pair — an active thread ticking each gossip period and a
-// passive thread handling incoming messages (the two threads of Figs. 2,
-// 3 and 5 of the paper) — communicating over a Transport.
+// Package runtime executes the slicing protocols live: each node runs
+// an active thread ticking every gossip period and a passive thread
+// handling incoming messages (the two threads of Figs. 2, 3 and 5 of
+// the paper), communicating over a Transport.
+//
+// A standalone Node (NewNode + Start) owns a goroutine for its active
+// thread and lets its Transport drive the passive one — the natural
+// shape for one process per node. A Cluster instead multiplexes all of
+// its nodes onto a sharded scheduler (see sched.go): a fixed worker
+// pool drains per-shard timer wheels of node ticks and message
+// deliveries, so a single process sustains live clusters of 10,000+
+// gossiping nodes. Behind a Clock abstraction the same cluster runs in
+// wall time or — handed a VirtualClock — in driven virtual time, where
+// Cluster.Advance executes the due work concurrently and returns
+// without sleeping.
 //
 // The same protocol state machines the simulator drives cycle-by-cycle
 // run here under real concurrency, message loss and crashes. Unlike the
@@ -48,11 +59,37 @@ const (
 	NewscastViews
 )
 
+// Jitter configuration. A zero JitterFrac historically meant "use the
+// default", which made an intentionally jitter-free node impossible to
+// request; the explicit sentinel closes that gap.
+const (
+	// DefaultJitterFrac is the period desynchronization applied when
+	// JitterFrac is left at its zero value.
+	DefaultJitterFrac = 0.1
+	// JitterNone requests strictly periodic ticks (no jitter). Any
+	// negative JitterFrac means the same.
+	JitterNone = -1.0
+)
+
+// effectiveJitter resolves the JitterFrac convention shared by
+// NodeConfig and ClusterConfig: negative = none, zero = default.
+func effectiveJitter(f float64) float64 {
+	switch {
+	case f < 0:
+		return 0
+	case f == 0:
+		return DefaultJitterFrac
+	default:
+		return f
+	}
+}
+
 // Node configuration errors.
 var (
 	ErrNoTransport = errors.New("runtime: config needs a transport")
 	ErrNoEstimator = errors.New("runtime: ranking config needs an estimator")
 	ErrBadPeriod   = errors.New("runtime: period must be positive")
+	ErrBadJitter   = errors.New("runtime: JitterFrac must be below 1 (a full-period jitter makes periods non-positive)")
 	ErrBadProtocol = errors.New("runtime: unknown protocol")
 	ErrStarted     = errors.New("runtime: node already started")
 )
@@ -75,7 +112,9 @@ type NodeConfig struct {
 	Membership Membership
 	// Period is the gossip period (Figs. 2/5: wait(period)). Required.
 	Period time.Duration
-	// JitterFrac desynchronizes periods by ±JitterFrac·Period.
+	// JitterFrac desynchronizes periods by ±JitterFrac·Period. Zero
+	// means DefaultJitterFrac; pass JitterNone (or any negative value)
+	// for strictly periodic ticks.
 	JitterFrac float64
 	// Seed feeds the node's private rng.
 	Seed int64
@@ -136,6 +175,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Period <= 0 {
 		return nil, ErrBadPeriod
 	}
+	if cfg.JitterFrac >= 1 {
+		return nil, ErrBadJitter
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	v, err := view.New(cfg.ViewSize)
 	if err != nil {
@@ -195,7 +237,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		mem:    mem,
 		rng:    rng,
 		period: cfg.Period,
-		jitter: cfg.JitterFrac,
+		jitter: effectiveJitter(cfg.JitterFrac),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -391,4 +433,17 @@ func (n *Node) SelfEntry() view.Entry {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.slicer.SelfEntry()
+}
+
+// OrderingStats returns the node's ordering event counters; ok is false
+// for non-ordering nodes. Measurement collectors use it to compute the
+// per-period unsuccessful-swap percentage (Fig. 4(c)) for live runs.
+func (n *Node) OrderingStats() (ordering.Stats, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	on, ok := n.slicer.(*ordering.Node)
+	if !ok {
+		return ordering.Stats{}, false
+	}
+	return on.Stats(), true
 }

@@ -1,0 +1,552 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/transport"
+)
+
+// The sharded scheduler replaces the runtime's original
+// two-goroutines-per-node design (an active ticker loop plus a passive
+// transport goroutine per node) with a fixed worker pool: nodes are
+// assigned to shards by id, each shard owns a timer wheel (a min-heap of
+// timed events — node ticks and message deliveries) drained by one
+// worker goroutine, and passive handlers are dispatched on the shard
+// that owns the destination node. A cluster of N nodes therefore costs
+// O(shards) goroutines instead of O(N), which is what lets a live
+// in-process cluster scale past 10,000 gossiping nodes.
+//
+// The scheduler runs in one of two modes, decided by the cluster's
+// Clock:
+//
+//   - Free-running (wall clock): each worker sleeps until its shard's
+//     earliest deadline and executes events as real time passes. This is
+//     the production mode.
+//   - Driven (VirtualClock): events execute only inside step(), which
+//     advances virtual time in small batches, releases every event that
+//     falls due, and waits for the workers to drain them. Ticks within a
+//     batch still execute concurrently across shards — the code paths
+//     and locking are identical to the free-running mode — but no wall
+//     time is spent waiting for periods to elapse, so tests and the live
+//     scenario backend are compute-bound and deadline-free.
+//
+// Message traffic between cluster nodes is routed by the scheduler
+// itself (schedNet below): a send is a loss/latency draw plus an event
+// push on the destination shard, so no per-node inbox goroutines exist
+// and virtual-time runs model latency on the virtual timeline.
+
+// MessageCounts tallies messages delivered by the scheduler's internal
+// network, by type, plus messages dropped by loss injection, full
+// queues, or departed destinations. The field set mirrors the
+// simulator's counters so live and simulated runs report the same shape.
+type MessageCounts struct {
+	ViewRequests uint64
+	ViewReplies  uint64
+	SwapRequests uint64
+	SwapReplies  uint64
+	RankUpdates  uint64
+	Dropped      uint64
+}
+
+// Total returns all delivered messages.
+func (m MessageCounts) Total() uint64 {
+	return m.ViewRequests + m.ViewReplies + m.SwapRequests + m.SwapReplies + m.RankUpdates
+}
+
+// event is one entry of a shard's timer wheel: a node tick (node != nil)
+// or a message delivery.
+type event struct {
+	at   time.Time
+	seq  uint64 // tie-break: events with equal deadlines keep push order
+	node *Node  // tick target; nil for deliveries
+	from core.ID
+	to   core.ID
+	msg  proto.Message
+}
+
+// eventHeap is a min-heap over (at, seq). Implemented inline (not via
+// container/heap) so pushes and pops stay interface-free on the hot
+// path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release msg/node references
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && old[:n].less(l, smallest) {
+			smallest = l
+		}
+		if r < n && old[:n].less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}
+
+// shardCounts are the per-shard delivery tallies; split into atomics so
+// workers and senders update them without taking the shard lock.
+type shardCounts struct {
+	viewReq, viewRep, swapReq, swapRep, rankUpd, dropped atomic.Uint64
+}
+
+// shard owns a subset of the cluster's nodes: their tick events, the
+// deliveries addressed to them, and the handler map used to dispatch
+// those deliveries. One worker goroutine drains it.
+type shard struct {
+	mu        sync.Mutex
+	wheel     eventHeap // future events
+	ready     []event   // due events awaiting the worker (driven mode)
+	readyHead int       // first unconsumed ready event
+	nodes     map[core.ID]*Node
+	handlers  map[core.ID]transport.Handler
+	rng       *rand.Rand // loss/latency draws; guarded by mu
+	notify    chan struct{}
+	counts    shardCounts
+	// timer is the worker's reusable deadline timer (wall-clock mode
+	// only; touched exclusively by the shard's worker goroutine). A
+	// fresh time.After per idle wait would leak one unstoppable runtime
+	// timer per wait on the scheduler's hottest path.
+	timer *time.Timer
+}
+
+func (sh *shard) wake() {
+	select {
+	case sh.notify <- struct{}{}:
+	default:
+	}
+}
+
+// schedConfig parameterizes a scheduler.
+type schedConfig struct {
+	clock  Clock
+	shards int
+	seed   int64
+	// quantum is the driven-mode batch width: events within one quantum
+	// of the earliest pending deadline are released together and execute
+	// concurrently across shards. Smaller quanta order events more
+	// precisely; larger quanta expose more parallelism.
+	quantum time.Duration
+	// loss and latency bounds for the internal network.
+	loss           float64
+	minLat, maxLat time.Duration
+}
+
+// scheduler is the sharded event engine described at the top of this
+// file.
+type scheduler struct {
+	cfg    schedConfig
+	clock  Clock
+	vclock *VirtualClock // non-nil in driven mode
+	shards []*shard
+	seq    atomic.Uint64
+
+	// Driven-mode quiescence accounting: pending counts released-but-
+	// unfinished events; stepTarget is the current batch end (nanos since
+	// virtualEpoch, math.MinInt64 outside a step) so sends that land
+	// inside the batch go straight to the ready queue.
+	pending    atomic.Int64
+	stepTarget atomic.Int64
+	idleMu     sync.Mutex
+	idleCond   *sync.Cond
+
+	stop    chan struct{}
+	done    sync.WaitGroup
+	started bool
+}
+
+func newScheduler(cfg schedConfig) *scheduler {
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.quantum <= 0 {
+		cfg.quantum = time.Millisecond
+	}
+	s := &scheduler{cfg: cfg, clock: cfg.clock, stop: make(chan struct{})}
+	if vc, ok := cfg.clock.(*VirtualClock); ok {
+		s.vclock = vc
+	}
+	s.stepTarget.Store(math.MinInt64)
+	s.idleCond = sync.NewCond(&s.idleMu)
+	for i := 0; i < cfg.shards; i++ {
+		s.shards = append(s.shards, &shard{
+			nodes:    make(map[core.ID]*Node),
+			handlers: make(map[core.ID]transport.Handler),
+			rng:      rand.New(rand.NewSource(cfg.seed ^ int64(0x9E3779B97F4A7C15+uint64(i)*0xBF58476D1CE4E5B9))),
+			notify:   make(chan struct{}, 1),
+		})
+	}
+	return s
+}
+
+func (s *scheduler) driven() bool { return s.vclock != nil }
+
+func (s *scheduler) shardFor(id core.ID) *shard {
+	return s.shards[uint64(id)%uint64(len(s.shards))]
+}
+
+// start launches one worker per shard.
+func (s *scheduler) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, sh := range s.shards {
+		s.done.Add(1)
+		go s.worker(sh)
+	}
+}
+
+// halt stops the workers; unexecuted events are discarded.
+func (s *scheduler) halt() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	s.done.Wait()
+}
+
+// addNode places a node on its shard's tick map. The first tick must be
+// scheduled separately (scheduleTick) once the cluster starts.
+func (s *scheduler) addNode(n *Node) {
+	sh := s.shardFor(n.ID())
+	sh.mu.Lock()
+	sh.nodes[n.ID()] = n
+	sh.mu.Unlock()
+}
+
+// register binds the delivery handler for a node on the internal
+// network.
+func (s *scheduler) register(id core.ID, h transport.Handler) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.handlers[id] = h
+	sh.mu.Unlock()
+}
+
+// removeNode detaches a node: its future tick is not rescheduled and
+// deliveries addressed to it are counted as dropped (a crash leaves no
+// goodbye).
+func (s *scheduler) removeNode(id core.ID) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.nodes, id)
+	delete(sh.handlers, id)
+	sh.mu.Unlock()
+}
+
+// scheduleTick books a node's next active-thread tick after delay.
+func (s *scheduler) scheduleTick(n *Node, delay time.Duration) {
+	s.scheduleTickAt(n, s.clock.Now().Add(delay))
+}
+
+func (s *scheduler) scheduleTickAt(n *Node, at time.Time) {
+	s.push(s.shardFor(n.ID()), event{at: at, node: n})
+}
+
+// push inserts an event on a shard's wheel — or, when a driven step is
+// in flight and the event falls inside the current batch, straight onto
+// the ready queue so zero-latency deliveries complete within the batch
+// that produced them.
+func (s *scheduler) push(sh *shard, ev event) {
+	sh.mu.Lock()
+	s.pushLocked(sh, ev)
+	sh.mu.Unlock()
+	sh.wake()
+}
+
+// pushLocked is push with sh.mu already held (the send hot path folds
+// the insertion into its existing critical section).
+func (s *scheduler) pushLocked(sh *shard, ev event) {
+	ev.seq = s.seq.Add(1)
+	if s.driven() && ev.at.Sub(virtualEpoch) <= time.Duration(s.stepTarget.Load()) {
+		sh.ready = append(sh.ready, ev)
+		s.pending.Add(1)
+	} else {
+		sh.wheel.push(ev)
+	}
+}
+
+// worker drains one shard: ready events first (driven mode), then due
+// wheel events (free-running mode), then sleeps until the next deadline
+// or a wake-up.
+func (s *scheduler) worker(sh *shard) {
+	defer s.done.Done()
+	for {
+		sh.mu.Lock()
+		var ev event
+		have := false
+		if sh.readyHead < len(sh.ready) {
+			ev = sh.ready[sh.readyHead]
+			sh.ready[sh.readyHead] = event{} // release msg/node references
+			sh.readyHead++
+			if sh.readyHead == len(sh.ready) {
+				sh.ready, sh.readyHead = sh.ready[:0], 0
+			}
+			have = true
+		} else if !s.driven() && len(sh.wheel) > 0 && !sh.wheel[0].at.After(s.clock.Now()) {
+			ev = sh.wheel.pop()
+			have = true
+		}
+		var wait <-chan time.Time
+		if !have && !s.driven() && len(sh.wheel) > 0 {
+			d := sh.wheel[0].at.Sub(s.clock.Now())
+			if _, real := s.clock.(realClock); real {
+				// Reuse one timer per shard. Only this worker touches
+				// it, and Go 1.23+ timer semantics guarantee Reset
+				// leaves no stale fire in the channel.
+				if sh.timer == nil {
+					sh.timer = time.NewTimer(d)
+				} else {
+					sh.timer.Reset(d)
+				}
+				wait = sh.timer.C
+			} else {
+				wait = s.clock.After(d)
+			}
+		}
+		sh.mu.Unlock()
+		if have {
+			s.execute(sh, ev)
+			if s.driven() {
+				s.finish()
+			}
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-sh.notify:
+		case <-wait:
+		}
+	}
+}
+
+// execute runs one event on the worker's goroutine. Tick events run the
+// node's active thread and rebook the next period; delivery events
+// dispatch the passive handler.
+func (s *scheduler) execute(sh *shard, ev event) {
+	if ev.node != nil {
+		sh.mu.Lock()
+		_, live := sh.nodes[ev.node.ID()]
+		sh.mu.Unlock()
+		if !live {
+			return // killed after this tick was booked
+		}
+		ev.node.tick()
+		// Rebook from the tick's DUE time, not the clock: driven batches
+		// execute events up to one quantum after their deadline, and
+		// free-running workers add processing delay — basing the next
+		// period on Now() would compound that into systematic period
+		// drift. Clamp to Now() so a node that fell behind does not
+		// accumulate a past-due backlog.
+		next := ev.at.Add(ev.node.nextPeriod())
+		if now := s.clock.Now(); next.Before(now) {
+			next = now
+		}
+		s.scheduleTickAt(ev.node, next)
+		return
+	}
+	sh.mu.Lock()
+	h := sh.handlers[ev.to]
+	sh.mu.Unlock()
+	if h == nil {
+		sh.counts.dropped.Add(1)
+		return
+	}
+	switch ev.msg.(type) {
+	case proto.ViewRequest:
+		sh.counts.viewReq.Add(1)
+	case proto.ViewReply:
+		sh.counts.viewRep.Add(1)
+	case proto.SwapRequest:
+		sh.counts.swapReq.Add(1)
+	case proto.SwapReply:
+		sh.counts.swapRep.Add(1)
+	case proto.RankUpdate:
+		sh.counts.rankUpd.Add(1)
+	}
+	h(ev.from, ev.msg)
+}
+
+// finish retires one driven-mode event and wakes step when the engine
+// quiesces.
+func (s *scheduler) finish() {
+	if s.pending.Add(-1) == 0 {
+		s.idleMu.Lock()
+		s.idleCond.Broadcast()
+		s.idleMu.Unlock()
+	}
+}
+
+func (s *scheduler) waitIdle() {
+	s.idleMu.Lock()
+	for s.pending.Load() != 0 {
+		s.idleCond.Wait()
+	}
+	s.idleMu.Unlock()
+}
+
+// step advances virtual time by d, executing every event that falls due.
+// Events are released in batches one quantum wide: all events within the
+// batch run concurrently across the shard workers (their relative order
+// inside the quantum is scheduling noise, exactly like network jitter),
+// and step waits for full quiescence between batches so causality across
+// quanta is preserved. Returns with every event at or before the new
+// virtual now executed.
+func (s *scheduler) step(d time.Duration) {
+	target := s.vclock.Now().Add(d)
+	for {
+		var earliest time.Time
+		none := true
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if len(sh.wheel) > 0 && (none || sh.wheel[0].at.Before(earliest)) {
+				earliest = sh.wheel[0].at
+				none = false
+			}
+			sh.mu.Unlock()
+		}
+		if none || earliest.After(target) {
+			break
+		}
+		batchEnd := earliest.Add(s.cfg.quantum)
+		if batchEnd.After(target) {
+			batchEnd = target
+		}
+		s.vclock.advanceTo(batchEnd)
+		s.stepTarget.Store(int64(batchEnd.Sub(virtualEpoch)))
+		for _, sh := range s.shards {
+			released := 0
+			sh.mu.Lock()
+			for len(sh.wheel) > 0 && !sh.wheel[0].at.After(batchEnd) {
+				sh.ready = append(sh.ready, sh.wheel.pop())
+				released++
+			}
+			if released > 0 {
+				s.pending.Add(int64(released))
+			}
+			sh.mu.Unlock()
+			if released > 0 {
+				sh.wake()
+			}
+		}
+		s.waitIdle()
+		s.stepTarget.Store(math.MinInt64)
+	}
+	s.vclock.advanceTo(target)
+}
+
+// counts sums the per-shard tallies.
+func (s *scheduler) counts() MessageCounts {
+	var m MessageCounts
+	for _, sh := range s.shards {
+		m.ViewRequests += sh.counts.viewReq.Load()
+		m.ViewReplies += sh.counts.viewRep.Load()
+		m.SwapRequests += sh.counts.swapReq.Load()
+		m.SwapReplies += sh.counts.swapRep.Load()
+		m.RankUpdates += sh.counts.rankUpd.Load()
+		m.Dropped += sh.counts.dropped.Load()
+	}
+	return m
+}
+
+// schedNet is the transport.Transport facade over the scheduler's
+// internal network. Cluster nodes send through it; a send is a
+// loss/latency draw plus an event push on the destination's shard, so
+// the whole cluster shares the scheduler's worker pool instead of
+// running per-node delivery goroutines.
+type schedNet scheduler
+
+// net returns the scheduler's internal transport.
+func (s *scheduler) net() transport.Transport { return (*schedNet)(s) }
+
+// Register implements transport.Transport.
+func (t *schedNet) Register(id core.ID, h transport.Handler) error {
+	(*scheduler)(t).register(id, h)
+	return nil
+}
+
+// Unregister implements transport.Transport.
+func (t *schedNet) Unregister(id core.ID) {
+	s := (*scheduler)(t)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.handlers, id)
+	sh.mu.Unlock()
+}
+
+// Send implements transport.Transport: an existence check, a seeded
+// loss/latency draw on the destination shard's rng, and an event push —
+// all in one critical section on the destination shard.
+func (t *schedNet) Send(from, to core.ID, msg proto.Message) error {
+	s := (*scheduler)(t)
+	sh := s.shardFor(to)
+	sh.mu.Lock()
+	if _, ok := sh.handlers[to]; !ok {
+		sh.mu.Unlock()
+		sh.counts.dropped.Add(1)
+		return transport.ErrUnknownDestination
+	}
+	if s.cfg.loss > 0 && sh.rng.Float64() < s.cfg.loss {
+		sh.mu.Unlock()
+		sh.counts.dropped.Add(1)
+		return nil // lost in transit: the sender cannot tell
+	}
+	var lat time.Duration
+	if s.cfg.maxLat > 0 {
+		span := s.cfg.maxLat - s.cfg.minLat
+		if span > 0 {
+			lat = s.cfg.minLat + time.Duration(sh.rng.Int63n(int64(span)))
+		} else {
+			lat = s.cfg.minLat
+		}
+	}
+	s.pushLocked(sh, event{at: s.clock.Now().Add(lat), from: from, to: to, msg: msg})
+	sh.mu.Unlock()
+	sh.wake()
+	return nil
+}
+
+// Close implements transport.Transport. The scheduler's lifecycle is
+// owned by the cluster, so Close is a no-op.
+func (t *schedNet) Close() error { return nil }

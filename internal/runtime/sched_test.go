@@ -1,0 +1,259 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/transport"
+)
+
+// The timer wheel pops events in (deadline, push order).
+func TestEventHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	const n = 500
+	base := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		h.push(event{
+			at:  base.Add(time.Duration(rng.Intn(50)) * time.Millisecond),
+			seq: uint64(i),
+		})
+	}
+	var prev event
+	for i := 0; i < n; i++ {
+		ev := h.pop()
+		if i > 0 {
+			if ev.at.Before(prev.at) {
+				t.Fatalf("pop %d: %v before %v", i, ev.at, prev.at)
+			}
+			if ev.at.Equal(prev.at) && ev.seq < prev.seq {
+				t.Fatalf("pop %d: seq %d before %d at equal deadlines", i, ev.seq, prev.seq)
+			}
+		}
+		prev = ev
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d events left after popping all", len(h))
+	}
+}
+
+// newTestSched builds a driven scheduler with its workers running.
+func newTestSched(t *testing.T, cfg schedConfig) *scheduler {
+	t.Helper()
+	if cfg.clock == nil {
+		cfg.clock = NewVirtualClock()
+	}
+	s := newScheduler(cfg)
+	s.start()
+	t.Cleanup(s.halt)
+	return s
+}
+
+// recorder counts deliveries thread-safely.
+type recorder struct {
+	mu    sync.Mutex
+	n     int
+	froms []core.ID
+}
+
+func (r *recorder) handler(from core.ID, _ proto.Message) {
+	r.mu.Lock()
+	r.n++
+	r.froms = append(r.froms, from)
+	r.mu.Unlock()
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// A send to an unregistered id fails and counts as dropped; a registered
+// one delivers within the step that covers its latency.
+func TestSchedNetDelivery(t *testing.T) {
+	s := newTestSched(t, schedConfig{shards: 4, seed: 1, quantum: time.Millisecond})
+	var rx recorder
+	net := s.net()
+	if err := net.Register(7, rx.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(1, 99, proto.RankUpdate{Attr: 3}); !errors.Is(err, transport.ErrUnknownDestination) {
+		t.Fatalf("Send to unknown = %v, want ErrUnknownDestination", err)
+	}
+	if err := net.Send(1, 7, proto.RankUpdate{Attr: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.step(time.Millisecond)
+	if got := rx.count(); got != 1 {
+		t.Fatalf("delivered %d messages, want 1", got)
+	}
+	counts := s.counts()
+	if counts.RankUpdates != 1 || counts.Dropped != 1 {
+		t.Fatalf("counts = %+v, want 1 rank update and 1 drop", counts)
+	}
+}
+
+// Latency injection lands deliveries on the virtual timeline: a message
+// with latency in [4ms,4ms] is not visible after 2ms but is after 6ms.
+func TestSchedNetLatencyVirtualTimeline(t *testing.T) {
+	s := newTestSched(t, schedConfig{
+		shards: 2, seed: 9, quantum: time.Millisecond / 2,
+		minLat: 4 * time.Millisecond, maxLat: 4 * time.Millisecond,
+	})
+	var rx recorder
+	if err := s.net().Register(3, rx.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.net().Send(1, 3, proto.SwapReply{R: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	s.step(2 * time.Millisecond)
+	if got := rx.count(); got != 0 {
+		t.Fatalf("message delivered after 2ms despite 4ms latency (got %d)", got)
+	}
+	s.step(4 * time.Millisecond)
+	if got := rx.count(); got != 1 {
+		t.Fatalf("message not delivered after 6ms (got %d)", got)
+	}
+}
+
+// Seeded loss is deterministic: two schedulers with the same seed drop
+// the same sends.
+func TestSchedNetSeededLossDeterministic(t *testing.T) {
+	drops := func() []int {
+		s := newTestSched(t, schedConfig{shards: 1, seed: 77, quantum: time.Millisecond, loss: 0.4})
+		var rx recorder
+		if err := s.net().Register(1, rx.handler); err != nil {
+			t.Fatal(err)
+		}
+		var lost []int
+		for i := 0; i < 100; i++ {
+			before := s.counts().Dropped
+			if err := s.net().Send(2, 1, proto.RankUpdate{Attr: core.Attr(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if s.counts().Dropped > before {
+				lost = append(lost, i)
+			}
+		}
+		s.step(time.Millisecond)
+		if got := rx.count(); got != 100-len(lost) {
+			t.Fatalf("delivered %d, want %d", got, 100-len(lost))
+		}
+		return lost
+	}
+	a, b := drops(), drops()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("loss 0.4 dropped %d of 100 — injection broken", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed dropped %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed dropped different sends: %v vs %v", a, b)
+		}
+	}
+}
+
+// Ticks rebook themselves every period: strictly periodic nodes produce
+// about one view request per node per period (a Cyclon node skips a
+// tick only when its view is momentarily empty).
+func TestSchedulerTickCadence(t *testing.T) {
+	clk := NewVirtualClock()
+	const n, periods = 8, 10
+	c, err := NewCluster(ClusterConfig{
+		N: n, Partition: testPartition(t, 2), ViewSize: 4,
+		Protocol: Ordering, Period: testPeriod, JitterFrac: JitterNone,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 100}, Seed: 3, Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(periods * testPeriod); err != nil {
+		t.Fatal(err)
+	}
+	counts := c.MessageCounts()
+	// First ticks land at a random phase inside the first period, then
+	// every period exactly: ≈ n·periods requests, give or take boundary
+	// effects and empty-view skips — but never runaway (a ticker bug
+	// would double-book) and never stalled.
+	want := uint64(n * periods)
+	if counts.ViewRequests < want*3/4 || counts.ViewRequests > want+n {
+		t.Fatalf("ViewRequests = %d over %d periods of %d strictly periodic nodes, want ≈%d",
+			counts.ViewRequests, periods, n, want)
+	}
+}
+
+// A single-shard driven cluster is deterministic: same seed, same
+// trajectory, same traffic.
+func TestDrivenSingleShardDeterministic(t *testing.T) {
+	run := func() (float64, MessageCounts) {
+		c, err := NewCluster(ClusterConfig{
+			N: 40, Partition: testPartition(t, 4), ViewSize: 8,
+			Protocol: Ranking, Period: testPeriod,
+			AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 123,
+			Clock: NewVirtualClock(), Shards: 1, Loss: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Advance(40 * testPeriod); err != nil {
+			t.Fatal(err)
+		}
+		return c.SDM(), c.MessageCounts()
+	}
+	sdm1, m1 := run()
+	sdm2, m2 := run()
+	if sdm1 != sdm2 {
+		t.Errorf("same seed, different SDM: %v vs %v", sdm1, sdm2)
+	}
+	if m1 != m2 {
+		t.Errorf("same seed, different traffic: %+v vs %+v", m1, m2)
+	}
+}
+
+// Killed nodes stop ticking and their queued deliveries drop.
+func TestSchedulerRemoveNodeStopsTraffic(t *testing.T) {
+	c := drivenCluster(t, ClusterConfig{
+		N: 8, Partition: testPartition(t, 2), ViewSize: 4,
+		Protocol: Ranking,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 100}, Seed: 15,
+	})
+	if err := c.Advance(5 * testPeriod); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Kill(1) {
+		t.Fatal("Kill(1) found no node")
+	}
+	if c.Kill(1) {
+		t.Fatal("Kill(1) succeeded twice")
+	}
+	before := c.MessageCounts()
+	if err := c.Advance(20 * testPeriod); err != nil {
+		t.Fatal(err)
+	}
+	after := c.MessageCounts()
+	// Survivors keep gossiping; sends to the dead node count as drops.
+	if after.Total() <= before.Total() {
+		t.Error("no traffic after a kill")
+	}
+	if after.Dropped <= before.Dropped {
+		t.Error("no drops after a kill — dead node still reachable?")
+	}
+}

@@ -3,7 +3,6 @@ package runtime
 import (
 	"sync"
 	"testing"
-	"time"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
@@ -11,12 +10,14 @@ import (
 
 // Slice-change notifications fire as nodes move between slices while the
 // estimates converge, and the final notification matches the node's
-// settled slice.
+// settled slice. Driven by virtual time: no sleeps, no wall-clock
+// deadlines.
 func TestOnSliceChangeNotifications(t *testing.T) {
+	clk := NewVirtualClock()
 	c, err := NewCluster(ClusterConfig{
 		N: 16, Partition: testPartition(t, 4), ViewSize: 6,
 		Protocol: Ranking,
-		Period:   2 * time.Millisecond,
+		Period:   testPeriod, Clock: clk,
 		AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 5,
 	})
 	if err != nil {
@@ -38,15 +39,14 @@ func TestOnSliceChangeNotifications(t *testing.T) {
 	if err := c.Start(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for c.MisassignedFraction() > 0.3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster stuck at %v misassigned", c.MisassignedFraction())
-		}
-		time.Sleep(5 * time.Millisecond)
+	advanceUntil(t, c, 500,
+		func() bool { return c.MisassignedFraction() <= 0.3 }, "misassigned ≤ 0.3")
+	// One more quiescent period, then compare the last notified slice
+	// with the status. Advance returns only once all deliveries have
+	// drained, so no grace sleep is needed.
+	if err := c.Advance(testPeriod); err != nil {
+		t.Fatal(err)
 	}
-	// Quiesce, then compare the last notified slice with the status.
-	time.Sleep(50 * time.Millisecond)
 	c.Stop()
 
 	mu.Lock()
@@ -64,18 +64,12 @@ func TestOnSliceChangeNotifications(t *testing.T) {
 
 func TestOnSliceChangeNotRequired(t *testing.T) {
 	// Nodes without a callback run exactly as before.
-	c, err := NewCluster(ClusterConfig{
+	c := drivenCluster(t, ClusterConfig{
 		N: 8, Partition: testPartition(t, 2), ViewSize: 4,
 		Protocol: Ranking,
-		Period:   2 * time.Millisecond,
 		AttrDist: dist.Uniform{Lo: 0, Hi: 100}, Seed: 6,
 	})
-	if err != nil {
+	if err := c.Advance(25 * testPeriod); err != nil {
 		t.Fatal(err)
 	}
-	defer c.Stop()
-	if err := c.Start(); err != nil {
-		t.Fatal(err)
-	}
-	time.Sleep(50 * time.Millisecond)
 }

@@ -19,7 +19,7 @@ func WriteJSON(w io.Writer, results []RunResult) error {
 
 // csvHeader is the summary-row schema of WriteCSV.
 var csvHeader = []string{
-	"index", "scenario", "spec", "replica", "seed",
+	"index", "scenario", "spec", "replica", "backend", "seed",
 	"protocol", "n", "slices", "cycles",
 	"finalN", "finalSDM", "messages", "dropped",
 	"wallMS", "cyclesPerSec", "error",
@@ -42,6 +42,7 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 			res.Scenario,
 			res.Spec.Name,
 			strconv.Itoa(res.Replica),
+			res.Backend,
 			strconv.FormatInt(res.Spec.Seed, 10),
 			res.Spec.Protocol,
 			strconv.Itoa(res.Spec.N),
@@ -56,8 +57,8 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 			res.Error,
 		}
 		if res.Timing != nil {
-			row[13] = strconv.FormatFloat(res.Timing.WallMS, 'f', 3, 64)
-			row[14] = strconv.FormatFloat(res.Timing.CyclesPerSec, 'f', 1, 64)
+			row[14] = strconv.FormatFloat(res.Timing.WallMS, 'f', 3, 64)
+			row[15] = strconv.FormatFloat(res.Timing.CyclesPerSec, 'f', 1, 64)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/runtime"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// LiveBackend executes specs on the live runtime: the spec materializes
+// as a cluster of real protocol participants on the sharded scheduler,
+// with seeded attribute draws, bootstrap views, optional transport
+// latency/loss injection (Spec.Live), and churn phases applied as
+// actual joins and crashes on the run's schedule. Metrics are collected
+// by periodic snapshot — one SDM sample per gossip period — so the
+// resulting series aligns cycle-for-cycle with the simulator's and the
+// two engines are directly comparable.
+//
+// By default the cluster runs in driven virtual time: the same
+// concurrent code paths as a wall-clock deployment (worker shards,
+// interleaved exchanges, in-flight messages), but no wall time is spent
+// waiting for gossip periods, so a 10,000-node live run is
+// compute-bound. Set Spec.Live.RealTime for wall-clock pacing.
+//
+// Two simulator knobs have no live counterpart and are rejected:
+// the uniform-oracle membership (a live node has no global view of the
+// population) and artificial concurrency (§4.5.2 approximates in the
+// cycle model exactly what the live runtime exhibits natively).
+type LiveBackend struct{}
+
+// Name implements Backend.
+func (LiveBackend) Name() string { return BackendLive }
+
+// Run implements Backend.
+func (LiveBackend) Run(spec Spec) (*sim.Result, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Membership == sim.UniformOracle {
+		return nil, specErr("%s: the uniform-oracle membership is simulation-only (a live node has no global sampler)", spec.Name)
+	}
+	if spec.Concurrency != 0 || spec.StalePayloads {
+		return nil, specErr("%s: concurrency/stalePayloads are simulation-only knobs; the live backend is concurrent by construction", spec.Name)
+	}
+	var part core.Partition
+	if cfg.Partition != nil {
+		part = *cfg.Partition
+	} else {
+		p, err := core.Equal(cfg.Slices)
+		if err != nil {
+			return nil, err
+		}
+		part = p
+	}
+
+	live := spec.Live
+	if live == nil {
+		live = &LiveSpec{}
+	}
+	periodMS := live.PeriodMS
+	if periodMS == 0 {
+		periodMS = DefaultLivePeriodMS
+	}
+	period := time.Duration(periodMS * float64(time.Millisecond))
+	jitter := 0.0 // zero means the runtime default
+	if live.JitterFrac != nil {
+		jitter = *live.JitterFrac
+		if jitter == 0 {
+			jitter = runtime.JitterNone
+		}
+	}
+
+	ccfg := runtime.ClusterConfig{
+		N:          spec.N,
+		Partition:  part,
+		ViewSize:   spec.ViewSize,
+		Period:     period,
+		JitterFrac: jitter,
+		AttrDist:   cfg.AttrDist,
+		Seed:       cfg.Seed,
+		Shards:     live.Shards,
+		MinLatency: time.Duration(live.MinLatencyMS * float64(time.Millisecond)),
+		MaxLatency: time.Duration(live.MaxLatencyMS * float64(time.Millisecond)),
+		Loss:       live.Loss,
+	}
+	switch cfg.Protocol {
+	case sim.Ordering:
+		ccfg.Protocol = runtime.Ordering
+		ccfg.Policy = cfg.Policy
+	case sim.Ranking:
+		ccfg.Protocol = runtime.Ranking
+	}
+	switch cfg.Membership {
+	case sim.NewscastViews:
+		ccfg.Membership = runtime.NewscastViews
+	default:
+		ccfg.Membership = runtime.CyclonViews
+	}
+	if cfg.Estimator == sim.WindowEstimator {
+		w := cfg.WindowSize
+		ccfg.Estimators = func() ranking.Estimator { return ranking.MustNewWindow(w) }
+	}
+	if !live.RealTime {
+		ccfg.Clock = runtime.NewVirtualClock()
+	}
+
+	c, err := runtime.NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	res := &sim.Result{
+		SDM:             metrics.Series{Name: "sdm"},
+		GDM:             metrics.Series{Name: "gdm"},
+		UnsuccessfulPct: metrics.Series{Name: "unsuccessful%"},
+		Size:            metrics.Series{Name: "n"},
+		Cycles:          spec.Cycles,
+	}
+	// One node walk per recorded cycle: per-node states for SDM/GDM/size
+	// and — on ordering runs — the cumulative swap counters behind the
+	// per-period unsuccessful-swap percentage of Fig. 4(c), deltaed
+	// exactly like the simulator's. The series must exist on both
+	// engines for results to compare record for record.
+	var prevReq, prevFailed uint64
+	record := func(cycle int) {
+		nodes := c.Nodes()
+		states := make([]metrics.NodeState, 0, len(nodes))
+		var req, failed uint64
+		for _, n := range nodes {
+			st := n.Status()
+			states = append(states, metrics.NodeState{
+				Member:     core.Member{ID: st.ID, Attr: st.Attr},
+				R:          st.R,
+				SliceIndex: st.SliceIx,
+			})
+			if cfg.Protocol == sim.Ordering {
+				if os, ok := n.OrderingStats(); ok {
+					req += os.ReqReceived
+					failed += os.SwapFailedAtReceiver
+				}
+			}
+		}
+		res.SDM.Add(cycle, metrics.SDM(states, part))
+		res.Size.Add(cycle, float64(len(states)))
+		if spec.RecordGDM {
+			res.GDM.Add(cycle, metrics.GDM(states))
+		}
+		if cfg.Protocol == sim.Ordering {
+			// Churn can shrink the sums between snapshots (a departed
+			// node takes its counters with it); clamp the deltas.
+			dr, df := req-min(req, prevReq), failed-min(failed, prevFailed)
+			pct := 0.0
+			if dr > 0 {
+				pct = 100 * float64(df) / float64(dr)
+			}
+			res.UnsuccessfulPct.Add(cycle, pct)
+			prevReq, prevFailed = req, failed
+		}
+	}
+	record(0)
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+
+	// The driver's own rng decides churn membership picks; decorrelated
+	// from the cluster's construction rng but equally seeded.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	// One simulated cycle = one gossip period. Churn lands at the start
+	// of cycle k (matching the simulator's Step), the period elapses —
+	// virtually or on the wall clock — and the snapshot records cycle
+	// k+1.
+	for cycle := 0; cycle < spec.Cycles; cycle++ {
+		if cfg.Schedule != nil && cfg.Pattern != nil {
+			if err := applyLiveChurn(c, cfg, rng, cycle); err != nil {
+				return nil, err
+			}
+		}
+		if live.RealTime {
+			time.Sleep(period)
+		} else if err := c.Advance(period); err != nil {
+			return nil, err
+		}
+		record(cycle + 1)
+	}
+
+	counts := c.MessageCounts()
+	res.Messages = sim.MessageCounts{
+		ViewRequests: counts.ViewRequests,
+		ViewReplies:  counts.ViewReplies,
+		SwapRequests: counts.SwapRequests,
+		SwapReplies:  counts.SwapReplies,
+		RankUpdates:  counts.RankUpdates,
+		Dropped:      counts.Dropped,
+	}
+	res.FinalN = len(c.Nodes())
+	return res, nil
+}
+
+// applyLiveChurn executes one cycle's churn event as real cluster
+// operations: leavers crash mid-gossip (no goodbye), joiners bootstrap
+// from live views. Both pattern calls read the same pre-event
+// attribute-ordered membership, exactly like the simulator's churn.
+func applyLiveChurn(c *runtime.Cluster, cfg sim.Config, rng *rand.Rand, cycle int) error {
+	ev := cfg.Schedule.At(cycle, len(c.Nodes()))
+	if ev.Leave == 0 && ev.Join == 0 {
+		return nil
+	}
+	nodes := c.Nodes()
+	members := make([]core.Member, 0, len(nodes))
+	for _, n := range nodes {
+		members = append(members, core.Member{ID: n.ID(), Attr: n.SelfEntry().Attr})
+	}
+	core.SortMembers(members)
+	if ev.Leave > 0 {
+		for _, id := range cfg.Pattern.PickLeavers(rng, members, ev.Leave) {
+			c.Kill(id)
+		}
+	}
+	for i := 0; i < ev.Join; i++ {
+		if _, err := c.Join(cfg.Pattern.JoinAttr(rng, members)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,9 +15,30 @@ type Scenario struct {
 	Figure string `json:"figure,omitempty"`
 	// Description summarizes the workload and what to look for.
 	Description string `json:"description"`
+	// Backends lists the execution backends the family is declared to
+	// run on ("sim", "live"); empty means sim-only. Live-annotated
+	// scenarios are exercised end-to-end on the live backend in CI.
+	Backends []string `json:"backends,omitempty"`
 	// Specs hold one entry per curve, at paper scale.
 	Specs []Spec `json:"specs"`
 }
+
+// SupportsBackend reports whether the family declares the backend. An
+// empty Backends list means simulator-only.
+func (sc Scenario) SupportsBackend(name string) bool {
+	if name == BackendSim && len(sc.Backends) == 0 {
+		return true
+	}
+	for _, b := range sc.Backends {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// bothBackends annotates a family as runnable on either engine.
+func bothBackends() []string { return []string{BackendSim, BackendLive} }
 
 // uniformAttr is the default attribute law of the figure scenarios: the
 // protocols are distribution-free, and a uniform spread keeps true
@@ -223,8 +244,45 @@ var registry = []Scenario{
 	scaleScenario(50_000, 30),
 	scaleScenario(100_000, 20),
 	{
+		Name: "live-convergence",
+		Description: "sim-vs-live: the same specs run on the cycle simulator and on a live driven cluster — " +
+			"the live SDM trajectory must track the simulated one",
+		Backends: bothBackends(),
+		Specs: []Spec{
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 120, Attr: uniformAttr(),
+				MinCycles: 60},
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 120, Attr: uniformAttr(),
+				MinCycles: 60},
+			{Name: "ranking-churn", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 120, Attr: uniformAttr(),
+				Churn: &ChurnSpec{
+					Phases:  []ChurnPhase{{Join: 0.005, Leave: 0.005}},
+					Pattern: PatternSpec{Kind: PatternUniform},
+				},
+				MinCycles: 60},
+			{Name: "ranking-lossy", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 120, Attr: uniformAttr(),
+				Live:      &LiveSpec{MinLatencyMS: 1, MaxLatencyMS: 5, Loss: 0.1},
+				MinCycles: 60},
+		},
+	},
+	{
+		Name: "live-scale-10k",
+		Description: "live-backend throughput at n=10,000: a timed convergence run on the sharded scheduler " +
+			"(the goroutine-per-node runtime this replaced topped out far below)",
+		Backends: bothBackends(),
+		Specs: []Spec{{
+			Name: "ranking", Protocol: ProtoRanking,
+			N: 10_000, Slices: 100, ViewSize: 20, Cycles: 20, Attr: uniformAttr(),
+			MinCycles: 10, MinSlices: 10,
+		}},
+	},
+	{
 		Name:        "quickstart",
 		Description: "the README walk-through: 2000 nodes, 10 slices, ranking protocol",
+		Backends:    bothBackends(),
 		Specs: []Spec{{
 			Name: "ranking", Protocol: ProtoRanking,
 			N: 2000, Slices: 10, ViewSize: 20, Cycles: 150, Seed: 42,
@@ -265,6 +323,7 @@ var registry = []Scenario{
 	{
 		Name:        "livecluster",
 		Description: "the 16-node TCP demo's parameters, runnable in simulation (examples/livecluster)",
+		Backends:    bothBackends(),
 		Specs: []Spec{{
 			Name: "ranking", Protocol: ProtoRanking,
 			N: 16, Slices: 4, ViewSize: 6, Cycles: 80, Seed: 1,
@@ -394,11 +453,20 @@ func (sc Scenario) clone() Scenario {
 			c.Phases = append([]ChurnPhase(nil), c.Phases...)
 			spec.Churn = &c
 		}
+		if spec.Live != nil {
+			l := *spec.Live
+			if l.JitterFrac != nil {
+				j := *l.JitterFrac
+				l.JitterFrac = &j
+			}
+			spec.Live = &l
+		}
 		spec.SliceBounds = append([]float64(nil), spec.SliceBounds...)
 		spec.Attr.Components = append([]WeightedDist(nil), spec.Attr.Components...)
 		specs[i] = spec
 	}
 	sc.Specs = specs
+	sc.Backends = append([]string(nil), sc.Backends...)
 	return sc
 }
 

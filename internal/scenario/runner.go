@@ -122,10 +122,15 @@ type Timing struct {
 	CyclesPerSec float64 `json:"cyclesPerSec"`
 }
 
-// RunResult is the outcome of one run: the run identity, the headline
-// measurements, optionally the thinned SDM series, and timing.
+// RunResult is the outcome of one run: the run identity, the backend
+// that executed it, the headline measurements, optionally the thinned
+// SDM series, and timing.
 type RunResult struct {
 	Run
+	// Backend tags the engine that executed the run ("sim" or "live").
+	// Both backends emit the same result shape, so results from the two
+	// engines are directly comparable (and diffable) record for record.
+	Backend string `json:"backend,omitempty"`
 	// Error is set when the spec failed validation or construction; the
 	// measurement fields are zero in that case.
 	Error string `json:"error,omitempty"`
@@ -143,26 +148,36 @@ type RunResult struct {
 }
 
 // Runner fans runs across a worker pool. The zero value runs on every
-// core with timing enabled.
+// core with timing enabled, on the simulator backend.
 type Runner struct {
 	// Workers bounds the pool; 0 = GOMAXPROCS.
 	Workers int
 	// DisableTiming omits wall-time from results, making the output of a
 	// sweep a pure function of the grid (byte-identical across runs and
-	// worker counts).
+	// worker counts; sim backend only — live runs are scheduled by a
+	// concurrent worker pool and are statistically, not bitwise,
+	// reproducible).
 	DisableTiming bool
+	// Backend executes the runs; nil means SimBackend. Live-backend
+	// sweeps each spin up their own scheduler worker pool, so keep
+	// Workers low (1–2) when sweeping live runs.
+	Backend Backend
+}
+
+// backend returns the effective backend.
+func (r Runner) backend() Backend {
+	if r.Backend == nil {
+		return SimBackend{}
+	}
+	return r.Backend
 }
 
 // execute runs one spec to completion.
 func (r Runner) execute(run Run) RunResult {
-	res := RunResult{Run: run}
-	cfg, err := run.Spec.Config()
-	if err != nil {
-		res.Error = err.Error()
-		return res
-	}
+	b := r.backend()
+	res := RunResult{Run: run, Backend: b.Name()}
 	start := time.Now()
-	out, err := sim.Run(cfg, run.Spec.Cycles)
+	out, err := b.Run(run.Spec)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -245,11 +260,15 @@ func (r Runner) SweepGrid(g Grid, onResult func(RunResult)) ([]RunResult, error)
 
 // Summary renders a one-line digest of a result for progress streams.
 func (res RunResult) Summary() string {
-	if res.Error != "" {
-		return fmt.Sprintf("%s/%s#%d: ERROR %s", res.Scenario, res.Spec.Name, res.Replica, res.Error)
+	tag := ""
+	if res.Backend != "" && res.Backend != BackendSim {
+		tag = "[" + res.Backend + "] "
 	}
-	s := fmt.Sprintf("%s/%s#%d: n=%d cycles=%d sdm=%.4g",
-		res.Scenario, res.Spec.Name, res.Replica, res.FinalN, res.Spec.Cycles, res.FinalSDM)
+	if res.Error != "" {
+		return fmt.Sprintf("%s%s/%s#%d: ERROR %s", tag, res.Scenario, res.Spec.Name, res.Replica, res.Error)
+	}
+	s := fmt.Sprintf("%s%s/%s#%d: n=%d cycles=%d sdm=%.4g",
+		tag, res.Scenario, res.Spec.Name, res.Replica, res.FinalN, res.Spec.Cycles, res.FinalSDM)
 	if res.Timing != nil {
 		s += fmt.Sprintf(" (%.0fms, %.0f cycles/s)", res.Timing.WallMS, res.Timing.CyclesPerSec)
 	}

@@ -1,14 +1,22 @@
-// Package scenario is the declarative layer between the simulator and
-// every entry point (CLI, experiments, examples, CI). A Spec names
-// everything one run needs — protocol and policy, system size, cycles,
-// attribute distribution, churn schedule, membership substrate, seed,
-// metrics cadence — as plain data with validation and JSON round-
-// tripping. A registry of named scenarios reproduces the paper's figure
-// families (Figs. 4 and 6 of ICDCS 2007 / arXiv:cs/0612035) plus
-// extension workloads, and a Runner expands scenario grids into runs and
-// fans them across a worker pool with deterministic per-run seeds, so a
-// whole evaluation grid is one command instead of a hand-wired main per
-// point.
+// Package scenario is the declarative layer between the execution
+// engines and every entry point (CLI, experiments, examples, CI). A
+// Spec names everything one run needs — protocol and policy, system
+// size, cycles, attribute distribution, churn schedule, membership
+// substrate, seed, metrics cadence, live-runtime tuning — as plain data
+// with validation and JSON round-tripping. A registry of named
+// scenarios reproduces the paper's figure families (Figs. 4 and 6 of
+// ICDCS 2007 / arXiv:cs/0612035) plus extension workloads, and a Runner
+// expands scenario grids into runs and fans them across a worker pool
+// with deterministic per-run seeds, so a whole evaluation grid is one
+// command instead of a hand-wired main per point.
+//
+// One spec, two engines: a Backend executes a Spec either on the
+// cycle-driven simulator (SimBackend — the paper's PeerSim model) or on
+// the live runtime (LiveBackend — real protocol participants on a
+// sharded scheduler, with churn applied as actual joins and crashes and
+// transport latency/loss injected from the spec). Both return the same
+// Result shape, so slice-disorder trajectories from the two regimes are
+// directly comparable.
 package scenario
 
 import (
@@ -90,6 +98,12 @@ type Spec struct {
 	Attr DistSpec `json:"attr"`
 	// Churn defines the churn regime; nil means a static system.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Live tunes live-backend execution (gossip period, jitter,
+	// transport latency/loss injection); nil uses the live defaults. The
+	// sim backend ignores it, so adding Live to a spec never changes its
+	// simulated results — the field is purely additive and JSON
+	// round-trips with the rest of the spec.
+	Live *LiveSpec `json:"live,omitempty"`
 	// Seed makes the run reproducible. Sweeps override it with a seed
 	// derived from the grid's base seed (see DeriveSeed).
 	Seed int64 `json:"seed,omitempty"`
@@ -221,6 +235,60 @@ type PatternSpec struct {
 	// Attr draws uniform-pattern joiner attributes; nil reuses the
 	// spec's initial attribute distribution.
 	Attr *DistSpec `json:"attr,omitempty"`
+}
+
+// LiveSpec is the serializable live-backend tuning of a Spec: how a
+// cluster materializes the run when it executes on the live runtime
+// instead of the cycle simulator. Zero values mean defaults throughout,
+// so a spec without a Live block runs live with sensible settings.
+type LiveSpec struct {
+	// PeriodMS is the gossip period in milliseconds (DefaultLivePeriodMS
+	// when zero). Under virtual time its absolute value only scales the
+	// timeline relative to the latency bounds below.
+	PeriodMS float64 `json:"periodMS,omitempty"`
+	// JitterFrac desynchronizes node periods by ±JitterFrac·Period.
+	// Omitted (nil) means the runtime default (0.1); an explicit 0 means
+	// strictly periodic nodes.
+	JitterFrac *float64 `json:"jitterFrac,omitempty"`
+	// MinLatencyMS and MaxLatencyMS bound the uniformly drawn delivery
+	// latency injected on the cluster's internal network. Zero delivers
+	// at the next scheduling opportunity.
+	MinLatencyMS float64 `json:"minLatencyMS,omitempty"`
+	MaxLatencyMS float64 `json:"maxLatencyMS,omitempty"`
+	// Loss is the probability in [0,1) that a message is silently
+	// dropped in transit.
+	Loss float64 `json:"loss,omitempty"`
+	// Shards overrides the scheduler's worker-shard count (0 = one per
+	// core).
+	Shards int `json:"shards,omitempty"`
+	// RealTime paces the run on the wall clock instead of driven virtual
+	// time. Virtual time (the default) executes the identical concurrent
+	// code paths but spends no wall time waiting for periods to elapse.
+	RealTime bool `json:"realTime,omitempty"`
+}
+
+// DefaultLivePeriodMS is the gossip period assumed when a live run's
+// spec leaves PeriodMS zero.
+const DefaultLivePeriodMS = 10.0
+
+// validate checks the live tuning block.
+func (l *LiveSpec) validate(name string) error {
+	if l.PeriodMS < 0 {
+		return specErr("%s: live periodMS must be ≥ 0", name)
+	}
+	if l.JitterFrac != nil && (*l.JitterFrac < 0 || *l.JitterFrac >= 1) {
+		return specErr("%s: live jitterFrac must lie in [0,1) — a full-period jitter makes periods non-positive", name)
+	}
+	if l.MinLatencyMS < 0 || l.MaxLatencyMS < l.MinLatencyMS {
+		return specErr("%s: live latency needs 0 ≤ minLatencyMS ≤ maxLatencyMS", name)
+	}
+	if l.Loss < 0 || l.Loss >= 1 {
+		return specErr("%s: live loss %v outside [0,1)", name, l.Loss)
+	}
+	if l.Shards < 0 {
+		return specErr("%s: live shards must be ≥ 0", name)
+	}
+	return nil
 }
 
 // schedule materializes the phase sequence.
@@ -387,6 +455,11 @@ func (s Spec) Config() (sim.Config, error) {
 			return cfg, fmt.Errorf("%s (churn): %w", s.Name, err)
 		}
 		cfg.Schedule, cfg.Pattern = sched, pat
+	}
+	if s.Live != nil {
+		if err := s.Live.validate(s.Name); err != nil {
+			return cfg, err
+		}
 	}
 	return cfg, nil
 }

@@ -255,3 +255,103 @@ func TestInMemQueueOverflowDropsNotBlocks(t *testing.T) {
 	}
 	close(block)
 }
+
+// Seeded loss is deterministic: two transports with the same seed drop
+// exactly the same sends, so lossy experiments reproduce bit-for-bit at
+// the transport layer.
+func TestInMemSeededLossPatternDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		tr := NewInMem(InMemOptions{LossRate: 0.5, Seed: seed})
+		defer tr.Close()
+		if err := tr.Register(1, func(core.ID, proto.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		var dropped []bool
+		for i := 0; i < 200; i++ {
+			_, before := tr.Stats()
+			if err := tr.Send(2, 1, proto.SwapReply{R: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+			_, after := tr.Stats()
+			dropped = append(dropped, after > before)
+		}
+		return dropped
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("send %d: same seed, different loss outcome", i)
+		}
+	}
+	lost := 0
+	for _, d := range a {
+		if d {
+			lost++
+		}
+	}
+	if lost < 50 || lost > 150 {
+		t.Errorf("lost %d of 200 at 50%% loss", lost)
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 200-send loss pattern")
+	}
+}
+
+// Combined latency+loss injection under a fixed seed delivers a
+// deterministic subset (loss and latency draw from the same seeded rng
+// in send order), and every surviving message respects the latency
+// floor.
+func TestInMemSeededLatencyLossDeterministic(t *testing.T) {
+	const total = 100
+	deliveredCount := func(seed int64) uint64 {
+		tr := NewInMem(InMemOptions{
+			MinLatency: 2 * time.Millisecond,
+			MaxLatency: 10 * time.Millisecond,
+			LossRate:   0.3,
+			Seed:       seed,
+		})
+		var mu sync.Mutex
+		var arrivals []time.Duration
+		start := time.Now()
+		err := tr.Register(1, func(core.ID, proto.Message) {
+			mu.Lock()
+			arrivals = append(arrivals, time.Since(start))
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < total; i++ {
+			if err := tr.Send(2, 1, proto.SwapReply{R: float64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Close() // waits for every latent delivery
+		delivered, dropped := tr.Stats()
+		if delivered+dropped != total {
+			t.Fatalf("accounted %d+%d, want %d", delivered, dropped, total)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if uint64(len(arrivals)) != delivered {
+			t.Fatalf("handler saw %d messages, stats say %d", len(arrivals), delivered)
+		}
+		for _, a := range arrivals {
+			if a < 2*time.Millisecond {
+				t.Errorf("message arrived after %v, before the 2ms latency floor", a)
+			}
+		}
+		return delivered
+	}
+	if a, b := deliveredCount(21), deliveredCount(21); a != b {
+		t.Errorf("same seed delivered %d vs %d messages", a, b)
+	}
+}

@@ -272,3 +272,128 @@ func TestTCPLargeViewExchange(t *testing.T) {
 		t.Errorf("received %d entries, want 1000", len(rep.Entries))
 	}
 }
+
+// Frames addressed to an unregistered node are dropped silently while
+// the connection (and other local nodes) keep working; re-registering
+// the id restores delivery. This is the churn-departure path: a node
+// leaves, its traffic evaporates, nobody else notices.
+func TestTCPUnregisterDropsFramesKeepsStream(t *testing.T) {
+	a, err := New(Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var gone, stays, back collector
+	if err := b.Register(2, gone.handler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(3, stays.handler()); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeer(2, b.Addr())
+	a.SetPeer(3, b.Addr())
+
+	if err := a.Send(1, 2, proto.SwapReply{R: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	gone.waitFor(t, 1, 2*time.Second)
+
+	// Node 2 departs. Its frames vanish without erroring the sender or
+	// cutting the shared stream.
+	b.Unregister(2)
+	for i := 0; i < 5; i++ {
+		if err := a.Send(1, 2, proto.SwapReply{R: 0.2}); err != nil {
+			t.Fatalf("send to departed node errored the sender: %v", err)
+		}
+	}
+	// The same connection still serves node 3.
+	if err := a.Send(1, 3, proto.RankUpdate{Attr: 9}); err != nil {
+		t.Fatal(err)
+	}
+	stays.waitFor(t, 1, 2*time.Second)
+	if got := gone.count(); got != 1 {
+		t.Errorf("departed node received %d messages, want the 1 pre-departure delivery", got)
+	}
+
+	// A node reusing the id (a rejoin) sees fresh traffic again.
+	if err := b.Register(2, back.handler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, 2, proto.SwapReply{R: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	back.waitFor(t, 1, 2*time.Second)
+}
+
+// A broken outbound connection is re-dialed on a later send: the first
+// write after the peer's listener dies may drop (gossip tolerates
+// that), but the transport must recover on its own without a restart.
+func TestTCPRedialAfterConnectionDrop(t *testing.T) {
+	a, err := New(Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := New(Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	var rx1 collector
+	if err := b1.Register(2, rx1.handler()); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeer(2, addr)
+	if err := a.Send(1, 2, proto.SwapReply{R: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	rx1.waitFor(t, 1, 2*time.Second)
+	b1.Close() // kills the accepted conn under a's cached dial
+
+	// With the peer gone, sends fail (either on the stale cached
+	// connection's write or on the re-dial) — but they must not wedge
+	// the transport.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(1, 2, proto.SwapReply{R: 0.2}); err != nil {
+			break // stale connection detected and evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sends to a dead peer kept succeeding silently")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Peer comes back on the same address: the next dial reconnects and
+	// traffic flows with no operator intervention.
+	var b2 *Transport
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		b2, err = New(Options{ListenAddr: addr})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer b2.Close()
+	var rx2 collector
+	if err := b2.Register(2, rx2.handler()); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for rx2.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after redial")
+		}
+		a.Send(1, 2, proto.SwapReply{R: 0.3})
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -208,20 +208,79 @@ func ScenarioNames() []string { return scenario.Names() }
 // LookupScenario finds a catalog scenario by name (e.g. "fig6-burst").
 func LookupScenario(name string) (Scenario, error) { return scenario.Lookup(name) }
 
+// Execution backends: one spec, two engines. A ScenarioBackend executes
+// a ScenarioSpec either on the cycle-driven simulator (the paper's
+// PeerSim model) or on the live runtime (real protocol participants on
+// a sharded scheduler, churn as actual joins and crashes, transport
+// latency/loss injection from the spec's live block). Both return the
+// same result shape, so sim and live disorder trajectories are directly
+// comparable.
+type (
+	// ScenarioBackend executes specs on one engine.
+	ScenarioBackend = scenario.Backend
+	// ScenarioLiveSpec is a spec's live-backend tuning block.
+	ScenarioLiveSpec = scenario.LiveSpec
+)
+
+// Backend names accepted by ScenarioBackendByName (and the slicebench
+// -backend flag).
+const (
+	// BackendSim names the cycle-driven simulator backend.
+	BackendSim = scenario.BackendSim
+	// BackendLive names the live-runtime backend.
+	BackendLive = scenario.BackendLive
+)
+
+// SimScenarioBackend returns the simulator backend.
+func SimScenarioBackend() ScenarioBackend { return scenario.SimBackend{} }
+
+// LiveScenarioBackend returns the live-runtime backend.
+func LiveScenarioBackend() ScenarioBackend { return scenario.LiveBackend{} }
+
+// ScenarioBackendByName resolves "sim" or "live".
+func ScenarioBackendByName(name string) (ScenarioBackend, error) {
+	return scenario.BackendByName(name)
+}
+
 // Live runtime API.
 type (
-	// Node is a live protocol participant (goroutine per node).
+	// Node is a live protocol participant.
 	Node = runtime.Node
 	// NodeConfig parameterizes a live node.
 	NodeConfig = runtime.NodeConfig
 	// NodeStatus is a point-in-time node snapshot.
 	NodeStatus = runtime.Status
-	// Cluster is a process-local set of live nodes.
+	// Cluster is a process-local set of live nodes, multiplexed onto a
+	// sharded scheduler (a fixed worker pool draining per-shard timer
+	// wheels) so one process sustains 10,000+ gossiping nodes.
 	Cluster = runtime.Cluster
 	// ClusterConfig parameterizes a cluster.
 	ClusterConfig = runtime.ClusterConfig
+	// ClusterMessageCounts tallies a cluster's internal-network traffic.
+	ClusterMessageCounts = runtime.MessageCounts
 	// Estimator accumulates rank observations for a ranking node.
 	Estimator = ranking.Estimator
+	// LiveClock abstracts time for a cluster's scheduler.
+	LiveClock = runtime.Clock
+	// VirtualClock is a manually advanced clock: handing one to a
+	// cluster puts it in driven mode, where time moves only through
+	// Cluster.Advance — the same concurrent code paths as wall-clock
+	// operation, with no wall time spent waiting for gossip periods.
+	VirtualClock = runtime.VirtualClock
+)
+
+// NewVirtualClock returns a virtual clock for driven clusters.
+func NewVirtualClock() *VirtualClock { return runtime.NewVirtualClock() }
+
+// Jitter configuration for NodeConfig/ClusterConfig.JitterFrac.
+const (
+	// DefaultJitterFrac is the period desynchronization used when
+	// JitterFrac is left zero.
+	DefaultJitterFrac = runtime.DefaultJitterFrac
+	// JitterNone requests strictly periodic gossip (a zero JitterFrac
+	// means "default", so jitter-free operation needs the explicit
+	// sentinel).
+	JitterNone = runtime.JitterNone
 )
 
 // Live protocol and membership kinds (runtime flavors of the simulation

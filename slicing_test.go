@@ -104,12 +104,15 @@ func TestPublicLiveCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Driven mode: the cluster runs on a virtual clock, so the test
+	// advances time instead of sleeping against a wall-clock deadline.
 	cluster, err := slicing.NewCluster(slicing.ClusterConfig{
 		N: 12, Partition: part, ViewSize: 5,
 		Protocol: slicing.LiveRanking,
 		Period:   2 * time.Millisecond,
 		AttrDist: slicing.UniformDist{Lo: 0, Hi: 100},
 		Seed:     4,
+		Clock:    slicing.NewVirtualClock(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,12 +121,13 @@ func TestPublicLiveCluster(t *testing.T) {
 	if err := cluster.Start(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for cluster.MisassignedFraction() > 0.35 {
-		if time.Now().After(deadline) {
+	for cycles := 0; cluster.MisassignedFraction() > 0.35; cycles++ {
+		if cycles > 500 {
 			t.Fatalf("cluster stuck at %v misassigned", cluster.MisassignedFraction())
 		}
-		time.Sleep(5 * time.Millisecond)
+		if err := cluster.Advance(2 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for _, n := range cluster.Nodes() {
 		st := n.Status()
@@ -131,6 +135,69 @@ func TestPublicLiveCluster(t *testing.T) {
 			t.Errorf("node %v reports invalid slice %v", st.ID, st.Slice)
 		}
 	}
+	if cluster.MessageCounts().Total() == 0 {
+		t.Error("no traffic on the cluster's internal network")
+	}
+}
+
+// One spec, two engines, through the public API: the same scenario spec
+// executes on both backends and both converge.
+func TestPublicScenarioBackends(t *testing.T) {
+	sc, err := slicing.LookupScenario("live-convergence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec slicing.ScenarioSpec
+	for _, s := range sc.Specs {
+		if s.Name == "ranking" {
+			spec = s.Scaled(0.1)
+		}
+	}
+	spec.Seed = 8
+	for _, name := range []string{slicing.BackendSim, slicing.BackendLive} {
+		backend, err := slicing.ScenarioBackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := backend.Run(spec)
+		if err != nil {
+			t.Fatalf("%s backend: %v", name, err)
+		}
+		first := res.SDM.Points[0].Value
+		last, _ := res.SDM.Last()
+		if last.Value >= first {
+			t.Errorf("%s backend did not converge: SDM %v → %v", name, first, last.Value)
+		}
+	}
+	if _, err := slicing.ScenarioBackendByName("nope"); err == nil {
+		t.Error("unknown backend name accepted")
+	}
+}
+
+// The jitter sentinel is reachable from the public surface.
+func TestPublicJitterSentinel(t *testing.T) {
+	if slicing.JitterNone >= 0 {
+		t.Error("JitterNone must be negative (zero means default)")
+	}
+	if slicing.DefaultJitterFrac <= 0 {
+		t.Error("DefaultJitterFrac must be positive")
+	}
+	part, err := slicing.EqualSlices(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := slicing.NewCluster(slicing.ClusterConfig{
+		N: 4, Partition: part, ViewSize: 3,
+		Protocol:   slicing.LiveRanking,
+		Period:     time.Millisecond,
+		JitterFrac: slicing.JitterNone,
+		AttrDist:   slicing.UniformDist{Lo: 0, Hi: 10},
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Stop()
 }
 
 func TestPublicStats(t *testing.T) {
