@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-hot bench bench-json lint ci
+.PHONY: all build test test-serial test-hot bench bench-json lint ci
 
 all: build
 
@@ -14,12 +14,22 @@ build:
 test:
 	$(GO) test -race ./...
 
+# The tier-1 tests again under GOMAXPROCS=1: the parallel cycle engine
+# must be bit-identical at any worker count AND on any scheduler — a
+# commit phase that accidentally depended on goroutine scheduling order
+# would show up as a diff between this pass and the default one.
+test-serial:
+	GOMAXPROCS=1 $(GO) test -count=1 ./...
+
 # An explicit, uncached race pass over the concurrency-heavy packages:
-# the sharded scheduler / live clusters and both transports. `make test`
-# covers them too, but this target re-executes them even when cached —
-# interleavings differ run to run, so caching hides races.
+# the sharded scheduler / live clusters, both transports, and the
+# simulator's parallel cycle engine (worker-count invariance + the
+# N=10,000 parallel run). `make test` covers them too, but this target
+# re-executes them even when cached — interleavings differ run to run,
+# so caching hides races.
 test-hot:
 	$(GO) test -race -count=1 ./internal/runtime/... ./internal/transport/...
+	$(GO) test -race -count=1 -run 'TestWorkerCountInvariance|TestParallelEngineAtScale' ./internal/sim
 
 # One iteration per benchmark: a smoke pass that proves they still run.
 bench:
@@ -29,14 +39,19 @@ bench:
 # registered scenario must smoke-run, and the per-run wall time and
 # cycles/sec land in BENCH_sweep.json (CI uploads it as an artifact).
 # The scale-* family additionally runs at FULL scale — N=10k/50k/100k,
-# single worker, timing on — so BENCH_scale.json tracks the engine's
-# cycles/sec as a function of N from build to build.
+# one run at a time with the parallel cycle engine inside each run
+# (-simworkers 4; results are bit-identical at any worker count) — so
+# BENCH_scale.json tracks the engine's cycles/sec as a function of N
+# from build to build. The four raw files then consolidate into
+# BENCH_summary.json (scenario → finalSDM, cyclesPerSec, backend): one
+# stable cross-PR shape that `slicebench compare` can diff between
+# builds to gate perf regressions.
 bench-json:
 	$(GO) run ./cmd/slicebench sweep -scenarios all -scale 0.01 -workers 4 \
 		-out BENCH_sweep.json -quiet
 	@echo "wrote BENCH_sweep.json"
 	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k \
-		-workers 1 -out BENCH_scale.json -quiet
+		-workers 1 -simworkers 4 -out BENCH_scale.json -quiet
 	@echo "wrote BENCH_scale.json"
 	$(GO) run ./cmd/slicebench sweep -backend live -scale 0.1 -workers 2 \
 		-out BENCH_live.json -quiet
@@ -44,10 +59,13 @@ bench-json:
 	$(GO) run ./cmd/slicebench sweep -backend live -scenarios live-scale-10k \
 		-workers 1 -out BENCH_live10k.json -quiet
 	@echo "wrote BENCH_live10k.json (n=10,000 live convergence run)"
+	$(GO) run ./cmd/slicebench summarize BENCH_sweep.json BENCH_scale.json \
+		BENCH_live.json BENCH_live10k.json -out BENCH_summary.json
+	@echo "wrote BENCH_summary.json (consolidated cross-PR benchmark shape)"
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test test-hot bench bench-json
+ci: lint build test test-serial test-hot bench bench-json

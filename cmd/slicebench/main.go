@@ -9,11 +9,13 @@
 //	slicebench run fig6-burst -scale 0.05
 //	slicebench run fig4-policies -format csv -every 5
 //	slicebench run live-convergence -backend live -scale 0.1
-//	slicebench run scale-100k -cpuprofile cpu.prof -memprofile mem.prof
+//	slicebench run scale-100k -simworkers 8 -cpuprofile cpu.prof -memprofile mem.prof
 //	slicebench sweep -scenarios all -scale 0.02 -replicas 2 -workers 8
 //	slicebench sweep -scenarios scale-10k,scale-50k,scale-100k -out BENCH_scale.json
 //	slicebench sweep -backend live -scale 0.1 -workers 2 -out BENCH_live.json
 //	slicebench sweep -scenarios fig4-concurrency,fig6-steady -format csv
+//	slicebench compare BENCH_scale_old.json BENCH_scale.json -fail-above 20
+//	slicebench summarize BENCH_sweep.json BENCH_scale.json -out BENCH_summary.json
 //
 // run executes one scenario family and prints its SDM curves side by
 // side (table, csv or json). sweep expands a scenario grid — families ×
@@ -29,6 +31,17 @@
 // spec's live block — and reports the same result shape plus a backend
 // tag. Scenarios declare the backends they support (see list); a live
 // sweep over "all" auto-selects the live-capable families.
+//
+// -simworkers puts all cores inside EACH simulator run (the engine's
+// parallel cycle rounds) instead of across runs; results are
+// bit-identical at any value, so it is purely a throughput knob for big
+// single runs like scale-100k.
+//
+// compare diffs the timing of two sweep artifacts run for run
+// (cycles/sec and wall-time deltas, with a -fail-above regression
+// gate), and summarize consolidates sweep artifacts into the stable
+// BENCH_summary.json shape — together they turn the per-build
+// BENCH_*.json files into a perf trajectory across PRs.
 package main
 
 import (
@@ -57,8 +70,10 @@ func usage(out io.Writer) {
   slicebench list                      list registered scenarios
   slicebench run <scenario> [flags]    run one scenario family
   slicebench sweep [flags]             run a scenario × seed grid
+  slicebench compare <old> <new>       diff the timing of two result files
+  slicebench summarize <files...>      consolidate result files into one summary
 
-run 'slicebench run -h' or 'slicebench sweep -h' for flags`)
+run 'slicebench <subcommand> -h' for flags`)
 }
 
 func run(args []string, out, errOut io.Writer) error {
@@ -73,6 +88,10 @@ func run(args []string, out, errOut io.Writer) error {
 		return runOne(args[1:], out, errOut)
 	case "sweep":
 		return runSweep(args[1:], out, errOut)
+	case "compare":
+		return runCompare(args[1:], out, errOut)
+	case "summarize":
+		return runSummarize(args[1:], out, errOut)
 	case "-h", "--help", "help":
 		usage(out)
 		return nil
@@ -136,15 +155,16 @@ func runOne(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("slicebench run", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		scale   = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
-		seed    = fs.Int64("seed", 1, "base seed for per-run seed derivation")
-		workers = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
-		backend = fs.String("backend", "sim", "execution backend: sim|live")
-		format  = fs.String("format", "table", "output format: table|csv|json")
-		every   = fs.Int("every", 1, "record the SDM every k-th cycle")
-		timing  = fs.Bool("timing", true, "report wall time per run (json only)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memProf = fs.String("memprofile", "", "write a post-run heap profile to this file")
+		scale      = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed       = fs.Int64("seed", 1, "base seed for per-run seed derivation")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
+		simWorkers = fs.Int("simworkers", 0, "per-run simulator compute workers (0 = spec value; results are identical at any count)")
+		backend    = fs.String("backend", "sim", "execution backend: sim|live")
+		format     = fs.String("format", "table", "output format: table|csv|json")
+		every      = fs.Int("every", 1, "record the SDM every k-th cycle")
+		timing     = fs.Bool("timing", true, "report wall time per run (json only)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf    = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	// Accept the scenario name before the flags (the natural word order)
 	// or after them; the flag package only parses flags up front.
@@ -178,6 +198,9 @@ func runOne(args []string, out, errOut io.Writer) error {
 	for i := range runs {
 		if *every > 0 {
 			runs[i].Spec.SampleEvery = *every
+		}
+		if *simWorkers > 0 {
+			runs[i].Spec.SimWorkers = *simWorkers
 		}
 	}
 	if *cpuProf != "" {
@@ -263,21 +286,164 @@ func writeSeriesTable(out io.Writer, series []metrics.Series) error {
 	return err
 }
 
+// readSummaryFile loads one benchmark artifact — a raw sweep results
+// file or a consolidated summary — as summary records.
+func readSummaryFile(path string) ([]scenario.SummaryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := scenario.ReadSummaryRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// runCompare diffs the timing of two result files run for run, so the
+// BENCH_*.json artifacts of successive builds become an actual perf
+// trajectory: cycles/sec and wall time per scenario, with deltas, and
+// an optional regression gate.
+func runCompare(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench compare", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	failAbove := fs.Float64("fail-above", 0,
+		"fail when any run's cycles/sec drops by more than this percentage, or when old runs are missing from the new artifact (0 = report only)")
+	// Accept the two file names before the flags (the natural word
+	// order) or after them.
+	var files []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		files, args = append(files, args[0]), args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files = append(files, fs.Args()...)
+	if len(files) != 2 {
+		return fmt.Errorf("compare needs exactly two result files (old.json new.json), got %d", len(files))
+	}
+	oldRecs, err := readSummaryFile(files[0])
+	if err != nil {
+		return err
+	}
+	newRecs, err := readSummaryFile(files[1])
+	if err != nil {
+		return err
+	}
+	oldByKey := make(map[string]scenario.SummaryRecord, len(oldRecs))
+	for _, r := range oldRecs {
+		oldByKey[r.Key()] = r
+	}
+	tab := metrics.NewTable("run", "n", "old c/s", "new c/s", "Δc/s%", "old ms", "new ms", "Δms%")
+	var worst float64
+	worstKey := ""
+	matched, newOnly, untimed := 0, 0, 0
+	for _, nr := range newRecs {
+		or, ok := oldByKey[nr.Key()]
+		if !ok {
+			newOnly++
+			continue
+		}
+		matched++
+		delete(oldByKey, nr.Key())
+		if or.CyclesPerSec == 0 || nr.CyclesPerSec == 0 {
+			untimed++
+			continue
+		}
+		dCPS := 100 * (nr.CyclesPerSec - or.CyclesPerSec) / or.CyclesPerSec
+		dMS := 100 * (nr.WallMS - or.WallMS) / or.WallMS
+		tab.AddRow(nr.Key(), nr.N,
+			fmt.Sprintf("%.1f", or.CyclesPerSec), fmt.Sprintf("%.1f", nr.CyclesPerSec),
+			fmt.Sprintf("%+.1f", dCPS),
+			fmt.Sprintf("%.1f", or.WallMS), fmt.Sprintf("%.1f", nr.WallMS),
+			fmt.Sprintf("%+.1f", dMS))
+		if drop := -dCPS; drop > worst {
+			worst, worstKey = drop, nr.Key()
+		}
+	}
+	if _, err := tab.WriteTo(out); err != nil {
+		return err
+	}
+	// Whatever is left in oldByKey vanished from the new artifact: lost
+	// coverage must be visible (and, under a gate, fatal — a regression
+	// hidden by dropping its run is still a regression).
+	lost := make([]string, 0, len(oldByKey))
+	for key := range oldByKey {
+		lost = append(lost, key)
+	}
+	sort.Strings(lost)
+	fmt.Fprintf(out, "matched %d runs (%d without timing, %d only in %s)\n",
+		matched, untimed, newOnly, files[1])
+	if len(lost) > 0 {
+		fmt.Fprintf(out, "MISSING from %s (%d): %s\n", files[1], len(lost), strings.Join(lost, " "))
+	}
+	if *failAbove > 0 {
+		if len(lost) > 0 {
+			return fmt.Errorf("perf gate: %d run(s) present in %s are missing from %s: %s",
+				len(lost), files[0], files[1], strings.Join(lost, " "))
+		}
+		if worst > *failAbove {
+			return fmt.Errorf("perf regression: %s dropped %.1f%% cycles/sec (threshold %.1f%%)",
+				worstKey, worst, *failAbove)
+		}
+	}
+	return nil
+}
+
+// runSummarize consolidates one or more result files into the stable
+// cross-PR summary shape (see scenario.SummaryRecord).
+func runSummarize(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench summarize", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	outPath := fs.String("out", "", "write the summary to a file instead of stdout")
+	var files []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		files, args = append(files, args[0]), args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files = append(files, fs.Args()...)
+	if len(files) == 0 {
+		return fmt.Errorf("summarize needs at least one result file")
+	}
+	sets := make([][]scenario.SummaryRecord, 0, len(files))
+	for _, path := range files {
+		recs, err := readSummaryFile(path)
+		if err != nil {
+			return err
+		}
+		sets = append(sets, recs)
+	}
+	dst := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return scenario.WriteSummaryJSON(dst, scenario.MergeSummaries(sets...))
+}
+
 // runSweep expands and executes a scenario grid.
 func runSweep(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("slicebench sweep", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		scenarios = fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
-		replicas  = fs.Int("replicas", 1, "seed replicas per spec")
-		scale     = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
-		seed      = fs.Int64("seed", 1, "base seed for per-run seed derivation")
-		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
-		backend   = fs.String("backend", "sim", "execution backend: sim|live ('all' scenarios auto-filter to the backend)")
-		format    = fs.String("format", "json", "output format: json|csv")
-		timing    = fs.Bool("timing", true, "include wall time and cycles/sec (disable for byte-identical output)")
-		outPath   = fs.String("out", "", "write output to a file instead of stdout")
-		quiet     = fs.Bool("quiet", false, "suppress per-run progress on stderr")
+		scenarios  = fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		replicas   = fs.Int("replicas", 1, "seed replicas per spec")
+		scale      = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed       = fs.Int64("seed", 1, "base seed for per-run seed derivation")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = all cores; live backend defaults to 2)")
+		simWorkers = fs.Int("simworkers", 0, "per-run simulator compute workers (0 = spec value; results are identical at any count)")
+		backend    = fs.String("backend", "sim", "execution backend: sim|live ('all' scenarios auto-filter to the backend)")
+		format     = fs.String("format", "json", "output format: json|csv")
+		timing     = fs.Bool("timing", true, "include wall time and cycles/sec (disable for byte-identical output)")
+		outPath    = fs.String("out", "", "write output to a file instead of stdout")
+		quiet      = fs.Bool("quiet", false, "suppress per-run progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -310,6 +476,11 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	runs, err := g.Expand()
 	if err != nil {
 		return err
+	}
+	if *simWorkers > 0 {
+		for i := range runs {
+			runs[i].Spec.SimWorkers = *simWorkers
+		}
 	}
 	onResult := func(res scenario.RunResult) {
 		if !*quiet {

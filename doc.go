@@ -61,6 +61,17 @@
 // work concurrently and returns without sleeping: live evaluation runs
 // and tests are compute-bound, not period-bound.
 //
+// The simulator itself is also multi-core: each cycle executes as
+// compute/commit rounds — per-node counter-based RNG streams make
+// every node's draws independent of iteration order, computes fan out
+// over SimConfig.Workers goroutines against immutable start-of-round
+// snapshots, and commits apply mutations in deterministic slot order.
+// Results are bit-identical at ANY worker count (the worker-count
+// invariance contract), so Workers — a SimConfig field, the
+// ScenarioSpec's SimWorkers knob, and slicebench's -simworkers flag —
+// is purely a throughput dial: sweeps parallelize across runs, one big
+// run parallelizes across cores.
+//
 // # Attribute distributions
 //
 // Both execution modes draw node attributes from an AttrSource. The

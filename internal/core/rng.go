@@ -1,0 +1,16 @@
+package core
+
+// RNG is the minimal source of randomness a protocol step consumes:
+// uniform integers for partner selection and uniform floats for
+// probability draws. *math/rand.Rand satisfies it, and so do the cycle
+// engine's counter-based per-node streams (internal/sim), which is the
+// point: a protocol that takes an RNG instead of a concrete *rand.Rand
+// can be driven either by a node-local serial generator (the live
+// runtime) or by an order-independent deterministic stream (the
+// parallel simulator), without knowing which.
+type RNG interface {
+	// Intn returns a uniform int in [0,n). It panics if n <= 0.
+	Intn(n int) int
+	// Float64 returns a uniform float64 in [0,1).
+	Float64() float64
+}

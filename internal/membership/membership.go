@@ -8,8 +8,6 @@
 package membership
 
 import (
-	"math/rand"
-
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/view"
@@ -22,10 +20,10 @@ import (
 type Protocol interface {
 	// Tick starts one gossip period, returning the request to send (if
 	// any).
-	Tick(rng *rand.Rand) []proto.Envelope
+	Tick(rng core.RNG) []proto.Envelope
 	// HandleRequest processes an incoming view request and returns the
 	// reply.
-	HandleRequest(from core.ID, req proto.ViewRequest, rng *rand.Rand) []proto.Envelope
+	HandleRequest(from core.ID, req proto.ViewRequest, rng core.RNG) []proto.Envelope
 	// HandleReply processes the view received in response to Tick.
 	HandleReply(from core.ID, rep proto.ViewReply)
 	// View exposes the protocol's current view. The slicing protocol
@@ -44,47 +42,38 @@ type Protocol interface {
 // supplies it so that gossip always advertises up-to-date coordinates.
 type SelfEntryFunc func() view.Entry
 
-// Scratchable is implemented by protocols that can reuse their payload
-// and envelope buffers across calls. EnableScratch is safe ONLY for a
-// single-threaded caller that fully consumes every returned envelope —
-// including the entry slices inside its messages — before the next call
-// on any instance in the delivery chain. The cycle simulator qualifies
-// (exchanges complete synchronously within a cycle); the live runtime
-// must NOT enable it, because its transports hand message payloads to
-// delivery goroutines that outlive the call.
-type Scratchable interface {
-	EnableScratch()
-}
-
-// scratch holds the reusable buffers behind EnableScratch. With enabled
-// false every helper allocates fresh slices, preserving the safe default.
-type scratch struct {
-	enabled    bool
-	payloadBuf []view.Entry
-	replyBuf   []view.Entry
-	envBuf     []proto.Envelope
-}
-
-func (s *scratch) payload(capacity int) []view.Entry {
-	if s.enabled {
-		return s.payloadBuf[:0]
-	}
-	return make([]view.Entry, 0, capacity+1)
-}
-
-func (s *scratch) reply(capacity int) []view.Entry {
-	if s.enabled {
-		return s.replyBuf[:0]
-	}
-	return make([]view.Entry, 0, capacity+1)
-}
-
-func (s *scratch) envelope(env proto.Envelope) []proto.Envelope {
-	if s.enabled {
-		s.envBuf = append(s.envBuf[:0], env)
-		return s.envBuf
-	}
-	return []proto.Envelope{env}
+// Exchanger is the compute/commit decomposition of a gossip exchange,
+// implemented by the view-swapping protocols (Cyclon, Newscast). It
+// factors Tick/HandleRequest/HandleReply into a half that is pure with
+// respect to every other node's state — aging the own view and picking
+// the partner — and a half that only merges already-materialized
+// payloads. A parallel cycle engine runs SelectPartner on all nodes
+// concurrently (each touches only its own view), freezes every view,
+// derives request and reply payloads from the frozen entries, and then
+// applies Absorb per view owner in a deterministic order — which makes
+// the whole membership phase bit-identical at any worker count.
+//
+// Payload construction under this split relies on a property both Merge
+// and MergeFresh already guarantee: entries describing the receiving
+// node are dropped on merge. A frozen request payload is therefore the
+// initiator's whole post-age view plus a fresh self entry (the explicit
+// "minus the target's entry" filtering of Fig. 3 is subsumed by the
+// merge-side self drop), and a frozen reply payload is the responder's
+// whole post-age view, plus a fresh self entry iff ReplyAddsSelf.
+type Exchanger interface {
+	// SelectPartner starts a gossip period: it ages the view and
+	// returns the partner this node initiates with, mirroring the
+	// selection of Tick (Cyclon: the oldest entry; Newscast: a
+	// uniformly random one). It mutates only the own view.
+	SelectPartner(rng core.RNG) (core.ID, bool)
+	// ReplyAddsSelf reports whether reply payloads carry a fresh self
+	// entry (Newscast) or not (the Cyclon variant's ACK′ describes the
+	// responder's neighbors only).
+	ReplyAddsSelf() bool
+	// Absorb commits one received payload — request or reply — into the
+	// view, applying this protocol's merge discipline (local-wins for
+	// Cyclon, freshest-wins for Newscast).
+	Absorb(entries []view.Entry)
 }
 
 // Cyclon is the variant of the Cyclon protocol described in §4.3.2 and
@@ -98,10 +87,12 @@ type Cyclon struct {
 	self      core.ID
 	selfEntry SelfEntryFunc
 	v         *view.View
-	scratch   scratch
 }
 
-var _ Protocol = (*Cyclon)(nil)
+var (
+	_ Protocol  = (*Cyclon)(nil)
+	_ Exchanger = (*Cyclon)(nil)
+)
 
 // NewCyclon builds the Cyclon-variant protocol for a node. The view is
 // owned by the protocol but shared with the slicing layer.
@@ -109,17 +100,14 @@ func NewCyclon(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Cyclon {
 	return &Cyclon{self: self, selfEntry: selfEntry, v: v}
 }
 
-// EnableScratch implements Scratchable; see that interface's contract.
-func (c *Cyclon) EnableScratch() { c.scratch.enabled = true }
-
 // Tick implements Protocol (Fig. 3, active thread, lines 1-3).
-func (c *Cyclon) Tick(_ *rand.Rand) []proto.Envelope {
+func (c *Cyclon) Tick(_ core.RNG) []proto.Envelope {
 	c.v.AgeAll()
 	oldest, ok := c.v.Oldest()
 	if !ok {
 		return nil
 	}
-	payload := c.v.AppendEntries(c.scratch.payload(c.v.Len()))
+	payload := c.v.AppendEntries(make([]view.Entry, 0, c.v.Len()+1))
 	for i := range payload {
 		if payload[i].ID == oldest.ID {
 			payload = append(payload[:i], payload[i+1:]...)
@@ -127,28 +115,45 @@ func (c *Cyclon) Tick(_ *rand.Rand) []proto.Envelope {
 		}
 	}
 	payload = append(payload, c.selfEntry())
-	c.scratch.payloadBuf = payload
-	return c.scratch.envelope(proto.Envelope{To: oldest.ID, Msg: proto.ViewRequest{Entries: payload}})
+	return []proto.Envelope{{To: oldest.ID, Msg: proto.ViewRequest{Entries: payload}}}
 }
 
 // HandleRequest implements Protocol (Fig. 3, passive thread, lines 7-10).
-func (c *Cyclon) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
-	reply := c.v.AppendEntries(c.scratch.reply(c.v.Len()))
+func (c *Cyclon) HandleRequest(from core.ID, req proto.ViewRequest, _ core.RNG) []proto.Envelope {
+	reply := c.v.AppendEntries(make([]view.Entry, 0, c.v.Len()))
 	for i := range reply {
 		if reply[i].ID == from {
 			reply = append(reply[:i], reply[i+1:]...)
 			break
 		}
 	}
-	c.scratch.replyBuf = reply
 	c.v.Merge(req.Entries, c.self)
-	return c.scratch.envelope(proto.Envelope{To: from, Msg: proto.ViewReply{Entries: reply}})
+	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
 }
 
 // HandleReply implements Protocol (Fig. 3, active thread, lines 4-6).
 func (c *Cyclon) HandleReply(_ core.ID, rep proto.ViewReply) {
 	c.v.Merge(rep.Entries, c.self)
 }
+
+// SelectPartner implements Exchanger: age the view, pick the oldest
+// neighbor (Fig. 3, active thread, lines 1-2).
+func (c *Cyclon) SelectPartner(_ core.RNG) (core.ID, bool) {
+	c.v.AgeAll()
+	oldest, ok := c.v.Oldest()
+	if !ok {
+		return 0, false
+	}
+	return oldest.ID, true
+}
+
+// ReplyAddsSelf implements Exchanger: the Cyclon-variant ACK′ carries
+// the responder's view only.
+func (c *Cyclon) ReplyAddsSelf() bool { return false }
+
+// Absorb implements Exchanger: merge keeping the local version of
+// duplicated entries.
+func (c *Cyclon) Absorb(entries []view.Entry) { c.v.Merge(entries, c.self) }
 
 // View implements Protocol.
 func (c *Cyclon) View() *view.View { return c.v }
@@ -167,43 +172,59 @@ type Newscast struct {
 	self      core.ID
 	selfEntry SelfEntryFunc
 	v         *view.View
-	scratch   scratch
 }
 
-var _ Protocol = (*Newscast)(nil)
+var (
+	_ Protocol  = (*Newscast)(nil)
+	_ Exchanger = (*Newscast)(nil)
+)
 
 // NewNewscast builds the Newscast-like protocol for a node.
 func NewNewscast(self core.ID, selfEntry SelfEntryFunc, v *view.View) *Newscast {
 	return &Newscast{self: self, selfEntry: selfEntry, v: v}
 }
 
-// EnableScratch implements Scratchable; see that interface's contract.
-func (n *Newscast) EnableScratch() { n.scratch.enabled = true }
-
 // Tick implements Protocol.
-func (n *Newscast) Tick(rng *rand.Rand) []proto.Envelope {
+func (n *Newscast) Tick(rng core.RNG) []proto.Envelope {
 	n.v.AgeAll()
 	target, ok := n.v.Random(rng)
 	if !ok {
 		return nil
 	}
-	payload := append(n.v.AppendEntries(n.scratch.payload(n.v.Len())), n.selfEntry())
-	n.scratch.payloadBuf = payload
-	return n.scratch.envelope(proto.Envelope{To: target.ID, Msg: proto.ViewRequest{Entries: payload}})
+	payload := append(n.v.AppendEntries(make([]view.Entry, 0, n.v.Len()+1)), n.selfEntry())
+	return []proto.Envelope{{To: target.ID, Msg: proto.ViewRequest{Entries: payload}}}
 }
 
 // HandleRequest implements Protocol.
-func (n *Newscast) HandleRequest(from core.ID, req proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
-	reply := append(n.v.AppendEntries(n.scratch.reply(n.v.Len())), n.selfEntry())
-	n.scratch.replyBuf = reply
+func (n *Newscast) HandleRequest(from core.ID, req proto.ViewRequest, _ core.RNG) []proto.Envelope {
+	reply := append(n.v.AppendEntries(make([]view.Entry, 0, n.v.Len()+1)), n.selfEntry())
 	n.v.MergeFresh(req.Entries, n.self)
-	return n.scratch.envelope(proto.Envelope{To: from, Msg: proto.ViewReply{Entries: reply}})
+	return []proto.Envelope{{To: from, Msg: proto.ViewReply{Entries: reply}}}
 }
 
 // HandleReply implements Protocol.
 func (n *Newscast) HandleReply(_ core.ID, rep proto.ViewReply) {
 	n.v.MergeFresh(rep.Entries, n.self)
 }
+
+// SelectPartner implements Exchanger: age the view, pick a uniformly
+// random neighbor.
+func (n *Newscast) SelectPartner(rng core.RNG) (core.ID, bool) {
+	n.v.AgeAll()
+	target, ok := n.v.Random(rng)
+	if !ok {
+		return 0, false
+	}
+	return target.ID, true
+}
+
+// ReplyAddsSelf implements Exchanger: Newscast replies advertise the
+// responder itself alongside its view.
+func (n *Newscast) ReplyAddsSelf() bool { return true }
+
+// Absorb implements Exchanger: merge keeping the freshest version of
+// duplicated entries.
+func (n *Newscast) Absorb(entries []view.Entry) { n.v.MergeFresh(entries, n.self) }
 
 // View implements Protocol.
 func (n *Newscast) View() *view.View { return n.v }
@@ -217,7 +238,7 @@ func (n *Newscast) Name() string { return "newscast" }
 // SampleFunc returns fresh entries for k uniformly random live nodes,
 // excluding a given node. The simulator provides it with global
 // knowledge; it stands for an idealized peer-sampling service.
-type SampleFunc func(rng *rand.Rand, k int, exclude core.ID) []view.Entry
+type SampleFunc func(rng core.RNG, k int, exclude core.ID) []view.Entry
 
 // Oracle re-draws the whole view uniformly at random every period: the
 // idealized sampler the paper compares the Cyclon variant against in
@@ -237,7 +258,7 @@ func NewOracle(self core.ID, sample SampleFunc, v *view.View) *Oracle {
 
 // Tick implements Protocol: it replaces the entire view with fresh
 // uniform samples.
-func (o *Oracle) Tick(rng *rand.Rand) []proto.Envelope {
+func (o *Oracle) Tick(rng core.RNG) []proto.Envelope {
 	fresh := o.sample(rng, o.v.Cap(), o.self)
 	o.v.Clear()
 	for _, e := range fresh {
@@ -250,7 +271,7 @@ func (o *Oracle) Tick(rng *rand.Rand) []proto.Envelope {
 
 // HandleRequest implements Protocol; the oracle never receives requests
 // but answers gracefully to tolerate stray messages under churn.
-func (o *Oracle) HandleRequest(from core.ID, _ proto.ViewRequest, _ *rand.Rand) []proto.Envelope {
+func (o *Oracle) HandleRequest(from core.ID, _ proto.ViewRequest, _ core.RNG) []proto.Envelope {
 	return []proto.Envelope{{To: from, Msg: proto.ViewReply{}}}
 }
 

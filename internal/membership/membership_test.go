@@ -185,9 +185,16 @@ func TestOracleRedrawsWholeView(t *testing.T) {
 	pool := []view.Entry{
 		{ID: 10}, {ID: 11}, {ID: 12}, {ID: 13}, {ID: 14},
 	}
-	sample := func(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
+	sample := func(rng core.RNG, k int, exclude core.ID) []view.Entry {
 		out := make([]view.Entry, 0, k)
-		perm := rng.Perm(len(pool))
+		perm := make([]int, len(pool))
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
 		for _, i := range perm {
 			if pool[i].ID == exclude {
 				continue
@@ -218,7 +225,7 @@ func TestOracleRedrawsWholeView(t *testing.T) {
 
 func TestOracleExcludesSelf(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	sample := func(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
+	sample := func(rng core.RNG, k int, exclude core.ID) []view.Entry {
 		// Deliberately buggy sampler that returns the node itself.
 		return []view.Entry{{ID: 1}, {ID: 2}}
 	}

@@ -29,12 +29,12 @@ type NodeState struct {
 	SliceIndex int
 }
 
-// Scratch computes the disorder measures through reusable sort buffers.
-// The simulator records SDM (and optionally GDM) every cycle; routing
-// those computations through one Scratch makes them allocation-free at
-// steady state. The zero value is ready to use. Not safe for concurrent
-// use.
-type Scratch struct {
+// scratch is the shared sort scaffolding of the one-shot GDM and SDM
+// measures: an index permutation ordered by attribute or by coordinate.
+// (The simulator no longer routes per-cycle measurement through it — it
+// keeps its own rank buffers and reduces via SDMSortedRange/GDMRange —
+// so this exists only for the package-level reference measures.)
+type scratch struct {
 	idx        []int
 	alpha, rho []int
 	states     []NodeState
@@ -42,14 +42,14 @@ type Scratch struct {
 }
 
 // Len implements sort.Interface over the index permutation.
-func (sc *Scratch) Len() int { return len(sc.idx) }
+func (sc *scratch) Len() int { return len(sc.idx) }
 
 // Swap implements sort.Interface.
-func (sc *Scratch) Swap(x, y int) { sc.idx[x], sc.idx[y] = sc.idx[y], sc.idx[x] }
+func (sc *scratch) Swap(x, y int) { sc.idx[x], sc.idx[y] = sc.idx[y], sc.idx[x] }
 
 // Less implements sort.Interface: the attribute-based total order, or —
 // when ranking by coordinate — (R, ID) order.
-func (sc *Scratch) Less(x, y int) bool {
+func (sc *scratch) Less(x, y int) bool {
 	sx, sy := sc.states[sc.idx[x]], sc.states[sc.idx[y]]
 	if sc.byR {
 		if sx.R != sy.R {
@@ -62,7 +62,7 @@ func (sc *Scratch) Less(x, y int) bool {
 
 // sortIdx (re)fills the index permutation and stably sorts it in the
 // requested order.
-func (sc *Scratch) sortIdx(states []NodeState, byR bool) {
+func (sc *scratch) sortIdx(states []NodeState, byR bool) {
 	sc.idx = sc.idx[:0]
 	for i := range states {
 		sc.idx = append(sc.idx, i)
@@ -73,7 +73,7 @@ func (sc *Scratch) sortIdx(states []NodeState, byR bool) {
 }
 
 // GDM computes the global disorder measure; see the package-level GDM.
-func (sc *Scratch) GDM(states []NodeState) float64 {
+func (sc *scratch) GDM(states []NodeState) float64 {
 	n := len(states)
 	if n == 0 {
 		return 0
@@ -97,7 +97,7 @@ func (sc *Scratch) GDM(states []NodeState) float64 {
 }
 
 // SDM computes the slice disorder measure; see the package-level SDM.
-func (sc *Scratch) SDM(states []NodeState, part core.Partition) float64 {
+func (sc *scratch) SDM(states []NodeState, part core.Partition) float64 {
 	n := len(states)
 	if n == 0 {
 		return 0
@@ -126,7 +126,7 @@ func growInts(buf []int, n int) []int {
 // attribute-based sequence believes it belongs to. A caller that
 // maintains the attribute order incrementally (the simulator's engine
 // keeps its membership sorted across churn events) skips the per-cycle
-// O(n log n) sort that SDM and Scratch.SDM pay, making the measurement
+// O(n log n) sort that SDM pays, making the measurement
 // linear.
 func SDMSorted(believed []int, part core.Partition) float64 {
 	n := len(believed)
@@ -141,6 +141,39 @@ func SDMSorted(believed []int, part core.Partition) float64 {
 	return sum
 }
 
+// SDMSortedRange returns the SDM contribution of positions [lo, hi) of
+// an attribute-ordered believed sequence of total length len(believed).
+// It is the partial-sum form of SDMSorted: a parallel measurement pass
+// computes fixed-size chunks concurrently and adds the chunk sums in
+// chunk order, which keeps the floating-point reduction independent of
+// how many workers ran it. SDMSorted(b, p) equals the in-order sum of
+// its chunked ranges.
+func SDMSortedRange(believed []int, part core.Partition, lo, hi int) float64 {
+	n := len(believed)
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for pos := lo; pos < hi; pos++ {
+		trueRank := float64(pos+1) / float64(n)
+		sum += part.SliceDistance(part.Index(trueRank), believed[pos])
+	}
+	return sum
+}
+
+// GDMRange returns the un-normalized GDM contribution Σ (α_i − ρ_i)² of
+// slots [lo, hi), given per-slot attribute and coordinate ranks. The
+// caller divides the in-order total by n; like SDMSortedRange it exists
+// so a parallel pass can reduce over fixed chunks deterministically.
+func GDMRange(alpha, rho []int32, lo, hi int) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		d := float64(alpha[i] - rho[i])
+		sum += d * d
+	}
+	return sum
+}
+
 // GDM returns the global disorder measure (§4.2):
 //
 //	GDM(t) = (1/n) Σ_i (α_i − ρ_i)²
@@ -149,7 +182,7 @@ func SDMSorted(believed []int, part core.Partition) float64 {
 // rank in the random-value sequence (ties in both orders broken by
 // identifier). An empty system has zero disorder.
 func GDM(states []NodeState) float64 {
-	var sc Scratch
+	var sc scratch
 	return sc.GDM(states)
 }
 
@@ -161,7 +194,7 @@ func GDM(states []NodeState) float64 {
 // normalized rank α_i/n — and (l̂_i,û_i] the slice it believes it belongs
 // to. For equal-width slices each term is the absolute index distance.
 func SDM(states []NodeState, part core.Partition) float64 {
-	var sc Scratch
+	var sc scratch
 	return sc.SDM(states, part)
 }
 

@@ -272,3 +272,54 @@ func TestGDMBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// SDMSortedRange must tile SDMSorted exactly: summing in-order chunk
+// partials of any fixed chunking reproduces the full measure (this is
+// the contract the parallel engine's chunked reduction relies on).
+func TestSDMSortedRangeTilesSDMSorted(t *testing.T) {
+	part, err := core.Equal(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	believed := make([]int, 1000)
+	for i := range believed {
+		believed[i] = (i * 13) % 7
+	}
+	want := SDMSorted(believed, part)
+	for _, chunk := range []int{1, 3, 64, 999, 1000, 5000} {
+		sum := 0.0
+		for lo := 0; lo < len(believed); lo += chunk {
+			sum += SDMSortedRange(believed, part, lo, min(lo+chunk, len(believed)))
+		}
+		if sum != want {
+			t.Errorf("chunk=%d: tiled sum %v != SDMSorted %v", chunk, sum, want)
+		}
+	}
+	if got := SDMSortedRange(nil, part, 0, 0); got != 0 {
+		t.Errorf("empty range = %v, want 0", got)
+	}
+}
+
+// GDMRange over per-slot ranks must reproduce the package GDM once
+// normalized, rank conventions included.
+func TestGDMRangeMatchesGDM(t *testing.T) {
+	states := []NodeState{
+		{Member: core.Member{ID: 1, Attr: 10}, R: 0.9, SliceIndex: 0},
+		{Member: core.Member{ID: 2, Attr: 20}, R: 0.1, SliceIndex: 0},
+		{Member: core.Member{ID: 3, Attr: 30}, R: 0.5, SliceIndex: 0},
+		{Member: core.Member{ID: 4, Attr: 20}, R: 0.5, SliceIndex: 0},
+	}
+	// Ranks per the GDM definition: attribute order (attr, id) and
+	// coordinate order (r, id), 1-based.
+	alpha := []int32{1, 2, 4, 3}
+	rho := []int32{4, 1, 2, 3}
+	n := len(states)
+	got := GDMRange(alpha, rho, 0, n) / float64(n)
+	if want := GDM(states); got != want {
+		t.Errorf("GDMRange-based measure %v != GDM %v", got, want)
+	}
+	split := (GDMRange(alpha, rho, 0, 2) + GDMRange(alpha, rho, 2, n)) / float64(n)
+	if split != got {
+		t.Errorf("split ranges %v != whole range %v", split, got)
+	}
+}

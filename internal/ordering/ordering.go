@@ -16,7 +16,6 @@ package ordering
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/proto"
@@ -76,6 +75,15 @@ type Stats struct {
 	// SwapFailedAtInitiator counts replies whose predicate no longer
 	// held at the initiator.
 	SwapFailedAtInitiator uint64
+	// SwapAbandonedAtSender counts requests discarded at send time
+	// because the swap predicate had already expired — the atomic cycle
+	// model's "the view is up-to-date when a message is sent": an
+	// initiator that re-checks its partner right before sending simply
+	// does not send. Only the cycle engine's commit phase produces these
+	// (see sim: a compute-phase selection can go stale before its
+	// slot-ordered commit); on the wire-level runtime every request is
+	// sent as ticked.
+	SwapAbandonedAtSender uint64
 	// Swapped counts applied value adoptions (either side).
 	Swapped uint64
 }
@@ -165,7 +173,7 @@ func (n *Node) Stats() Stats { return n.stats }
 // 4-9). The view has already been recomputed by the membership layer.
 // The returned envelope carries the swap request, if any partner
 // qualifies.
-func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
+func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
 	selfR, ok := state.R(n.id)
 	if !ok {
 		selfR = n.r
@@ -190,7 +198,7 @@ func neighborCoordinate(state proto.StateReader, e view.Entry) float64 {
 	return e.R
 }
 
-func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng *rand.Rand) (core.ID, bool) {
+func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng core.RNG) (core.ID, bool) {
 	if n.policy == SelectMaxGain {
 		// localSequences takes (and placeholder-filters) its own view
 		// snapshot; snapshotting here too would copy the view twice per
@@ -384,7 +392,7 @@ func (n *Node) LDM(state proto.StateReader) float64 {
 
 // Handle implements proto.Node: the passive thread of Fig. 2 (lines
 // 15-19) plus the initiator's reply processing (lines 10-14).
-func (n *Node) Handle(from core.ID, msg proto.Message, _ *rand.Rand) []proto.Envelope {
+func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envelope {
 	switch m := msg.(type) {
 	case proto.SwapRequest:
 		return n.handleSwapRequest(from, m)
@@ -435,6 +443,12 @@ func (n *Node) handleSwapReply(from core.ID, rep proto.SwapReply) {
 		n.stats.SwapFailedAtInitiator++
 	}
 }
+
+// AbandonSwap records that a ticked swap request was withdrawn before
+// sending because its predicate expired between selection and send (the
+// cycle engine's atomic-commit re-validation). The request was counted
+// by ReqSent when ticked; SwapAbandonedAtSender keeps the books exact.
+func (n *Node) AbandonSwap() { n.stats.SwapAbandonedAtSender++ }
 
 // SetR force-sets the node's random value. Used by churn models when
 // re-keying and by tests.

@@ -12,8 +12,6 @@
 package proto
 
 import (
-	"math/rand"
-
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/view"
 )
@@ -137,9 +135,13 @@ type Node interface {
 	SelfEntry() view.Entry
 	// Tick runs one active-thread period (after the membership exchange)
 	// and returns the messages to send. The StateReader tells the node
-	// how fresh its knowledge of its neighbors' coordinates is.
-	Tick(state StateReader, rng *rand.Rand) []Envelope
+	// how fresh its knowledge of its neighbors' coordinates is. The RNG
+	// is injected per step: the live runtime passes the node's own
+	// serial generator, the cycle engine a per-(node,cycle) counter
+	// stream, which is what lets it run every node's step concurrently
+	// yet bit-identically at any worker count.
+	Tick(state StateReader, rng core.RNG) []Envelope
 	// Handle processes one incoming protocol message, returning any
 	// replies.
-	Handle(from core.ID, msg Message, rng *rand.Rand) []Envelope
+	Handle(from core.ID, msg Message, rng core.RNG) []Envelope
 }

@@ -15,7 +15,6 @@ package ranking
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/proto"
@@ -136,7 +135,7 @@ func (n *Node) lower(m core.Member) bool {
 // 4-16). The view has been recomputed by the membership layer. The
 // returned envelopes carry UPD messages for the boundary-closest
 // neighbor j1 and a random neighbor j2.
-func (n *Node) Tick(state proto.StateReader, rng *rand.Rand) []proto.Envelope {
+func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
 	// Placeholder entries are contact addresses, not attribute samples;
 	// they are neither observed nor targeted. The filter reads the view's
 	// backing slice directly (no snapshot copy): nothing below mutates
@@ -193,7 +192,7 @@ func (n *Node) boundaryDistance(state proto.StateReader, e view.Entry) float64 {
 
 // Handle implements proto.Node: the passive thread of Fig. 5 (lines
 // 17-21). Updates are one-way; no reply is produced.
-func (n *Node) Handle(from core.ID, msg proto.Message, _ *rand.Rand) []proto.Envelope {
+func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envelope {
 	upd, ok := msg.(proto.RankUpdate)
 	if !ok {
 		// Not a ranking message (e.g. a stray SwapRequest); ignore.

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// summarizeFixture builds two results for the SAME scenario/spec at
+// different scales — exactly what make bench-json's catalog + scale
+// sweeps produce — plus a live run.
+func summarizeFixture() []RunResult {
+	mk := func(idx int, scen, spec string, n int, backend string, cps float64) RunResult {
+		return RunResult{
+			Run:     Run{Index: idx, Scenario: scen, Spec: Spec{Name: spec, N: n, Cycles: 10}},
+			Backend: backend,
+			Timing:  &Timing{WallMS: 100, CyclesPerSec: cps},
+		}
+	}
+	return []RunResult{
+		mk(0, "scale-10k", "ordering-static", 100, "sim", 5000), // catalog sweep at scale 0.01
+		mk(1, "scale-10k", "ordering-static", 10000, "sim", 30), // full-scale sweep
+		mk(2, "live-convergence", "ranking", 200, "live", 600),
+	}
+}
+
+// Summary keys must keep the same family at different scales distinct:
+// colliding keys would make compare pair a toy run against a
+// full-scale one and drop the other as unmatched.
+func TestSummaryKeysDistinguishScales(t *testing.T) {
+	recs := Summarize(summarizeFixture())
+	if len(recs) != 3 {
+		t.Fatalf("summarized %d records, want 3", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.Key()] {
+			t.Fatalf("duplicate summary key %q", r.Key())
+		}
+		seen[r.Key()] = true
+	}
+	if !seen["sim/scale-10k/ordering-static@n=100#0"] || !seen["sim/scale-10k/ordering-static@n=10000#0"] {
+		t.Errorf("keys do not encode N: %v", seen)
+	}
+}
+
+// ReadSummaryRecords must accept both artifact shapes — raw WriteJSON
+// results and consolidated WriteSummaryJSON summaries — and produce
+// identical records either way.
+func TestReadSummaryRecordsBothShapes(t *testing.T) {
+	results := summarizeFixture()
+	var raw bytes.Buffer
+	if err := WriteJSON(&raw, results); err != nil {
+		t.Fatal(err)
+	}
+	var consolidated bytes.Buffer
+	if err := WriteSummaryJSON(&consolidated, Summarize(results)); err != nil {
+		t.Fatal(err)
+	}
+	fromRaw, err := ReadSummaryRecords(&raw)
+	if err != nil {
+		t.Fatalf("raw shape: %v", err)
+	}
+	fromSummary, err := ReadSummaryRecords(&consolidated)
+	if err != nil {
+		t.Fatalf("summary shape: %v", err)
+	}
+	if len(fromRaw) != len(fromSummary) {
+		t.Fatalf("shape mismatch: %d vs %d records", len(fromRaw), len(fromSummary))
+	}
+	for i := range fromRaw {
+		if fromRaw[i] != fromSummary[i] {
+			t.Errorf("record %d differs across shapes: %+v vs %+v", i, fromRaw[i], fromSummary[i])
+		}
+	}
+	if _, err := ReadSummaryRecords(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

@@ -104,6 +104,15 @@ type Spec struct {
 	// simulated results — the field is purely additive and JSON
 	// round-trips with the rest of the spec.
 	Live *LiveSpec `json:"live,omitempty"`
+	// SimWorkers is the number of compute workers one simulator run
+	// spreads its cycles across (sim.Config.Workers). 0 and 1 both mean
+	// single-threaded. Results are bit-identical at any value — the
+	// engine's worker-count invariance contract — so this is purely a
+	// throughput knob: use it to put all cores on ONE big run, and keep
+	// it at the default when a sweep already fans runs across a worker
+	// pool. The live backend schedules on its own shard pool
+	// (Live.Shards) and ignores it.
+	SimWorkers int `json:"simWorkers,omitempty"`
 	// Seed makes the run reproducible. Sweeps override it with a seed
 	// derived from the grid's base seed (see DeriveSeed).
 	Seed int64 `json:"seed,omitempty"`
@@ -375,6 +384,9 @@ func (s Spec) Config() (sim.Config, error) {
 	if s.MinN < 0 || s.MinCycles < 0 || s.MinSlices < 0 {
 		return cfg, specErr("%s: scale floors must be ≥ 0", s.Name)
 	}
+	if s.SimWorkers < 0 {
+		return cfg, specErr("%s: simWorkers must be ≥ 0", s.Name)
+	}
 	cfg = sim.Config{
 		N:             s.N,
 		ViewSize:      s.ViewSize,
@@ -382,6 +394,7 @@ func (s Spec) Config() (sim.Config, error) {
 		StalePayloads: s.StalePayloads,
 		RecordGDM:     s.RecordGDM,
 		Seed:          s.Seed,
+		Workers:       s.SimWorkers,
 	}
 	switch {
 	case len(s.SliceBounds) > 0 && s.Slices > 0:

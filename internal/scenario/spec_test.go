@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/gossipkit/slicing/internal/churn"
@@ -42,6 +43,7 @@ func TestValidateFailures(t *testing.T) {
 		"bad estimator":      func(s *Spec) { s.Estimator = "ewma" },
 		"window without W":   func(s *Spec) { s.Estimator = EstWindow },
 		"conc below range":   func(s *Spec) { s.Concurrency = -0.1 },
+		"negative workers":   func(s *Spec) { s.SimWorkers = -1 },
 		"conc above range":   func(s *Spec) { s.Concurrency = 1.1 },
 		"negative cadence":   func(s *Spec) { s.SampleEvery = -1 },
 		"bad dist kind":      func(s *Spec) { s.Attr.Kind = "cauchy" },
@@ -93,7 +95,7 @@ func TestConfigTranslation(t *testing.T) {
 		Name: "full", Protocol: ProtoOrdering, Policy: PolicyJK,
 		N: 500, Slices: 20, ViewSize: 12, Cycles: 50,
 		Membership: MemNewscast, Concurrency: 0.5, StalePayloads: true,
-		RecordGDM: true, Seed: 11,
+		RecordGDM: true, Seed: 11, SimWorkers: 6,
 		Attr: DistSpec{Kind: "pareto", Xm: 10, Alpha: 1.5},
 		Churn: &ChurnSpec{
 			Phases:  []ChurnPhase{{Join: 0.01, Leave: 0.01, Cycles: 10}},
@@ -112,6 +114,9 @@ func TestConfigTranslation(t *testing.T) {
 	}
 	if !cfg.StalePayloads || !cfg.RecordGDM || cfg.Concurrency != 0.5 {
 		t.Errorf("flag fields mistranslated: %+v", cfg)
+	}
+	if cfg.Workers != 6 {
+		t.Errorf("SimWorkers mistranslated: Workers = %d, want 6", cfg.Workers)
 	}
 	if cfg.Schedule == nil || cfg.Pattern == nil {
 		t.Fatal("churn not materialized")
@@ -224,5 +229,53 @@ func TestScaledFloorNeverInflates(t *testing.T) {
 	spec.N = 40
 	if got := spec.Scaled(0.5).N; got != 40 {
 		t.Errorf("floor inflated N to %d, want 40 (min(v, floor))", got)
+	}
+}
+
+// SimWorkers must JSON round-trip (including the omitempty zero) and
+// must never change results: it maps to the engine's worker-count
+// invariance contract, so a spec with SimWorkers set sweeps to the same
+// bytes as the same spec without it.
+func TestSimWorkersRoundTripAndInvariance(t *testing.T) {
+	spec := validSpec()
+	spec.SimWorkers = 3
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"simWorkers":3`) {
+		t.Errorf("simWorkers not marshaled: %s", data)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, spec)
+	}
+	plain := validSpec()
+	if data, _ := json.Marshal(plain); strings.Contains(string(data), "simWorkers") {
+		t.Errorf("zero SimWorkers should be omitted: %s", data)
+	}
+
+	serial, err := SimBackend{}.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SimBackend{}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.SDM.Points) != len(parallel.SDM.Points) {
+		t.Fatalf("series lengths differ: %d vs %d", len(serial.SDM.Points), len(parallel.SDM.Points))
+	}
+	for i := range serial.SDM.Points {
+		if serial.SDM.Points[i] != parallel.SDM.Points[i] {
+			t.Fatalf("SimWorkers changed results at point %d: %+v vs %+v",
+				i, serial.SDM.Points[i], parallel.SDM.Points[i])
+		}
+	}
+	if serial.Messages != parallel.Messages {
+		t.Fatalf("SimWorkers changed message counts: %+v vs %+v", serial.Messages, parallel.Messages)
 	}
 }

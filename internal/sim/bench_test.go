@@ -61,35 +61,44 @@ func BenchmarkStepRankingChurn(b *testing.B) {
 	})
 }
 
-// BenchmarkEngineScaling is the N-scaling table of the arena-based
-// engine core: steady-state cycle cost for both protocols, static and
-// under 0.1%/cycle flat churn, from N=1k to N=100k. The
-// ordering/churn/n=10000 row is the acceptance benchmark of the arena
-// refactor: the PR 2 map-and-pointer engine ran it at ~123 ms/cycle
-// (~8 cycles/sec) on the CI reference hardware; the arena core runs it
-// at ~32 ms/cycle (~31 cycles/sec), a ≥3x speedup. The scale-* scenario
-// family exercises the same workloads through slicebench.
+// BenchmarkEngineScaling is the N-scaling table of the engine core:
+// steady-state cycle cost for both protocols, static and under
+// 0.1%/cycle flat churn, from N=1k to N=100k, and — at the two larger
+// sizes — across compute-worker counts (the parallel cycle rounds).
+// The ordering/churn/n=10000 row at workers=1 is the acceptance
+// benchmark of the arena refactor (PR 2's map engine: ~123 ms/cycle;
+// arena core: ~32 ms/cycle); the workers=1 vs workers=8 rows at
+// n=100000 are the acceptance benchmark of the parallel engine —
+// results are bit-identical across the workers dimension, so the rows
+// measure pure throughput scaling. The scale-* scenario family
+// exercises the same workloads through slicebench (-simworkers).
 func BenchmarkEngineScaling(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000} {
-		for _, proto := range []ProtocolKind{Ordering, Ranking} {
-			for _, churned := range []bool{false, true} {
-				cfg := Config{
-					N: n, Slices: 100, ViewSize: 20,
-					Protocol: proto,
-					AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+		for _, workers := range []int{1, 4, 8} {
+			if workers > 1 && n < 10000 {
+				// Parallel rounds are for big arenas; keep the table small.
+				continue
+			}
+			for _, proto := range []ProtocolKind{Ordering, Ranking} {
+				for _, churned := range []bool{false, true} {
+					cfg := Config{
+						N: n, Slices: 100, ViewSize: 20,
+						Protocol: proto, Workers: workers,
+						AttrDist: dist.Uniform{Lo: 0, Hi: 1000}, Seed: 1,
+					}
+					if proto == Ordering {
+						cfg.Policy = ordering.SelectMaxGain
+					}
+					label := "static"
+					if churned {
+						label = "churn"
+						cfg.Schedule = churn.Flat{JoinRate: 0.001, LeaveRate: 0.001}
+						cfg.Pattern = churn.Uniform{Dist: cfg.AttrDist}
+					}
+					b.Run(fmt.Sprintf("%s/%s/n=%d/workers=%d", proto, label, n, workers), func(b *testing.B) {
+						benchStep(b, cfg)
+					})
 				}
-				if proto == Ordering {
-					cfg.Policy = ordering.SelectMaxGain
-				}
-				label := "static"
-				if churned {
-					label = "churn"
-					cfg.Schedule = churn.Flat{JoinRate: 0.001, LeaveRate: 0.001}
-					cfg.Pattern = churn.Uniform{Dist: cfg.AttrDist}
-				}
-				b.Run(fmt.Sprintf("%s/%s/n=%d", proto, label, n), func(b *testing.B) {
-					benchStep(b, cfg)
-				})
 			}
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// scale tests shrink their populations under its ~10x slowdown.
+const raceEnabled = true

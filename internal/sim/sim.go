@@ -31,6 +31,34 @@
 // single merge pass per churn event instead of being re-sorted. The
 // engine scales to populations of 100k+ nodes; see the scale-* scenario
 // family and BenchmarkEngineScaling.
+//
+// # Parallel cycles
+//
+// A cycle executes as a sequence of compute/commit rounds instead of a
+// serial walk over a node permutation, so one run uses every core
+// (Config.Workers) while remaining bit-identical at any worker count:
+//
+//   - Randomness is counter-based: each node's draws in a cycle come
+//     from its own splitmix64 stream over (seed, node ID, cycle, phase)
+//     — see rng.go — so no draw depends on iteration order. Churn,
+//     bootstrap sampling and the overlapping-delivery shuffle stay on
+//     the engine's serial stream.
+//   - The membership phase runs partner selection on all nodes
+//     concurrently against their own views, freezes every view, then
+//     commits merges per view owner in initiator-slot order
+//     (membership.Exchanger).
+//   - The protocol phase computes every initiator's exchange (partner
+//     choice, outgoing envelopes) in parallel against a frozen
+//     start-of-phase coordinate snapshot, then applies deliveries in a
+//     deterministic slot-ordered commit. Non-overlapping ordering
+//     exchanges re-validate the swap predicate on live values at commit
+//     — the atomic model's "the view is up-to-date when a message is
+//     sent" — so the atomic cycle model still produces zero
+//     unsuccessful swaps; overlapping exchanges (Config.Concurrency)
+//     keep their stale-delivery semantics.
+//   - Measurements reduce over fixed-size chunks whose partial sums are
+//     added in chunk order, keeping floating-point totals independent
+//     of the worker count.
 package sim
 
 import (
@@ -160,6 +188,12 @@ type Config struct {
 	AttrDist dist.Source
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers is the number of goroutines the engine spreads each
+	// cycle's compute rounds across. 0 and 1 both mean single-threaded.
+	// The worker count is purely a throughput knob: results are
+	// bit-identical at any value (see the package comment), so it can be
+	// tuned per machine without re-seeding anything.
+	Workers int
 	// Schedule and Pattern define churn; nil means a static system.
 	Schedule churn.Schedule
 	Pattern  churn.Pattern
@@ -175,11 +209,15 @@ var (
 	ErrConfigDist     = errors.New("sim: AttrDist is required")
 	ErrConfigProtocol = errors.New("sim: unknown protocol")
 	ErrConfigConc     = errors.New("sim: Concurrency must lie in [0,1]")
+	ErrConfigWorkers  = errors.New("sim: Workers must be ≥ 0")
 )
 
 func (cfg *Config) validate() error {
 	if cfg.N < 1 {
 		return ErrConfigN
+	}
+	if cfg.Workers < 0 {
+		return ErrConfigWorkers
 	}
 	if cfg.ViewSize < 1 {
 		return ErrConfigView
@@ -217,6 +255,10 @@ type simNode struct {
 	id   core.ID
 	node proto.Node
 	mem  membership.Protocol
+	// ex is mem's compute/commit decomposition, resolved once at
+	// creation: the parallel membership round runs on it. nil for the
+	// uniform oracle, whose re-draws the engine executes directly.
+	ex membership.Exchanger
 	// self caches node.SelfEntry() so bootstrap and oracle sampling read
 	// a struct field instead of calling through the protocol interface
 	// once per drawn sample. Refreshed by refreshSelfEntries; see there
@@ -268,23 +310,52 @@ type Engine struct {
 	prevReqReceived uint64
 	prevFailed      uint64
 
-	// Reusable per-cycle buffers. The engine is single-threaded and none
-	// of these escape a Step call, so reuse keeps the hot path (permute,
-	// snapshot, measure) allocation-free at steady state.
-	permBuf     []int32
-	snapBuf     []float64 // per-slot cycle-start coordinates
-	statesBuf   []metrics.NodeState
+	// workers is the resolved compute-worker count (≥ 1); ws holds one
+	// scratch block per worker. See parallel.go.
+	workers int
+	ws      []simWorker
+
+	// Reusable per-cycle buffers. Outside the parallel rounds the engine
+	// is single-threaded, and none of these escape a Step call, so reuse
+	// keeps the hot path (snapshot, freeze, measure) allocation-free at
+	// steady state. Buffers written inside parallel rounds are strictly
+	// partitioned: every slot is written by exactly one worker.
+	snapBuf     []float64     // per-slot phase-start coordinates
 	believedBuf []int         // per-cycle believed slice indices, attr order
 	joinersBuf  []core.Member // joiners of the current churn event
 	membersBuf  []core.Member // double buffer for the membership merge
 	deferredBuf []deferredEnv
-	sampleBuf   []view.Entry
-	// seenGen stamps rejection-sampling draws in sampleEntries with the
-	// current generation instead of hashing them into a set: seenGen[i]
-	// == sampleGen means slot i was already drawn this call.
-	seenGen   []uint32
-	sampleGen uint32
-	meter     metrics.Scratch
+	// Membership-round buffers: the per-slot partner choice, the frozen
+	// per-initiator request payloads and the per-initiator materialized
+	// replies (both strided ViewSize+1 per slot), per-slot self entries,
+	// and the counting-sorted per-target initiator lists that give the
+	// commit its deterministic order.
+	memTarget  []int32
+	reqStore   []view.Entry
+	reqLen     []int32
+	replyStore []view.Entry
+	replyLen   []int32
+	selfSnap   []view.Entry
+	initHead   []int32
+	initPos    []int32
+	initList   []int32
+	// Protocol-round buffers: each slot's ticked envelopes (stride
+	// maxTickEnvs) and overlap flag, copied out of the per-node scratch
+	// so a commit-phase Handle cannot clobber a later slot's pending
+	// envelopes.
+	envStore   []proto.Envelope
+	envCount   []int8
+	overlapBuf []bool
+	// Measurement buffers: fixed-chunk partial sums plus the GDM rank
+	// scratch.
+	chunkSums []float64
+	alphaBuf  []int32
+	rhoBuf    []int32
+	rBuf      []float64
+	idxBuf    []int32
+	// sampler backs the engine-stream uniform draws (bootstrap views);
+	// each worker carries its own for the oracle round.
+	sampler sampler
 }
 
 // MessageCounts tallies delivered protocol messages by type, plus
@@ -321,16 +392,22 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		return nil, core.ErrNoSlices
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	e := &Engine{
-		cfg:    cfg,
-		part:   part,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		nodes:  make([]simNode, 0, cfg.N),
-		slots:  make([]int32, 1, cfg.N+1), // slot 0 is the unused ID 0
-		sdm:    metrics.Series{Name: "sdm"},
-		gdm:    metrics.Series{Name: "gdm"},
-		unsucc: metrics.Series{Name: "unsuccessful%"},
-		size:   metrics.Series{Name: "n"},
+		cfg:     cfg,
+		part:    part,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make([]simNode, 0, cfg.N),
+		slots:   make([]int32, 1, cfg.N+1), // slot 0 is the unused ID 0
+		workers: workers,
+		ws:      make([]simWorker, workers),
+		sdm:     metrics.Series{Name: "sdm"},
+		gdm:     metrics.Series{Name: "gdm"},
+		unsucc:  metrics.Series{Name: "unsuccessful%"},
+		size:    metrics.Series{Name: "n"},
 	}
 	e.slots[0] = noSlot
 	for i := 0; i < cfg.N; i++ {
@@ -422,13 +499,13 @@ func (e *Engine) addNode(attr core.Attr) error {
 	default:
 		mem = membership.NewCyclon(id, selfEntry, v)
 	}
-	// The engine delivers every exchange synchronously within a cycle, so
-	// the membership protocols may reuse their payload buffers.
-	if s, ok := mem.(membership.Scratchable); ok {
-		s.EnableScratch()
-	}
+	// The engine drives gossip through the compute/commit split rather
+	// than the envelope API, so payloads are engine-owned and the
+	// protocols' own scratch stays untouched. The oracle has no
+	// exchanges; its re-draws run engine-side (oracleRound).
+	ex, _ := mem.(membership.Exchanger)
 	e.slots = append(e.slots, int32(len(e.nodes)))
-	e.nodes = append(e.nodes, simNode{id: id, node: node, mem: mem, self: node.SelfEntry()})
+	e.nodes = append(e.nodes, simNode{id: id, node: node, mem: mem, ex: ex, self: node.SelfEntry()})
 	return nil
 }
 
@@ -437,12 +514,15 @@ func (e *Engine) addNode(attr core.Attr) error {
 // oracle draws see coordinates at most one phase old — exactly what a
 // fresh gossip entry would carry) and once per joining churn event
 // (before bootstrap views are sampled). Cyclon and Newscast read their
-// own SelfEntry funcs directly and never consume the cache.
+// own SelfEntry funcs directly and never consume the cache. Each slot
+// is written by exactly one worker, so the pass parallelizes trivially.
 func (e *Engine) refreshSelfEntries() {
-	for i := range e.nodes {
-		sn := &e.nodes[i]
-		sn.self = sn.node.SelfEntry()
-	}
+	e.parallelFor(len(e.nodes), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sn := &e.nodes[i]
+			sn.self = sn.node.SelfEntry()
+		}
+	})
 }
 
 // bootstrapViews fills the view of every node in nodes[from:] with
@@ -457,52 +537,69 @@ func (e *Engine) bootstrapViews(from int) {
 }
 
 // sampleEntries returns cached self entries for up to k distinct random
-// live nodes, excluding one id. It backs both view bootstrapping and the
-// uniform oracle. Rejection sampling keeps it O(k) for k ≪ n — the
-// oracle calls it once per node per cycle, so a full permutation here
+// live nodes, excluding one id, through the engine's serial sampler. It
+// backs view bootstrapping (engine stream) and remains the SampleFunc
+// of the nominal Oracle instances; the per-cycle oracle re-draws run on
+// per-worker samplers instead (oracleRound). The returned slice is a
+// reusable buffer, valid until the next call; callers copy the entries
+// into a view immediately.
+func (e *Engine) sampleEntries(rng core.RNG, k int, exclude core.ID) []view.Entry {
+	return e.sampler.sample(e.nodes, rng, k, exclude)
+}
+
+// sampler is the rejection-sampling scratch behind uniform draws of
+// live nodes. Rejection sampling keeps a draw O(k) for k ≪ n — the
+// oracle draws once per node per cycle, so a full permutation here
 // would make uniform-sampler runs quadratic in the population — and the
 // generation-stamped seenGen slice keeps each rejection test a single
-// slice load instead of a map probe. The returned slice is a reusable
-// engine buffer, valid until the next call; both callers copy the
-// entries into a view immediately.
-func (e *Engine) sampleEntries(rng *rand.Rand, k int, exclude core.ID) []view.Entry {
-	n := len(e.nodes)
-	out := e.sampleBuf[:0]
+// slice load instead of a map probe: seenGen[i] == gen means slot i was
+// already drawn this call.
+type sampler struct {
+	seenGen []uint32
+	gen     uint32
+	buf     []view.Entry
+}
+
+// sample fills the sampler's reusable buffer with the self entries of
+// up to k distinct uniformly drawn live nodes, excluding one id.
+func (sp *sampler) sample(nodes []simNode, rng core.RNG, k int, exclude core.ID) []view.Entry {
+	n := len(nodes)
+	out := sp.buf[:0]
 	if n == 0 || k <= 0 {
 		return out
 	}
 	if k >= n {
-		for i := range e.nodes {
-			if e.nodes[i].id != exclude {
-				out = append(out, e.nodes[i].self)
+		for i := range nodes {
+			if nodes[i].id != exclude {
+				out = append(out, nodes[i].self)
 			}
 		}
-		e.sampleBuf = out
+		sp.buf = out
 		return out
 	}
-	if cap(e.seenGen) < n {
-		e.seenGen = make([]uint32, n)
+	if cap(sp.seenGen) < n {
+		sp.seenGen = make([]uint32, n)
 	}
-	e.seenGen = e.seenGen[:n]
-	e.sampleGen++
-	if e.sampleGen == 0 { // wrapped: stale stamps could collide, reset them
-		clear(e.seenGen)
-		e.sampleGen = 1
+	sp.seenGen = sp.seenGen[:n]
+	sp.gen++
+	if sp.gen == 0 { // wrapped: stale stamps could collide, reset them
+		clear(sp.seenGen)
+		sp.gen = 1
 	}
-	gen := e.sampleGen
+	gen := sp.gen
 	drawn := 0
 	for len(out) < k && drawn < n {
 		i := rng.Intn(n)
-		if e.seenGen[i] == gen {
+		if sp.seenGen[i] == gen {
 			continue
 		}
-		e.seenGen[i] = gen
+		sp.seenGen[i] = gen
 		drawn++
-		if e.nodes[i].id == exclude {
+		if nodes[i].id == exclude {
 			continue
 		}
-		out = append(out, e.nodes[i].self)
+		out = append(out, nodes[i].self)
 	}
-	e.sampleBuf = out
+	sp.buf = out
 	return out
 }

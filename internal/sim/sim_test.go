@@ -139,9 +139,13 @@ func TestOrderingReachesTotalOrder(t *testing.T) {
 }
 
 // mod-JK must dominate JK in convergence speed (Fig. 4(b)): lower or
-// equal SDM at a mid-run checkpoint, aggregated over seeds.
+// equal SDM at an early-run checkpoint, aggregated over seeds. The
+// checkpoint sits in the active convergence window: the parallel
+// engine's synchronized rounds reach the common SDM floor within ~10
+// cycles at this scale, after which the policies are indistinguishable
+// by construction (same random-value multiset, same floor).
 func TestModJKConvergesFasterThanJK(t *testing.T) {
-	const checkpoint = 20
+	const checkpoint = 5
 	var jkTotal, modTotal float64
 	for seed := int64(1); seed <= 3; seed++ {
 		cfg := baseOrderingConfig()

@@ -1,24 +1,33 @@
 package sim
 
 import (
+	"sort"
+
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/proto"
 )
 
-// Step runs one simulation cycle: churn, membership exchanges, slicing
-// exchanges (with the configured concurrency model), then measurement.
+// Step runs one simulation cycle: churn, the membership round, the
+// slicing-protocol round, then measurement. Each round is a
+// compute/commit pair (see the package comment): computes fan out over
+// Config.Workers goroutines against immutable start-of-round state,
+// commits apply mutations in a deterministic slot order — so a cycle is
+// bit-identical at any worker count.
 func (e *Engine) Step() {
 	refreshed := e.applyChurn()
-	if e.cfg.Membership == UniformOracle && !refreshed {
-		// Oracle draws serve from the self-entry cache; skip the refresh
-		// when a joining churn event already ran one this cycle.
-		e.refreshSelfEntries()
+	if e.cfg.Membership == UniformOracle {
+		if !refreshed {
+			// Oracle draws serve from the self-entry cache; skip the
+			// refresh when a joining churn event already ran one.
+			e.refreshSelfEntries()
+		}
+		e.oracleRound()
+	} else {
+		e.exchangeRound()
 	}
-	perm := e.permutedSlots()
-	e.membershipPhase(perm)
-	e.protocolPhase(perm)
+	e.protocolRound()
 	e.cycle++
 	e.record()
 }
@@ -30,33 +39,17 @@ func (e *Engine) Run(cycles int) {
 	}
 }
 
-// permutedSlots returns the live arena slots in a fresh random order.
-// The iteration base is arena order, which is deterministic under a
-// fixed seed (it changes only through deterministic swap-deletes), so
-// equal seeds yield equal runs. The shuffle replicates rand.Perm's draw
-// sequence in-place over a reusable buffer.
-func (e *Engine) permutedSlots() []int32 {
-	perm := e.permBuf[:0]
-	for i := range e.nodes {
-		j := e.rng.Intn(i + 1)
-		perm = append(perm, int32(i))
-		if j != i {
-			perm[i] = perm[j]
-			perm[j] = int32(i)
-		}
-	}
-	e.permBuf = perm
-	return perm
-}
-
 // applyChurn executes the cycle's churn event (§3.3): leavers vanish
 // without notice, joiners arrive with fresh state and a bootstrap view.
 // The whole event costs one merge pass over the membership — leavers are
 // swap-deleted from the arena in O(1) each, and both PickLeavers and
 // every JoinAttr draw read the same pre-event attribute-ordered
-// membership, so no event ever re-sorts the population. It reports
-// whether it refreshed the self-entry cache, so Step can avoid a
-// duplicate refresh pass for oracle runs.
+// membership, so no event ever re-sorts the population. Churn runs
+// single-threaded on the engine stream: events are a few nodes per
+// cycle, and keeping their draws serial is what lets the per-node
+// streams stay counter-based. It reports whether it refreshed the
+// self-entry cache, so Step can avoid a duplicate refresh pass for
+// oracle runs.
 func (e *Engine) applyChurn() (refreshed bool) {
 	if e.cfg.Schedule == nil || e.cfg.Pattern == nil {
 		return false
@@ -135,35 +128,174 @@ func (e *Engine) removeNode(id core.ID) {
 	e.slots[id] = noSlot
 }
 
-// membershipPhase completes one view exchange per node, synchronously
-// ("each node updates its view before sending its random value or its
-// attribute value", §4.5.2). Requests to departed nodes time out,
-// dropping the stale entry.
-func (e *Engine) membershipPhase(perm []int32) {
-	for _, s := range perm {
-		sn := &e.nodes[s]
-		for _, env := range sn.mem.Tick(e.rng) {
-			req, ok := env.Msg.(proto.ViewRequest)
-			if !ok {
-				continue
-			}
-			target := e.lookup(env.To)
-			if target == nil {
-				e.Delivered.Dropped++
-				sn.mem.OnTimeout(env.To)
-				continue
-			}
-			e.Delivered.ViewRequests++
-			for _, rep := range target.mem.HandleRequest(sn.id, req, e.rng) {
-				repMsg, ok := rep.Msg.(proto.ViewReply)
-				if !ok {
-					continue
+// exchangeRound is the membership phase for the gossiping substrates
+// (Cyclon, Newscast), restructured from the serial permutation walk
+// into compute/commit rounds.
+//
+// Compute (parallel over slots): every node ages its view and selects
+// its partner on its own per-cycle stream — each node touches only its
+// own state — then its request payload (post-age view plus a fresh self
+// entry) is frozen into a flat engine buffer. Requests to departed
+// partners time out here (the initiator drops the stale entry and skips
+// its exchange, exactly as in the serial engine).
+//
+// Commit half A (parallel over view OWNERS): each target absorbs one
+// frozen request per initiator that selected it, in ascending
+// initiator-slot order, and just before absorbing each request it
+// materializes that initiator's reply from its LIVE view — so when
+// several initiators fan in on one target in the same cycle, each gets
+// a different reply, exactly as the serial walk produced. (Serving all
+// of them the same frozen view instead measurably homogenizes views —
+// clusters of nodes end up holding near-identical neighbor sets, which
+// starves the ranking estimator of sample diversity and stalls its
+// convergence.) Reply payloads are written to per-INITIATOR buffer
+// slots, and every initiator has exactly one target, so no two workers
+// ever write the same slot.
+//
+// Commit half B (parallel over initiators, after a barrier): every
+// initiator absorbs its materialized reply.
+//
+// Each view's merge sequence — requests in initiator-slot order in half
+// A, its own reply in half B — is fixed by slot order alone, so the
+// round is bit-identical at any worker count. Every node still
+// completes one full REQ′/ACK′ exchange per cycle ("each node updates
+// its view before sending its random value or its attribute value",
+// §4.5.2); what changed versus the serial engine is only that requests
+// read start-of-round views and replies land after all requests.
+func (e *Engine) exchangeRound() {
+	n := len(e.nodes)
+	if n == 0 {
+		return
+	}
+	stride := e.cfg.ViewSize + 1 // view entries + a self entry
+	e.memTarget = grow(e.memTarget, n)
+	e.reqLen = grow(e.reqLen, n)
+	e.reqStore = grow(e.reqStore, n*stride)
+	e.replyLen = grow(e.replyLen, n)
+	e.replyStore = grow(e.replyStore, n*stride)
+	e.selfSnap = grow(e.selfSnap, n)
+	for i := range e.ws {
+		e.ws[i].dropped = 0
+	}
+	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	e.parallelFor(n, func(w, lo, hi int) {
+		ws := &e.ws[w]
+		for s := lo; s < hi; s++ {
+			sn := &e.nodes[s]
+			st := nodeStream(seed, uint64(sn.id), cycle, phaseMembership)
+			tgt := int32(-1)
+			if id, ok := sn.ex.SelectPartner(&st); ok {
+				if ts, live := e.slotOf(id); live {
+					tgt = ts
+				} else {
+					// The partner departed: the request times out and the
+					// initiator drops the stale entry (§3.3).
+					ws.dropped++
+					sn.mem.OnTimeout(id)
 				}
-				e.Delivered.ViewReplies++
-				sn.mem.HandleReply(env.To, repMsg)
 			}
+			e.memTarget[s] = tgt
+			self := sn.node.SelfEntry()
+			e.selfSnap[s] = self
+			off := s * stride
+			req := append(sn.mem.View().AppendEntries(e.reqStore[off:off:off+stride]), self)
+			e.reqLen[s] = int32(len(req))
+		}
+	})
+	for i := range e.ws {
+		e.Delivered.Dropped += e.ws[i].dropped
+	}
+
+	// Deterministic per-target initiator lists: a counting sort of the
+	// partner choices by target slot. initList[head[t]:head[t+1]] holds
+	// the initiator slots of target t in ascending order.
+	e.initHead = grow(e.initHead, n+1)
+	e.initPos = grow(e.initPos, n)
+	e.initList = grow(e.initList, n)
+	head := e.initHead
+	clear(head[:n+1])
+	delivered := uint64(0)
+	for s := 0; s < n; s++ {
+		if t := e.memTarget[s]; t >= 0 {
+			head[t+1]++
+			delivered++
 		}
 	}
+	for t := 0; t < n; t++ {
+		head[t+1] += head[t]
+	}
+	pos := e.initPos
+	copy(pos, head[:n])
+	for s := 0; s < n; s++ {
+		if t := e.memTarget[s]; t >= 0 {
+			e.initList[pos[t]] = int32(s)
+			pos[t]++
+		}
+	}
+	// One request and one reply land per completed exchange.
+	e.Delivered.ViewRequests += delivered
+	e.Delivered.ViewReplies += delivered
+
+	// Commit half A: targets reply and absorb, in initiator-slot order.
+	e.parallelFor(n, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			tn := &e.nodes[t]
+			list := e.initList[head[t]:head[t+1]]
+			if len(list) == 0 {
+				continue
+			}
+			replySelf := tn.ex.ReplyAddsSelf()
+			v := tn.mem.View()
+			for _, s32 := range list {
+				s := int(s32)
+				off := s * stride
+				reply := v.AppendEntries(e.replyStore[off : off : off+stride])
+				if replySelf {
+					reply = append(reply, e.selfSnap[t])
+				}
+				e.replyLen[s] = int32(len(reply))
+				tn.ex.Absorb(e.reqStore[s*stride : s*stride+int(e.reqLen[s])])
+			}
+		}
+	})
+	// Commit half B: initiators absorb their replies.
+	e.parallelFor(n, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if e.memTarget[s] < 0 {
+				continue
+			}
+			sn := &e.nodes[s]
+			off := s * stride
+			sn.ex.Absorb(e.replyStore[off : off+int(e.replyLen[s])])
+		}
+	})
+}
+
+// oracleRound is the membership phase for the uniform oracle (§5.3.2):
+// every view is re-drawn uniformly at random from the live population.
+// Draws run on per-node streams against the frozen self-entry cache, so
+// the round parallelizes over slots with no exchange step at all — the
+// oracle's semantics (fresh uniform sample, no messages) are exactly
+// those of membership.Oracle.Tick, executed engine-side so each worker
+// can use its own rejection-sampling scratch.
+func (e *Engine) oracleRound() {
+	k := e.cfg.ViewSize
+	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	e.parallelFor(len(e.nodes), func(w, lo, hi int) {
+		ws := &e.ws[w]
+		for s := lo; s < hi; s++ {
+			sn := &e.nodes[s]
+			st := nodeStream(seed, uint64(sn.id), cycle, phaseMembership)
+			fresh := ws.sampler.sample(e.nodes, &st, k, sn.id)
+			v := sn.mem.View()
+			v.Clear()
+			for _, en := range fresh {
+				if en.ID != sn.id {
+					v.Add(en)
+				}
+			}
+		}
+	})
 }
 
 // deferredEnv is an overlapping message held back until the end of the
@@ -174,30 +306,95 @@ type deferredEnv struct {
 	env  proto.Envelope
 }
 
-// protocolPhase runs the slicing step of every node. Ordering exchanges
-// honor the concurrency model; ranking updates are one-way and always
-// valid, so they deliver immediately (§5: "concurrency has no impact on
-// convergence speed").
-func (e *Engine) protocolPhase(perm []int32) {
-	live := (*liveReader)(e)
-	var snapshot proto.StateReader
-	if e.cfg.Protocol == Ordering && e.cfg.Concurrency > 0 {
-		e.captureSnapshot()
-		snapshot = (*snapReader)(e)
+// maxTickEnvs bounds the envelopes one protocol tick can produce: the
+// ordering protocols send at most one swap request, ranking at most two
+// rank updates. The per-slot envelope store is strided by it.
+const maxTickEnvs = 2
+
+// protocolRound runs the slicing step of every node as a compute/commit
+// pair.
+//
+// Compute (parallel over slots): every node's coordinate is frozen into
+// a start-of-phase snapshot, then every initiator ticks on its own
+// per-cycle stream against that snapshot — partner choice, outgoing
+// envelopes and (for mod-JK) the local-sequence ranking all read frozen
+// state, so the expensive part of the phase uses all cores. Each slot's
+// envelopes are copied into an engine-owned store: a commit-phase
+// Handle reuses the node's envelope scratch, which must not clobber a
+// later slot's pending tick output.
+//
+// Commit (serial, deterministic): deliveries apply in slot order.
+// Non-overlapping ordering exchanges are atomic (§4.5.2, "the view is
+// up-to-date when a message is sent"): the request re-reads the live
+// random value and re-validates the swap predicate at send time, and a
+// selection that went stale between compute and commit is abandoned
+// unsent — which is why the atomic cycle model still produces zero
+// unsuccessful swaps. Overlapping exchanges (probability
+// Config.Concurrency, drawn on the initiator's stream) keep their
+// stale-delivery semantics: they land after every immediate exchange,
+// in an engine-stream shuffled order, where the swap predicate is
+// re-evaluated against live state — failed predicates are the paper's
+// unsuccessful swaps. Ranking updates are one-way and always useful, so
+// they deliver immediately regardless of Concurrency (§5).
+func (e *Engine) protocolRound() {
+	n := len(e.nodes)
+	if n == 0 {
+		return
 	}
-	overlapping := e.deferredBuf[:0]
-	for _, s := range perm {
-		sn := &e.nodes[s]
-		overlap := snapshot != nil && e.rng.Float64() < e.cfg.Concurrency
-		reader := proto.StateReader(live)
-		if overlap {
-			reader = snapshot
+	e.snapBuf = grow(e.snapBuf, n)
+	e.parallelFor(n, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			e.snapBuf[s] = e.nodes[s].node.Estimate()
 		}
-		envs := sn.node.Tick(reader, e.rng)
+	})
+	e.envStore = grow(e.envStore, n*maxTickEnvs)
+	e.envCount = grow(e.envCount, n)
+	e.overlapBuf = grow(e.overlapBuf, n)
+	conc := e.cfg.Concurrency
+	drawOverlap := e.cfg.Protocol == Ordering && conc > 0
+	reader := (*snapReader)(e)
+	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	e.parallelFor(n, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sn := &e.nodes[s]
+			st := nodeStream(seed, uint64(sn.id), cycle, phaseProtocol)
+			overlap := drawOverlap && st.Float64() < conc
+			envs := sn.node.Tick(reader, &st)
+			if len(envs) > maxTickEnvs {
+				panic("sim: protocol tick produced more envelopes than maxTickEnvs")
+			}
+			copy(e.envStore[s*maxTickEnvs:], envs)
+			e.envCount[s] = int8(len(envs))
+			e.overlapBuf[s] = overlap
+		}
+	})
+
+	overlapping := e.deferredBuf[:0]
+	for s := 0; s < n; s++ {
+		k := int(e.envCount[s])
+		if k == 0 {
+			continue
+		}
+		envs := e.envStore[s*maxTickEnvs : s*maxTickEnvs+k]
+		if e.overlapBuf[s] {
+			for _, env := range envs {
+				overlapping = append(overlapping, deferredEnv{from: int32(s), env: env})
+			}
+			continue
+		}
+		sn := &e.nodes[s]
 		for _, env := range envs {
-			if overlap {
-				overlapping = append(overlapping, deferredEnv{from: s, env: env})
-				continue
+			if req, ok := env.Msg.(proto.SwapRequest); ok {
+				// Atomic exchange: send the live value, and only if the
+				// swap still helps.
+				req.R = sn.node.Estimate()
+				env.Msg = req
+				if tgt := e.lookup(env.To); tgt != nil && !swapStillHelps(tgt, req) {
+					if on, ok := sn.orderingNode(); ok {
+						on.AbandonSwap()
+					}
+					continue
+				}
 			}
 			e.deliver(sn.id, env)
 		}
@@ -221,6 +418,14 @@ func (e *Engine) protocolPhase(perm []int32) {
 		}
 		e.deliver(sn.id, env)
 	}
+}
+
+// swapStillHelps re-evaluates the receiver-side swap predicate of a
+// refreshed request against the target's live state: the commit-time
+// validation of an atomic exchange.
+func swapStillHelps(target *simNode, req proto.SwapRequest) bool {
+	m := target.node.Member()
+	return ordering.Misplaced(m.Attr, req.Attr, target.node.Estimate(), req.R)
 }
 
 // deliver routes one protocol envelope to its destination, delivering
@@ -259,24 +464,11 @@ func (e *Engine) countMessage(msg proto.Message) {
 	}
 }
 
-// liveReader resolves coordinates from the nodes' current state — the
-// cycle model's "views are up to date" assumption — through the arena:
-// a slot load and an interface call, no hashing, no allocation (the
-// reader is the engine itself behind a defined pointer type).
-type liveReader Engine
-
-// R implements proto.StateReader.
-func (lr *liveReader) R(id core.ID) (float64, bool) {
-	e := (*Engine)(lr)
-	sn := e.lookup(id)
-	if sn == nil {
-		return 0, false
-	}
-	return sn.node.Estimate(), true
-}
-
-// snapReader serves the cycle-start snapshot captured by
-// captureSnapshot, resolving IDs to slots without hashing.
+// snapReader serves the phase-start coordinate snapshot captured by
+// protocolRound, resolving IDs to slots without hashing. Every
+// compute-phase tick reads through it: the snapshot is immutable for
+// the duration of the parallel pass, which is what makes concurrent
+// ticks race-free AND order-independent.
 type snapReader Engine
 
 // R implements proto.StateReader.
@@ -289,42 +481,51 @@ func (sr *snapReader) R(id core.ID) (float64, bool) {
 	return e.snapBuf[s], true
 }
 
-// captureSnapshot records every node's coordinate at the start of the
-// cycle into the per-slot snapshot buffer (reused across cycles).
-func (e *Engine) captureSnapshot() {
-	if cap(e.snapBuf) < len(e.nodes) {
-		e.snapBuf = make([]float64, len(e.nodes))
-	}
-	e.snapBuf = e.snapBuf[:len(e.nodes)]
-	for i := range e.nodes {
-		e.snapBuf[i] = e.nodes[i].node.Estimate()
-	}
-}
-
-// record appends the cycle's measurements to the result series. SDM
-// reads the incrementally maintained attribute order, so the per-cycle
-// measurement is O(n) — no sort.
+// record appends the cycle's measurements to the result series. The
+// per-node reads (believed slices, rank tallies) fan out over the
+// workers; sums reduce over fixed chunks in chunk order (floats) or
+// per-worker tallies (integers), so recorded values are independent of
+// the worker count. SDM reads the incrementally maintained attribute
+// order: O(n), no sort.
 func (e *Engine) record() {
-	believed := e.believedBuf[:0]
-	for _, m := range e.members {
-		believed = append(believed, e.nodes[e.slots[m.ID]].node.SliceIndex())
-	}
-	e.believedBuf = believed
-	e.sdm.Add(e.cycle, metrics.SDMSorted(believed, e.part))
-	e.size.Add(e.cycle, float64(len(e.nodes)))
+	n := len(e.nodes)
+	e.believedBuf = grow(e.believedBuf, n)
+	believed := e.believedBuf
+	e.parallelFor(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			believed[i] = e.nodes[e.slots[e.members[i].ID]].node.SliceIndex()
+		}
+	})
+	sdm := e.chunkedSum(n, func(lo, hi int) float64 {
+		return metrics.SDMSortedRange(believed, e.part, lo, hi)
+	})
+	e.sdm.Add(e.cycle, sdm)
+	e.size.Add(e.cycle, float64(n))
 	if e.cfg.RecordGDM {
-		e.gdm.Add(e.cycle, e.meter.GDM(e.liveStates()))
+		e.gdm.Add(e.cycle, e.measureGDM())
 	}
 	if e.cfg.Protocol == Ordering {
-		var received, failed uint64
-		for i := range e.nodes {
-			if on, ok := e.nodes[i].orderingNode(); ok {
-				st := on.Stats()
-				received += st.ReqReceived
-				failed += st.SwapFailedAtReceiver
-			}
+		for i := range e.ws {
+			e.ws[i].reqReceived, e.ws[i].reqFailed = 0, 0
 		}
-		dr, df := received-min64(received, e.prevReqReceived), failed-min64(failed, e.prevFailed)
+		e.parallelFor(n, func(w, lo, hi int) {
+			ws := &e.ws[w]
+			var recv, fail uint64
+			for i := lo; i < hi; i++ {
+				if on, ok := e.nodes[i].orderingNode(); ok {
+					st := on.Stats()
+					recv += st.ReqReceived
+					fail += st.SwapFailedAtReceiver
+				}
+			}
+			ws.reqReceived, ws.reqFailed = recv, fail
+		})
+		var received, failed uint64
+		for i := range e.ws {
+			received += e.ws[i].reqReceived
+			failed += e.ws[i].reqFailed
+		}
+		dr, df := received-min(received, e.prevReqReceived), failed-min(failed, e.prevFailed)
 		pct := 0.0
 		if dr > 0 {
 			pct = 100 * float64(df) / float64(dr)
@@ -334,28 +535,66 @@ func (e *Engine) record() {
 	}
 }
 
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
+// measureGDM computes the global disorder measure (§4.2) from the
+// engine's own rank buffers: attribute ranks come straight off the
+// incrementally maintained membership order (no sort), coordinate ranks
+// from one serial (R, ID) sort — a strict total order, so any correct
+// sort yields the same permutation — and the squared-distance sum
+// reduces over fixed chunks. Equivalent to metrics.GDM over States().
+func (e *Engine) measureGDM() float64 {
+	n := len(e.nodes)
+	if n == 0 {
+		return 0
 	}
-	return b
+	e.alphaBuf = grow(e.alphaBuf, n)
+	e.rhoBuf = grow(e.rhoBuf, n)
+	e.rBuf = grow(e.rBuf, n)
+	e.idxBuf = grow(e.idxBuf, n)
+	alpha, rho, r, idx := e.alphaBuf, e.rhoBuf, e.rBuf, e.idxBuf
+	e.parallelFor(n, func(_, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			alpha[e.slots[e.members[pos].ID]] = int32(pos + 1)
+		}
+	})
+	e.parallelFor(n, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			r[s] = e.nodes[s].node.Estimate()
+			idx[s] = int32(s)
+		}
+	})
+	sort.Sort(&rhoSorter{idx: idx, r: r, nodes: e.nodes})
+	e.parallelFor(n, func(_, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			rho[idx[pos]] = int32(pos + 1)
+		}
+	})
+	return e.chunkedSum(n, func(lo, hi int) float64 {
+		return metrics.GDMRange(alpha, rho, lo, hi)
+	}) / float64(n)
+}
+
+// rhoSorter orders arena slots by (coordinate, ID): the random-value
+// sequence of the GDM definition, ties broken by the unique identifier.
+type rhoSorter struct {
+	idx   []int32
+	r     []float64
+	nodes []simNode
+}
+
+func (rs *rhoSorter) Len() int      { return len(rs.idx) }
+func (rs *rhoSorter) Swap(i, j int) { rs.idx[i], rs.idx[j] = rs.idx[j], rs.idx[i] }
+func (rs *rhoSorter) Less(i, j int) bool {
+	a, b := rs.idx[i], rs.idx[j]
+	if rs.r[a] != rs.r[b] {
+		return rs.r[a] < rs.r[b]
+	}
+	return rs.nodes[a].id < rs.nodes[b].id
 }
 
 // States snapshots every live node for measurement, in arena order. The
 // caller owns the returned slice.
 func (e *Engine) States() []metrics.NodeState {
 	states := make([]metrics.NodeState, 0, len(e.nodes))
-	return e.appendStates(states)
-}
-
-// liveStates is States over a reusable engine buffer, for the per-cycle
-// measurements; the result is valid until the next call.
-func (e *Engine) liveStates() []metrics.NodeState {
-	e.statesBuf = e.appendStates(e.statesBuf[:0])
-	return e.statesBuf
-}
-
-func (e *Engine) appendStates(states []metrics.NodeState) []metrics.NodeState {
 	for i := range e.nodes {
 		sn := &e.nodes[i]
 		states = append(states, metrics.NodeState{
@@ -375,6 +614,9 @@ func (e *Engine) N() int { return len(e.nodes) }
 
 // Partition returns the slice partition in force.
 func (e *Engine) Partition() core.Partition { return e.part }
+
+// Workers returns the engine's resolved compute-worker count.
+func (e *Engine) Workers() int { return e.workers }
 
 // SDM returns the slice disorder series (one point per completed cycle,
 // plus the initial state at cycle 0).
@@ -400,6 +642,7 @@ func (e *Engine) OrderingStats() ordering.Stats {
 			total.ReqReceived += st.ReqReceived
 			total.SwapFailedAtReceiver += st.SwapFailedAtReceiver
 			total.SwapFailedAtInitiator += st.SwapFailedAtInitiator
+			total.SwapAbandonedAtSender += st.SwapAbandonedAtSender
 			total.Swapped += st.Swapped
 		}
 	}

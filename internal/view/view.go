@@ -7,7 +7,6 @@ package view
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
@@ -212,7 +211,7 @@ func (v *View) Oldest() (Entry, bool) {
 }
 
 // Random returns a uniformly random entry.
-func (v *View) Random(rng *rand.Rand) (Entry, bool) {
+func (v *View) Random(rng core.RNG) (Entry, bool) {
 	if len(v.entries) == 0 {
 		return Entry{}, false
 	}
