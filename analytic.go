@@ -1,0 +1,36 @@
+package slicing
+
+// ---------------------------------------------------------------------
+// Analytic facade: closed-form results from the paper.
+//
+// Lemma 4.1 (Chernoff bounds on slice population deviation) and
+// Theorem 5.1 (Wald sample-size bound for confident slice assignment).
+// These need no engine: they answer provisioning questions — how many
+// samples, how wide a slice — before any protocol runs, and the serving
+// layer reuses Theorem 5.1 to put a confidence figure on every answer.
+// ---------------------------------------------------------------------
+
+import (
+	"github.com/gossipkit/slicing/internal/stats"
+)
+
+// RequiredSamples returns how many attribute observations a ranking
+// node at rank estimate pHat and distance d from the nearest slice
+// boundary needs for a confidence-(1−alpha) slice assignment
+// (Theorem 5.1).
+func RequiredSamples(alpha, pHat, d float64) (int, error) {
+	return stats.RequiredSamples(alpha, pHat, d)
+}
+
+// SliceDeviationBound returns the Chernoff bound of Lemma 4.1 on the
+// probability that a slice of width p holds a population deviating from
+// its mean by a factor ≥ beta.
+func SliceDeviationBound(n int, p, beta float64) (float64, error) {
+	return stats.SliceDeviationBound(n, p, beta)
+}
+
+// MinSliceWidth returns the smallest slice width with a (beta, eps)
+// population guarantee at system size n (Lemma 4.1).
+func MinSliceWidth(n int, beta, eps float64) (float64, error) {
+	return stats.MinSliceWidth(n, beta, eps)
+}

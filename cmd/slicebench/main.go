@@ -14,6 +14,8 @@
 //	slicebench sweep -scenarios scale-10k,scale-50k,scale-100k -out BENCH_scale.json
 //	slicebench sweep -backend live -scale 0.1 -workers 2 -out BENCH_live.json
 //	slicebench sweep -scenarios fig4-concurrency,fig6-steady -format csv
+//	slicebench serve-bench -out BENCH_serving.json
+//	slicebench serve-bench -backend sim -specs ranking-1k -queries 50000
 //	slicebench compare BENCH_scale_old.json BENCH_scale.json -fail-above 20
 //	slicebench summarize BENCH_sweep.json BENCH_scale.json -out BENCH_summary.json
 //
@@ -37,11 +39,24 @@
 // bit-identical at any value, so it is purely a throughput knob for big
 // single runs like scale-100k.
 //
+// serve-bench measures the query plane (internal/serving): it warms a
+// scenario cluster up on either backend, mounts the HTTP slice-query
+// server on loopback, drives concurrent /slice and /topk load against
+// it, and reports p50/p99 latency plus the staleness bounds the
+// answers carried — written to BENCH_serving.json with -out. The
+// artifact is kept separate from BENCH_summary.json so latency noise
+// never trips the perf regression gate.
+//
 // compare diffs the timing of two sweep artifacts run for run
 // (cycles/sec and wall-time deltas, with a -fail-above regression
-// gate), and summarize consolidates sweep artifacts into the stable
-// BENCH_summary.json shape — together they turn the per-build
-// BENCH_*.json files into a perf trajectory across PRs.
+// gate on the MEDIAN drop across gated runs — a code regression slows
+// most runs, machine noise swings individual runs both ways;
+// -min-wall-ms additionally restricts the gate to runs long enough
+// that their timing is signal rather than scheduler noise, while
+// missing-run detection still covers every run), and summarize
+// consolidates sweep artifacts into the stable BENCH_summary.json
+// shape — together they turn the per-build BENCH_*.json files into a
+// perf trajectory across PRs.
 package main
 
 import (
@@ -70,6 +85,7 @@ func usage(out io.Writer) {
   slicebench list                      list registered scenarios
   slicebench run <scenario> [flags]    run one scenario family
   slicebench sweep [flags]             run a scenario × seed grid
+  slicebench serve-bench [flags]       serve a warmed-up cluster, measure query latency
   slicebench compare <old> <new>       diff the timing of two result files
   slicebench summarize <files...>      consolidate result files into one summary
 
@@ -88,6 +104,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return runOne(args[1:], out, errOut)
 	case "sweep":
 		return runSweep(args[1:], out, errOut)
+	case "serve-bench":
+		return runServeBench(args[1:], out, errOut)
 	case "compare":
 		return runCompare(args[1:], out, errOut)
 	case "summarize":
@@ -309,7 +327,9 @@ func runCompare(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("slicebench compare", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	failAbove := fs.Float64("fail-above", 0,
-		"fail when any run's cycles/sec drops by more than this percentage, or when old runs are missing from the new artifact (0 = report only)")
+		"fail when the MEDIAN cycles/sec drop across gated runs exceeds this percentage, or when old runs are missing from the new artifact (0 = report only); the median is used because a code regression slows most runs while machine noise swings individual runs both ways")
+	minWallMS := fs.Float64("min-wall-ms", 0,
+		"only gate runs whose baseline wall time is at least this many ms; shorter runs are reported but their timing is scheduling noise, not signal (missing-run detection still covers them)")
 	// Accept the two file names before the flags (the natural word
 	// order) or after them.
 	var files []string
@@ -338,6 +358,7 @@ func runCompare(args []string, out, errOut io.Writer) error {
 	tab := metrics.NewTable("run", "n", "old c/s", "new c/s", "Δc/s%", "old ms", "new ms", "Δms%")
 	var worst float64
 	worstKey := ""
+	var gatedDrops []float64
 	matched, newOnly, untimed := 0, 0, 0
 	for _, nr := range newRecs {
 		or, ok := oldByKey[nr.Key()]
@@ -358,6 +379,10 @@ func runCompare(args []string, out, errOut io.Writer) error {
 			fmt.Sprintf("%+.1f", dCPS),
 			fmt.Sprintf("%.1f", or.WallMS), fmt.Sprintf("%.1f", nr.WallMS),
 			fmt.Sprintf("%+.1f", dMS))
+		if or.WallMS < *minWallMS {
+			continue // too short to time: scheduling noise dominates
+		}
+		gatedDrops = append(gatedDrops, -dCPS)
 		if drop := -dCPS; drop > worst {
 			worst, worstKey = drop, nr.Key()
 		}
@@ -375,6 +400,14 @@ func runCompare(args []string, out, errOut io.Writer) error {
 	sort.Strings(lost)
 	fmt.Fprintf(out, "matched %d runs (%d without timing, %d only in %s)\n",
 		matched, untimed, newOnly, files[1])
+	medianDrop := median(gatedDrops)
+	if *minWallMS > 0 {
+		fmt.Fprintf(out, "gating %d run(s) with baseline wall time >= %.0f ms", len(gatedDrops), *minWallMS)
+		if len(gatedDrops) > 0 {
+			fmt.Fprintf(out, " (median Δc/s %+.1f%%, worst drop %.1f%% at %s)", -medianDrop, worst, worstKey)
+		}
+		fmt.Fprintln(out)
+	}
 	if len(lost) > 0 {
 		fmt.Fprintf(out, "MISSING from %s (%d): %s\n", files[1], len(lost), strings.Join(lost, " "))
 	}
@@ -383,12 +416,26 @@ func runCompare(args []string, out, errOut io.Writer) error {
 			return fmt.Errorf("perf gate: %d run(s) present in %s are missing from %s: %s",
 				len(lost), files[0], files[1], strings.Join(lost, " "))
 		}
-		if worst > *failAbove {
-			return fmt.Errorf("perf regression: %s dropped %.1f%% cycles/sec (threshold %.1f%%)",
-				worstKey, worst, *failAbove)
+		if len(gatedDrops) > 0 && medianDrop > *failAbove {
+			return fmt.Errorf("perf regression: median cycles/sec drop %.1f%% across %d gated run(s) exceeds threshold %.1f%% (worst: %s, %.1f%%)",
+				medianDrop, len(gatedDrops), *failAbove, worstKey, worst)
 		}
 	}
 	return nil
+}
+
+// median returns the middle value of vs (mean of the two middle values
+// for even lengths); 0 for an empty slice.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // runSummarize consolidates one or more result files into the stable

@@ -323,6 +323,21 @@ func TestCompareFailAboveTrips(t *testing.T) {
 	if err := run([]string{"compare", newPath, oldPath, "-fail-above", "25"}, io.Discard, io.Discard); err != nil {
 		t.Errorf("improvement flagged as regression: %v", err)
 	}
+
+	// -min-wall-ms exempts runs whose baseline is too short to time
+	// meaningfully (the old run above took 100 ms)...
+	var out bytes.Buffer
+	if err := run([]string{"compare", oldPath, newPath, "-fail-above", "25", "-min-wall-ms", "500"}, &out, io.Discard); err != nil {
+		t.Errorf("sub-floor run tripped the gate despite -min-wall-ms: %v", err)
+	}
+	if !strings.Contains(out.String(), "gating 0 run(s)") {
+		t.Errorf("compare output missing gate count:\n%s", out.String())
+	}
+	// ...but a floor below the run's wall time still gates it.
+	err = run([]string{"compare", oldPath, newPath, "-fail-above", "25", "-min-wall-ms", "50"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "perf regression") {
+		t.Fatalf("above-floor 50%% drop returned %v, want regression error", err)
+	}
 }
 
 func TestCompareNeedsTwoFiles(t *testing.T) {

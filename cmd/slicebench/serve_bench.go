@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/scenario"
+	"github.com/gossipkit/slicing/internal/serving"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// ServeBenchRecord is one serve-bench measurement: a warmed-up cluster
+// from the scenario catalog, queried over real loopback HTTP.
+type ServeBenchRecord struct {
+	Backend  string `json:"backend"`
+	Scenario string `json:"scenario"`
+	Spec     string `json:"spec"`
+	N        int    `json:"n"`
+	// WarmupCycles is how many gossip cycles elapsed before serving.
+	WarmupCycles int `json:"warmupCycles"`
+	// Load carries the latency percentiles and staleness audit.
+	Load serving.LoadResult `json:"load"`
+}
+
+// ServeBenchFile is the BENCH_serving.json shape. It is deliberately
+// NOT merged into BENCH_summary.json: query latency on a shared CI box
+// is noisy, and folding it into the summary would trip the perf
+// regression gate on noise. The serving artifact stands alone.
+type ServeBenchFile struct {
+	Schema string             `json:"schema"`
+	Runs   []ServeBenchRecord `json:"runs"`
+}
+
+// ServeBenchSchema versions the BENCH_serving.json format.
+const ServeBenchSchema = "slicing-serve-bench/v1"
+
+// runServeBench stands a query plane on a warmed-up cluster and drives
+// HTTP load against it: the `slicebench serve-bench` subcommand.
+func runServeBench(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench serve-bench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		scName      = fs.String("scenario", "serving", "scenario family to materialize")
+		specsArg    = fs.String("specs", "", "comma-separated spec names within the family (empty = all)")
+		backendName = fs.String("backend", "live", "cluster backend: live|sim")
+		scale       = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = spec scale")
+		queries     = fs.Int("queries", 20000, "queries per spec")
+		concurrency = fs.Int("concurrency", 8, "concurrent load workers")
+		topkShare   = fs.Float64("topkshare", 0.1, "fraction of queries hitting /topk")
+		frac        = fs.Float64("frac", 0.1, "top-k fraction for /topk queries")
+		outFile     = fs.String("out", "", "write the JSON artifact to this file (e.g. BENCH_serving.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	sc, err := scenario.Lookup(*scName)
+	if err != nil {
+		return err
+	}
+	if !sc.SupportsBackend(*backendName) {
+		return fmt.Errorf("scenario %q does not declare the %q backend (see 'slicebench list')", *scName, *backendName)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*specsArg, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+
+	file := ServeBenchFile{Schema: ServeBenchSchema}
+	tab := metrics.NewTable("spec", "backend", "n", "qps", "p50ms", "p99ms", "meanBound", "maxBound", "errors")
+	for _, spec := range sc.Specs {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		if *scale > 0 && *scale < 1 {
+			spec = spec.Scaled(*scale)
+		}
+		rec, err := serveBenchSpec(*backendName, *scName, spec, serving.LoadOptions{
+			Queries:     *queries,
+			Concurrency: *concurrency,
+			TopKShare:   *topkShare,
+			Frac:        *frac,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", *scName, spec.Name, err)
+		}
+		file.Runs = append(file.Runs, rec)
+		tab.AddRow(rec.Spec, rec.Backend, rec.N,
+			fmt.Sprintf("%.0f", rec.Load.QPS),
+			fmt.Sprintf("%.3f", rec.Load.P50MS),
+			fmt.Sprintf("%.3f", rec.Load.P99MS),
+			fmt.Sprintf("%.4f", rec.Load.MeanBound),
+			fmt.Sprintf("%.4f", rec.Load.MaxBound),
+			rec.Load.Errors)
+	}
+	if len(file.Runs) == 0 {
+		return fmt.Errorf("no specs matched -specs %q in %q", *specsArg, *scName)
+	}
+	if _, err := tab.WriteTo(out); err != nil {
+		return err
+	}
+	if *outFile != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d runs)\n", *outFile, len(file.Runs))
+	}
+	return nil
+}
+
+// serveBenchSpec warms one spec up on the chosen backend, serves it on
+// loopback, and measures a load run against it.
+func serveBenchSpec(backend, scName string, spec scenario.Spec, load serving.LoadOptions) (ServeBenchRecord, error) {
+	// Query attributes span the spec's declared attribute range when it
+	// is a bounded law; any range is answerable, so a fallback is safe.
+	if spec.Attr.Kind == "uniform" {
+		load.AttrLow, load.AttrHigh = spec.Attr.Lo, spec.Attr.Hi
+	}
+
+	var querier serving.SliceQuerier
+	var warmed int
+	switch backend {
+	case scenario.BackendLive:
+		lc, err := scenario.MaterializeLive(spec)
+		if err != nil {
+			return ServeBenchRecord{}, err
+		}
+		defer lc.Stop()
+		if err := lc.Start(); err != nil {
+			return ServeBenchRecord{}, err
+		}
+		for cycle := 0; cycle < spec.Cycles; cycle++ {
+			if err := lc.Step(cycle); err != nil {
+				return ServeBenchRecord{}, err
+			}
+		}
+		warmed = spec.Cycles
+		q, err := serving.NewClusterQuerier(lc.Cluster, calibrationFor(lc.Protocol))
+		if err != nil {
+			return ServeBenchRecord{}, err
+		}
+		querier = q
+	case scenario.BackendSim:
+		cfg, err := spec.Config()
+		if err != nil {
+			return ServeBenchRecord{}, err
+		}
+		e, err := sim.New(cfg)
+		if err != nil {
+			return ServeBenchRecord{}, err
+		}
+		e.Run(spec.Cycles)
+		warmed = spec.Cycles
+		querier = serving.NewSimQuerier(e, calibrationFor(cfg.Protocol))
+	default:
+		return ServeBenchRecord{}, fmt.Errorf("unknown backend %q (serve-bench supports sim|live)", backend)
+	}
+
+	srv := serving.NewServer(querier, serving.Options{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		return ServeBenchRecord{}, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	res, err := serving.RunLoad(context.Background(), "http://"+srv.Addr(), load)
+	if err != nil {
+		return ServeBenchRecord{}, err
+	}
+	return ServeBenchRecord{
+		Backend:      backend,
+		Scenario:     scName,
+		Spec:         spec.Name,
+		N:            spec.N,
+		WarmupCycles: warmed,
+		Load:         res,
+	}, nil
+}
+
+// calibrationFor picks the staleness calibration for a protocol family.
+func calibrationFor(p sim.ProtocolKind) serving.Calibration {
+	if p == sim.Ordering {
+		return serving.OrderingCalibration
+	}
+	return serving.RankingCalibration
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "node.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseArgsConfigFile(t *testing.T) {
+	path := writeConfig(t, `{
+		"id": 7, "listen": "127.0.0.1:7007", "attr": 120,
+		"peers": {"2": "127.0.0.1:7002", "3": "127.0.0.1:7003"},
+		"slices": 4, "protocol": "ordering", "view": 12, "seed": 99,
+		"serve": ":8080",
+		"live": {"periodMS": 250, "jitterFrac": 0.05}
+	}`)
+	set, err := parseArgs([]string{"-config", path})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	if set.id != 7 || set.listen != "127.0.0.1:7007" || set.attr != 120 {
+		t.Errorf("identity fields not taken from config: %+v", set)
+	}
+	if set.slices != 4 || set.protocol != "ordering" || set.view != 12 || set.seed != 99 {
+		t.Errorf("tuning fields not taken from config: %+v", set)
+	}
+	if set.serve != ":8080" {
+		t.Errorf("serve = %q, want :8080", set.serve)
+	}
+	if set.period != 250*time.Millisecond {
+		t.Errorf("period = %v, want live.periodMS 250ms", set.period)
+	}
+	if set.jitter != 0.05 {
+		t.Errorf("jitter = %v, want live.jitterFrac 0.05", set.jitter)
+	}
+	if len(set.peers) != 2 || set.peers[2] != "127.0.0.1:7002" {
+		t.Errorf("peers = %v", set.peers)
+	}
+}
+
+func TestParseArgsFlagsOverrideConfig(t *testing.T) {
+	path := writeConfig(t, `{
+		"id": 7, "attr": 120, "slices": 4, "protocol": "ordering",
+		"peers": {"2": "127.0.0.1:7002"},
+		"live": {"periodMS": 250}
+	}`)
+	set, err := parseArgs([]string{
+		"-config", path,
+		"-id", "9",
+		"-protocol", "ranking",
+		"-period", "1s",
+		"-peers", "5=10.0.0.5:7005",
+	})
+	if err != nil {
+		t.Fatalf("parseArgs: %v", err)
+	}
+	if set.id != 9 {
+		t.Errorf("explicit -id lost to config: %d", set.id)
+	}
+	if set.protocol != "ranking" {
+		t.Errorf("explicit -protocol lost to config: %s", set.protocol)
+	}
+	if set.period != time.Second {
+		t.Errorf("explicit -period lost to config: %v", set.period)
+	}
+	if len(set.peers) != 1 || set.peers[5] != "10.0.0.5:7005" {
+		t.Errorf("explicit -peers should replace the config book: %v", set.peers)
+	}
+	// Unset flags still come from the config.
+	if set.slices != 4 || set.attr != 120 {
+		t.Errorf("config values lost for unset flags: %+v", set)
+	}
+}
+
+func TestParseArgsSeedDerivedFromID(t *testing.T) {
+	set, err := parseArgs([]string{"-id", "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.seed != 42 {
+		t.Errorf("seed = %d, want derived 42", set.seed)
+	}
+}
+
+func TestLoadConfigRejections(t *testing.T) {
+	for name, body := range map[string]string{
+		"unknown field":     `{"id": 1, "bogus": true}`,
+		"cluster-only knob": `{"id": 1, "live": {"shards": 4}}`,
+		"latency knob":      `{"id": 1, "live": {"minLatencyMS": 5}}`,
+		"loss knob":         `{"id": 1, "live": {"loss": 0.1}}`,
+		"bad peer id":       `{"id": 1, "peers": {"abc": "127.0.0.1:7002"}}`,
+		"not json":          `not json`,
+	} {
+		path := writeConfig(t, body)
+		if _, err := parseArgs([]string{"-config", path}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := parseArgs([]string{"-config", "/nonexistent/node.json"}); err == nil {
+		t.Error("missing config file accepted")
+	}
+	// A config without an id still needs -id.
+	path := writeConfig(t, `{"attr": 5}`)
+	if _, err := parseArgs([]string{"-config", path}); err == nil {
+		t.Error("config without id accepted")
+	}
+}

@@ -105,6 +105,44 @@
 // as the engine's throughput benchmarks (see BenchmarkEngineScaling
 // and `make bench-json`).
 //
+// # Serving: the query plane
+//
+// Beyond reproducing the paper, the package answers slice queries at
+// runtime. A SliceQuerier serves "which slice is attribute x?"
+// (SliceOf), "who is in the top k%?" (TopK), and point-in-time
+// Snapshots from a node's purely local estimate — no global view is
+// ever assembled — and streams slice-boundary crossings via
+// WatchBoundary. Three implementations exist: NewNodeQuerier (one live
+// node), NewClusterQuerier (round-robin over a cluster), and
+// NewSimQuerier (oracle-grade answers from a simulation engine, used to
+// validate the live path). Every answer carries a Staleness block
+// combining the Theorem 5.1 Wald confidence interval on the node's rank
+// estimate with a calibrated residual disorder floor (inflated while
+// the protocol is still warming up), so callers can tell a converged
+// answer from a guess.
+//
+// NewQueryServer exposes a querier over HTTP/JSON — GET /slice, /topk,
+// /snapshot, /healthz, and an SSE stream at /watch — and its Shutdown
+// drains in-flight requests and open streams before returning; a node
+// leaving the serving plane is an ordinary churn event to the protocol.
+// cmd/slicenode mounts this with its -serve flag, and `slicebench
+// serve-bench` load-tests it, writing p50/p99 latency and staleness
+// figures to BENCH_serving.json.
+//
+// # Facade layout and API stability
+//
+// The public API is a facade over internal engines, split into themed
+// sections, one file per section: slicing.go (the §3 domain model),
+// simulate.go (the cycle engine), live.go (the runtime and transports),
+// scenarios.go (the declarative catalog), serve.go (the query plane),
+// options.go (functional options: WithPeriod, WithJitter, WithServe,
+// and the ServedNode/ServedCluster wrappers returned by NewNodeWith and
+// NewClusterWith), and analytic.go (the Lemma 4.1 / Theorem 5.1 closed
+// forms). The exported surface is locked additive-only by a golden test
+// (api_surface_test.go): removing or re-typing an identifier fails the
+// build's test gate, and deliberate surface changes are blessed with
+// `go test -run TestAPISurface -update`.
+//
 // # Quick start
 //
 //	part, _ := slicing.EqualSlices(10)

@@ -366,6 +366,16 @@ func (c *Cluster) Nodes() []*Node {
 // the traffic).
 func (c *Cluster) MessageCounts() MessageCounts { return c.sched.counts() }
 
+// Partition returns the slice partition the cluster was configured with.
+func (c *Cluster) Partition() core.Partition { return c.part }
+
+// Period returns the configured gossip period.
+func (c *Cluster) Period() time.Duration { return c.cfg.Period }
+
+// Driven reports whether the cluster runs on a VirtualClock (time moves
+// only through Advance).
+func (c *Cluster) Driven() bool { return c.driven }
+
 // Join adds one node with the given attribute to the running cluster —
 // churn's arrival half (§3.3). The joiner bootstraps from
 // BootstrapDegree random live nodes and starts gossiping at a random

@@ -136,12 +136,22 @@ type Status struct {
 	Slice   core.Slice
 	Samples int
 	ViewLen int
+	// Ticks counts the gossip periods the active thread has completed:
+	// the node's own convergence clock, used by the serving layer to
+	// derive staleness bounds.
+	Ticks int
 }
 
 // SliceChangeFunc observes slice reassignments. Callbacks run on the
 // node's gossip goroutines, outside the node lock; keep them fast and do
 // not call back into the node synchronously from them.
 type SliceChangeFunc func(node core.ID, old, new int)
+
+// sliceWatch is one registered slice-change subscription.
+type sliceWatch struct {
+	id int
+	fn SliceChangeFunc
+}
 
 // Node is a live protocol participant.
 type Node struct {
@@ -155,7 +165,9 @@ type Node struct {
 	state       proto.StateReader
 	pendingView core.ID // target of the in-flight view exchange, 0 if none
 	lastSlice   int
-	onChange    SliceChangeFunc
+	ticks       int
+	watches     []sliceWatch
+	nextWatch   int
 
 	period time.Duration
 	jitter float64
@@ -248,28 +260,52 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 // OnSliceChange registers a callback fired whenever the node's believed
 // slice changes (including the churn-driven reassignments of §3.3).
-// Must be called before Start.
-func (n *Node) OnSliceChange(fn SliceChangeFunc) {
+// Callbacks may be registered at any time — before or after Start — and
+// observe changes from registration onward. Multiple callbacks may be
+// registered; each fires for every change. It returns a cancel function
+// that removes the registration (the serving layer's WatchBoundary uses
+// it to detach subscribers).
+func (n *Node) OnSliceChange(fn SliceChangeFunc) (cancel func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.onChange = fn
+	n.nextWatch++
+	id := n.nextWatch
+	n.watches = append(n.watches, sliceWatch{id: id, fn: fn})
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for i, w := range n.watches {
+			if w.id == id {
+				n.watches = append(n.watches[:i], n.watches[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // notifySliceChange compares the current slice with the last observed
 // one and returns a pending callback invocation, or nil. Callers invoke
 // the result after releasing the lock.
 func (n *Node) notifySliceChange() func() {
-	if n.onChange == nil {
-		return nil
-	}
 	cur := n.slicer.SliceIndex()
 	if cur == n.lastSlice {
 		return nil
 	}
 	old := n.lastSlice
 	n.lastSlice = cur
-	fn, id := n.onChange, n.slicer.ID()
-	return func() { fn(id, old, cur) }
+	if len(n.watches) == 0 {
+		return nil
+	}
+	fns := make([]SliceChangeFunc, len(n.watches))
+	for i, w := range n.watches {
+		fns[i] = w.fn
+	}
+	id := n.slicer.ID()
+	return func() {
+		for _, fn := range fns {
+			fn(id, old, cur)
+		}
+	}
 }
 
 // ID returns the node identity.
@@ -342,6 +378,7 @@ func (n *Node) nextPeriod() time.Duration {
 // protocol step.
 func (n *Node) tick() {
 	n.mu.Lock()
+	n.ticks++
 	// A view request that was never answered counts as a timeout: the
 	// target is presumed gone (§3.3: crash and departure look alike).
 	if n.pendingView != 0 {
@@ -421,6 +458,7 @@ func (n *Node) Status() Status {
 		SliceIx: ix,
 		Slice:   n.part.Slice(ix),
 		ViewLen: n.mem.View().Len(),
+		Ticks:   n.ticks,
 	}
 	if rn, ok := n.slicer.(*ranking.Node); ok {
 		st.Samples = rn.Samples()
@@ -434,6 +472,18 @@ func (n *Node) SelfEntry() view.Entry {
 	defer n.mu.Unlock()
 	return n.slicer.SelfEntry()
 }
+
+// ViewEntries snapshots the node's current view: the (attribute,
+// coordinate) sample a real distributed node can answer queries from.
+// The serving layer builds its local rank interpolation over it.
+func (n *Node) ViewEntries() []view.Entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mem.View().Entries()
+}
+
+// Partition returns the slice partition the node was configured with.
+func (n *Node) Partition() core.Partition { return n.part }
 
 // OrderingStats returns the node's ordering event counters; ok is false
 // for non-ordering nodes. Measurement collectors use it to compute the

@@ -2,11 +2,9 @@ package scenario
 
 import (
 	"math/rand"
-	"time"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/metrics"
-	"github.com/gossipkit/slicing/internal/ranking"
 	"github.com/gossipkit/slicing/internal/runtime"
 	"github.com/gossipkit/slicing/internal/sim"
 )
@@ -37,83 +35,12 @@ func (LiveBackend) Name() string { return BackendLive }
 
 // Run implements Backend.
 func (LiveBackend) Run(spec Spec) (*sim.Result, error) {
-	cfg, err := spec.Config()
+	lc, err := MaterializeLive(spec)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Membership == sim.UniformOracle {
-		return nil, specErr("%s: the uniform-oracle membership is simulation-only (a live node has no global sampler)", spec.Name)
-	}
-	if spec.Concurrency != 0 || spec.StalePayloads {
-		return nil, specErr("%s: concurrency/stalePayloads are simulation-only knobs; the live backend is concurrent by construction", spec.Name)
-	}
-	var part core.Partition
-	if cfg.Partition != nil {
-		part = *cfg.Partition
-	} else {
-		p, err := core.Equal(cfg.Slices)
-		if err != nil {
-			return nil, err
-		}
-		part = p
-	}
-
-	live := spec.Live
-	if live == nil {
-		live = &LiveSpec{}
-	}
-	periodMS := live.PeriodMS
-	if periodMS == 0 {
-		periodMS = DefaultLivePeriodMS
-	}
-	period := time.Duration(periodMS * float64(time.Millisecond))
-	jitter := 0.0 // zero means the runtime default
-	if live.JitterFrac != nil {
-		jitter = *live.JitterFrac
-		if jitter == 0 {
-			jitter = runtime.JitterNone
-		}
-	}
-
-	ccfg := runtime.ClusterConfig{
-		N:          spec.N,
-		Partition:  part,
-		ViewSize:   spec.ViewSize,
-		Period:     period,
-		JitterFrac: jitter,
-		AttrDist:   cfg.AttrDist,
-		Seed:       cfg.Seed,
-		Shards:     live.Shards,
-		MinLatency: time.Duration(live.MinLatencyMS * float64(time.Millisecond)),
-		MaxLatency: time.Duration(live.MaxLatencyMS * float64(time.Millisecond)),
-		Loss:       live.Loss,
-	}
-	switch cfg.Protocol {
-	case sim.Ordering:
-		ccfg.Protocol = runtime.Ordering
-		ccfg.Policy = cfg.Policy
-	case sim.Ranking:
-		ccfg.Protocol = runtime.Ranking
-	}
-	switch cfg.Membership {
-	case sim.NewscastViews:
-		ccfg.Membership = runtime.NewscastViews
-	default:
-		ccfg.Membership = runtime.CyclonViews
-	}
-	if cfg.Estimator == sim.WindowEstimator {
-		w := cfg.WindowSize
-		ccfg.Estimators = func() ranking.Estimator { return ranking.MustNewWindow(w) }
-	}
-	if !live.RealTime {
-		ccfg.Clock = runtime.NewVirtualClock()
-	}
-
-	c, err := runtime.NewCluster(ccfg)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Stop()
+	defer lc.Stop()
+	c, part, cfg := lc.Cluster, lc.Part, lc.cfg
 
 	res := &sim.Result{
 		SDM:             metrics.Series{Name: "sdm"},
@@ -164,26 +91,16 @@ func (LiveBackend) Run(spec Spec) (*sim.Result, error) {
 		}
 	}
 	record(0)
-	if err := c.Start(); err != nil {
+	if err := lc.Start(); err != nil {
 		return nil, err
 	}
 
-	// The driver's own rng decides churn membership picks; decorrelated
-	// from the cluster's construction rng but equally seeded.
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	// One simulated cycle = one gossip period. Churn lands at the start
 	// of cycle k (matching the simulator's Step), the period elapses —
 	// virtually or on the wall clock — and the snapshot records cycle
 	// k+1.
 	for cycle := 0; cycle < spec.Cycles; cycle++ {
-		if cfg.Schedule != nil && cfg.Pattern != nil {
-			if err := applyLiveChurn(c, cfg, rng, cycle); err != nil {
-				return nil, err
-			}
-		}
-		if live.RealTime {
-			time.Sleep(period)
-		} else if err := c.Advance(period); err != nil {
+		if err := lc.Step(cycle); err != nil {
 			return nil, err
 		}
 		record(cycle + 1)

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/runtime"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// LiveCluster is a spec materialized on the live runtime: a started
+// cluster plus the spec-derived drive state (period, churn schedule,
+// churn rng) needed to move it forward cycle by cycle. It is the
+// machinery LiveBackend.Run is built on, exported so other consumers —
+// the serve-bench load harness stands a query plane on one — can run
+// the exact cluster a scenario describes without duplicating the
+// spec→cluster translation.
+type LiveCluster struct {
+	// Cluster is the started cluster.
+	Cluster *runtime.Cluster
+	// Part is the slice partition the spec resolved to.
+	Part core.Partition
+	// Period is one gossip period (= one cycle of virtual time).
+	Period time.Duration
+	// Protocol reports the spec's protocol family (sim.Ordering or
+	// sim.Ranking), which calibration-aware consumers select on.
+	Protocol sim.ProtocolKind
+	// RealTime reports wall-clock pacing; false means driven virtual
+	// time, stepped by Step.
+	RealTime bool
+
+	cfg sim.Config
+	rng *rand.Rand
+}
+
+// MaterializeLive builds and starts the live cluster a spec describes.
+// The caller owns the result and must Stop it. Simulation-only knobs
+// (uniform-oracle membership, artificial concurrency) are rejected,
+// exactly as by the live backend.
+func MaterializeLive(spec Spec) (*LiveCluster, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Membership == sim.UniformOracle {
+		return nil, specErr("%s: the uniform-oracle membership is simulation-only (a live node has no global sampler)", spec.Name)
+	}
+	if spec.Concurrency != 0 || spec.StalePayloads {
+		return nil, specErr("%s: concurrency/stalePayloads are simulation-only knobs; the live backend is concurrent by construction", spec.Name)
+	}
+	var part core.Partition
+	if cfg.Partition != nil {
+		part = *cfg.Partition
+	} else {
+		p, err := core.Equal(cfg.Slices)
+		if err != nil {
+			return nil, err
+		}
+		part = p
+	}
+
+	live := spec.Live
+	if live == nil {
+		live = &LiveSpec{}
+	}
+	periodMS := live.PeriodMS
+	if periodMS == 0 {
+		periodMS = DefaultLivePeriodMS
+	}
+	period := time.Duration(periodMS * float64(time.Millisecond))
+	jitter := 0.0 // zero means the runtime default
+	if live.JitterFrac != nil {
+		jitter = *live.JitterFrac
+		if jitter == 0 {
+			jitter = runtime.JitterNone
+		}
+	}
+
+	ccfg := runtime.ClusterConfig{
+		N:          spec.N,
+		Partition:  part,
+		ViewSize:   spec.ViewSize,
+		Period:     period,
+		JitterFrac: jitter,
+		AttrDist:   cfg.AttrDist,
+		Seed:       cfg.Seed,
+		Shards:     live.Shards,
+		MinLatency: time.Duration(live.MinLatencyMS * float64(time.Millisecond)),
+		MaxLatency: time.Duration(live.MaxLatencyMS * float64(time.Millisecond)),
+		Loss:       live.Loss,
+	}
+	switch cfg.Protocol {
+	case sim.Ordering:
+		ccfg.Protocol = runtime.Ordering
+		ccfg.Policy = cfg.Policy
+	case sim.Ranking:
+		ccfg.Protocol = runtime.Ranking
+	}
+	switch cfg.Membership {
+	case sim.NewscastViews:
+		ccfg.Membership = runtime.NewscastViews
+	default:
+		ccfg.Membership = runtime.CyclonViews
+	}
+	if cfg.Estimator == sim.WindowEstimator {
+		w := cfg.WindowSize
+		ccfg.Estimators = func() ranking.Estimator { return ranking.MustNewWindow(w) }
+	}
+	if !live.RealTime {
+		ccfg.Clock = runtime.NewVirtualClock()
+	}
+
+	c, err := runtime.NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveCluster{
+		Cluster:  c,
+		Part:     part,
+		Period:   period,
+		Protocol: cfg.Protocol,
+		RealTime: live.RealTime,
+		cfg:      cfg,
+		// The driver's own rng decides churn membership picks;
+		// decorrelated from the cluster's construction rng but equally
+		// seeded.
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+	}, nil
+}
+
+// Start starts the cluster's gossip.
+func (lc *LiveCluster) Start() error { return lc.Cluster.Start() }
+
+// Stop tears the cluster down.
+func (lc *LiveCluster) Stop() { lc.Cluster.Stop() }
+
+// Step moves the cluster through one cycle: the spec's churn event for
+// the cycle lands first (real joins and kills), then one gossip period
+// elapses — on the wall clock under RealTime, as a virtual Advance
+// otherwise. Cycles are numbered from 0 like the simulator's.
+func (lc *LiveCluster) Step(cycle int) error {
+	if lc.cfg.Schedule != nil && lc.cfg.Pattern != nil {
+		if err := applyLiveChurn(lc.Cluster, lc.cfg, lc.rng, cycle); err != nil {
+			return err
+		}
+	}
+	if lc.RealTime {
+		time.Sleep(lc.Period)
+		return nil
+	}
+	return lc.Cluster.Advance(lc.Period)
+}

@@ -285,6 +285,28 @@ var registry = []Scenario{
 		}},
 	},
 	{
+		Name: "serving",
+		Description: "the query plane's reference clusters: warmed-up populations a serving endpoint answers " +
+			"from (slicebench serve-bench stands an HTTP server on one and measures p50/p99 query latency)",
+		Backends: bothBackends(),
+		Specs: []Spec{
+			{Name: "ranking-1k", Protocol: ProtoRanking,
+				N: 1000, Slices: 10, ViewSize: 20, Cycles: 150, Seed: 42,
+				Attr: uniformAttr(), MinCycles: 60},
+			{Name: "ordering-1k", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 1000, Slices: 10, ViewSize: 20, Cycles: 150, Seed: 42,
+				Attr: uniformAttr(), MinCycles: 60},
+			{Name: "ranking-churn", Protocol: ProtoRanking,
+				N: 1000, Slices: 10, ViewSize: 20, Cycles: 150, Seed: 42,
+				Attr: uniformAttr(),
+				Churn: &ChurnSpec{
+					Phases:  []ChurnPhase{{Join: 0.002, Leave: 0.002}},
+					Pattern: PatternSpec{Kind: PatternUniform},
+				},
+				MinCycles: 60},
+		},
+	},
+	{
 		Name:        "quickstart",
 		Description: "the README walk-through: 2000 nodes, 10 slices, ranking protocol",
 		Backends:    bothBackends(),

@@ -1,0 +1,205 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures RunLoad.
+type LoadOptions struct {
+	// Queries is the total number of queries to issue (0 = 10000).
+	Queries int
+	// Concurrency is the number of concurrent client workers (0 = 8).
+	Concurrency int
+	// TopKShare is the fraction of queries that hit /topk instead of
+	// /slice (0 = slice-only; 0.1 means one topk query in ten).
+	TopKShare float64
+	// Frac is the top-k fraction queried by topk queries (0 = 0.1).
+	Frac float64
+	// AttrLow and AttrHigh bound the uniformly sampled query attributes.
+	// Both zero means [0,1).
+	AttrLow, AttrHigh float64
+	// Seed seeds the query generator (0 = 1).
+	Seed int64
+	// Client overrides the HTTP client (nil = a keep-alive client with a
+	// per-request 5s timeout).
+	Client *http.Client
+}
+
+// LoadResult is RunLoad's measurement, the payload of
+// BENCH_serving.json.
+type LoadResult struct {
+	// Queries and Errors count issued queries and non-200/parse failures.
+	Queries int `json:"queries"`
+	Errors  int `json:"errors"`
+	// Concurrency echoes the worker count.
+	Concurrency int `json:"concurrency"`
+	// DurationMS is the wall-clock span of the run; QPS is
+	// Queries/Duration.
+	DurationMS float64 `json:"durationMS"`
+	QPS        float64 `json:"qps"`
+	// P50MS, P99MS, MeanMS, MaxMS summarize per-query latency.
+	P50MS  float64 `json:"p50MS"`
+	P99MS  float64 `json:"p99MS"`
+	MeanMS float64 `json:"meanMS"`
+	MaxMS  float64 `json:"maxMS"`
+	// MeanBound and MaxBound summarize the staleness bounds the answers
+	// carried — the serving-quality side of the measurement.
+	MeanBound float64 `json:"meanBound"`
+	MaxBound  float64 `json:"maxBound"`
+}
+
+// answerProbe decodes just enough of any answer to audit its staleness.
+type answerProbe struct {
+	Staleness Staleness `json:"staleness"`
+}
+
+// RunLoad drives query load against a serving endpoint over real HTTP
+// (baseURL like "http://127.0.0.1:8080") and reports latency
+// percentiles and the staleness bounds the answers carried. It is the
+// engine behind `slicebench serve-bench`.
+func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (LoadResult, error) {
+	if opts.Queries <= 0 {
+		opts.Queries = 10000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Frac <= 0 || opts.Frac > 1 {
+		opts.Frac = 0.1
+	}
+	if opts.AttrLow == 0 && opts.AttrHigh == 0 {
+		opts.AttrHigh = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+
+	type sample struct {
+		latency time.Duration
+		bound   float64
+		err     bool
+	}
+	samples := make([]sample, opts.Queries)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(worker)))
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= opts.Queries || ctx.Err() != nil {
+					return
+				}
+				var url string
+				if opts.TopKShare > 0 && rng.Float64() < opts.TopKShare {
+					url = fmt.Sprintf("%s/topk?frac=%g", baseURL, opts.Frac)
+				} else {
+					attr := opts.AttrLow + rng.Float64()*(opts.AttrHigh-opts.AttrLow)
+					url = fmt.Sprintf("%s/slice?attr=%g", baseURL, attr)
+				}
+				t0 := time.Now()
+				bound, err := probe(ctx, client, url)
+				samples[i] = sample{latency: time.Since(t0), bound: bound, err: err != nil}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return LoadResult{}, err
+	}
+
+	latencies := make([]float64, 0, opts.Queries)
+	res := LoadResult{
+		Queries:     opts.Queries,
+		Concurrency: opts.Concurrency,
+		DurationMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	var boundSum float64
+	var answered int
+	for _, s := range samples {
+		if s.err {
+			res.Errors++
+			continue
+		}
+		ms := float64(s.latency) / float64(time.Millisecond)
+		latencies = append(latencies, ms)
+		res.MeanMS += ms
+		if ms > res.MaxMS {
+			res.MaxMS = ms
+		}
+		boundSum += s.bound
+		if s.bound > res.MaxBound {
+			res.MaxBound = s.bound
+		}
+		answered++
+	}
+	if elapsed > 0 {
+		res.QPS = float64(answered) / elapsed.Seconds()
+	}
+	if answered > 0 {
+		res.MeanMS /= float64(answered)
+		res.MeanBound = boundSum / float64(answered)
+		sort.Float64s(latencies)
+		res.P50MS = percentile(latencies, 0.50)
+		res.P99MS = percentile(latencies, 0.99)
+	}
+	return res, nil
+}
+
+// probe issues one query and extracts the answer's staleness bound.
+func probe(ctx context.Context, client *http.Client, url string) (bound float64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("serving: %s: %s", url, resp.Status)
+	}
+	var pr answerProbe
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return 0, err
+	}
+	return pr.Staleness.Bound, nil
+}
+
+// percentile reads the p-th percentile (0 ≤ p ≤ 1) from sorted values
+// by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

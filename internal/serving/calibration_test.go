@@ -1,0 +1,71 @@
+package serving
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStalenessWarmupInflation(t *testing.T) {
+	cal := Calibration{ResidualSDM: 0.01, ConvergedTicks: 100}
+	young := cal.staleness(10, 500, 20, 0.5, 0.1)
+	converged := cal.staleness(200, 500, 20, 0.5, 0.1)
+	if young.ResidualSDM <= converged.ResidualSDM {
+		t.Errorf("young residual %v should exceed converged %v", young.ResidualSDM, converged.ResidualSDM)
+	}
+	if got := young.ResidualSDM; math.Abs(got-0.1) > 1e-12 { // 0.01 * 100/10
+		t.Errorf("young residual = %v, want 0.1", got)
+	}
+	if converged.ResidualSDM != 0.01 {
+		t.Errorf("converged residual = %v, want the floor 0.01", converged.ResidualSDM)
+	}
+}
+
+func TestStalenessEvidenceFallsBackToTicks(t *testing.T) {
+	cal := Calibration{ResidualSDM: 0.01, ConvergedTicks: 1}
+	// No estimator samples (an ordering node): ticks are the evidence.
+	withTicks := cal.staleness(400, 0, 20, 0.5, 0.1)
+	withSamples := cal.staleness(400, 100, 20, 0.5, 0.1)
+	if withTicks.RankCI >= withSamples.RankCI {
+		// k=400 beats k=100: tighter interval.
+		t.Errorf("tick-evidence CI %v should be tighter than sample CI %v", withTicks.RankCI, withSamples.RankCI)
+	}
+	wantCI := DefaultZ * math.Sqrt(0.25/400)
+	if math.Abs(withTicks.RankCI-wantCI) > 1e-12 {
+		t.Errorf("RankCI = %v, want %v", withTicks.RankCI, wantCI)
+	}
+}
+
+func TestStalenessNoEvidence(t *testing.T) {
+	cal := RankingCalibration
+	st := cal.staleness(0, 0, 0, 0.5, 0.1)
+	if st.RankCI != 1 || st.Bound != 1 {
+		t.Errorf("no evidence should report worst-case bound: %+v", st)
+	}
+	if st.Confidence != 0 {
+		t.Errorf("no evidence should report zero confidence, got %v", st.Confidence)
+	}
+}
+
+func TestStalenessBoundIsMaxAndClamped(t *testing.T) {
+	cal := Calibration{ResidualSDM: 0.4, ConvergedTicks: 1}
+	st := cal.staleness(1000, 1000, 20, 0.5, 0.1)
+	if st.Bound != 0.4 {
+		t.Errorf("bound = %v, want the residual 0.4 (it dominates the CI %v)", st.Bound, st.RankCI)
+	}
+	// A node with a single tick inflates past 1; the bound clamps.
+	st = cal.staleness(1, 0, 20, 0.5, 0.1)
+	if st.Bound > 1 {
+		t.Errorf("bound must clamp to 1, got %v", st.Bound)
+	}
+}
+
+func TestStalenessConfidencePopulated(t *testing.T) {
+	st := RankingCalibration.staleness(200, 500, 20, 0.5, 0.2)
+	if !(st.Confidence > 0 && st.Confidence <= 1) {
+		t.Errorf("confidence = %v, want (0,1]", st.Confidence)
+	}
+	far := RankingCalibration.staleness(200, 500, 20, 0.5, 0.4)
+	if far.Confidence < st.Confidence {
+		t.Errorf("more boundary distance should not lower confidence: %v < %v", far.Confidence, st.Confidence)
+	}
+}

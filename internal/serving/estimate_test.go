@@ -1,0 +1,120 @@
+package serving
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+func TestAnchorsFromSkipsPlaceholdersAndMonotonizes(t *testing.T) {
+	entries := []view.Entry{
+		{ID: 1, Attr: 10, R: 0.9}, // misordered: low attr, high rank
+		{ID: 2, Attr: 20, R: 0.2},
+		{ID: 3, Age: view.AgeUnknown}, // placeholder: no attribute evidence
+		{ID: 4, Attr: 30, R: 0.5},
+		{ID: 5, Attr: 20, R: 0.4}, // duplicate attr
+	}
+	pts := anchorsFrom(entries, 15, 0.3)
+	if len(pts) != 4 {
+		t.Fatalf("anchors = %v, want 4 points (placeholder skipped, dup merged)", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].attr <= pts[i-1].attr {
+			t.Fatalf("attrs not strictly increasing: %v", pts)
+		}
+		if pts[i].rank < pts[i-1].rank {
+			t.Fatalf("ranks not monotone: %v", pts)
+		}
+	}
+}
+
+func TestRankAtInterpolatesAndExtrapolates(t *testing.T) {
+	pts := []anchor{{attr: 10, rank: 0.2}, {attr: 20, rank: 0.4}, {attr: 30, rank: 0.8}}
+	if got := rankAt(pts, 15); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("rankAt(15) = %v, want 0.3", got)
+	}
+	if got := rankAt(pts, 20); got != 0.4 {
+		t.Errorf("rankAt(20) = %v, want exact anchor 0.4", got)
+	}
+	// Far below the anchored range: reads as bottom, not "my weakest
+	// neighbor's rank".
+	if got := rankAt(pts, -100); got != 0 {
+		t.Errorf("rankAt(-100) = %v, want 0", got)
+	}
+	// Far above: reads as top.
+	if got := rankAt(pts, 1000); got != 1 {
+		t.Errorf("rankAt(1000) = %v, want 1", got)
+	}
+	// Monotone in the query attribute, everywhere.
+	prev := math.Inf(-1)
+	for x := -20.0; x <= 60; x += 0.25 {
+		r := rankAt(pts, x)
+		if r < prev {
+			t.Fatalf("rankAt not monotone at %v: %v < %v", x, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestRankAtSingleAnchor(t *testing.T) {
+	pts := []anchor{{attr: 5, rank: 0.5}}
+	if got := rankAt(pts, 5); got != 0.5 {
+		t.Errorf("at the anchor = %v, want 0.5", got)
+	}
+	if below, above := rankAt(pts, 4), rankAt(pts, 6); !(below < 0.5 && 0.5 < above) {
+		t.Errorf("single anchor should split: below=%v above=%v", below, above)
+	}
+}
+
+func TestAttrAtInvertsRankAt(t *testing.T) {
+	pts := []anchor{{attr: 10, rank: 0.2}, {attr: 20, rank: 0.4}, {attr: 30, rank: 0.8}}
+	for _, r := range []float64{0.2, 0.3, 0.4, 0.6, 0.8} {
+		x := attrAt(pts, r)
+		if got := rankAt(pts, x); math.Abs(got-r) > 1e-9 {
+			t.Errorf("rankAt(attrAt(%v)) = %v", r, got)
+		}
+	}
+	// Beyond the anchors it clamps to the extremes.
+	if got := attrAt(pts, 0.01); got != 10 {
+		t.Errorf("attrAt(0.01) = %v, want clamp to 10", got)
+	}
+	if got := attrAt(pts, 0.99); got != 30 {
+		t.Errorf("attrAt(0.99) = %v, want clamp to 30", got)
+	}
+	if !math.IsNaN(attrAt(nil, 0.5)) {
+		t.Error("attrAt(no anchors) should be NaN")
+	}
+}
+
+// TestRankAtRecoversUniformCDF checks the accuracy claim behind the
+// whole local-answer design: with anchors sampled from a converged
+// uniform population, interpolated ranks track the true CDF to within a
+// few percent.
+func TestRankAtRecoversUniformCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := make([]view.Entry, 40)
+	for i := range entries {
+		a := rng.Float64() * 100
+		entries[i] = view.Entry{ID: core.ID(i + 2), Attr: core.Attr(a), R: a / 100}
+	}
+	pts := anchorsFrom(entries, 50, 0.5)
+	for x := 5.0; x <= 95; x += 5 {
+		want := x / 100
+		if got := rankAt(pts, x); math.Abs(got-want) > 0.08 {
+			t.Errorf("rankAt(%v) = %v, want ≈%v", x, got, want)
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1}, {math.NaN(), 0},
+	} {
+		if got := clamp01(tc.in); got != tc.want {
+			t.Errorf("clamp01(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package serving
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/runtime"
+)
+
+// NodeQuerier answers queries from ONE live node's local estimate: its
+// own attribute and rank estimate anchor the interpolation, its gossip
+// view supplies the remaining (attribute, rank) sample. This is exactly
+// the information a real distributed node holds — no oracle, no global
+// state — so the answers (and their staleness bounds) are what an
+// operator would get from any single production node.
+type NodeQuerier struct {
+	node *runtime.Node
+	part core.Partition
+	cal  Calibration
+}
+
+var _ SliceQuerier = (*NodeQuerier)(nil)
+
+// NewNodeQuerier wraps a live node. A zero Calibration selects
+// RankingCalibration (the conservative default: its residual floor is
+// the tighter of the two, but its warmup inflation still dominates
+// early answers).
+func NewNodeQuerier(n *runtime.Node, cal Calibration) *NodeQuerier {
+	if cal == (Calibration{}) {
+		cal = RankingCalibration
+	}
+	return &NodeQuerier{node: n, part: n.Partition(), cal: cal}
+}
+
+// SliceOf implements SliceQuerier.
+func (q *NodeQuerier) SliceOf(attr float64) (SliceAnswer, error) {
+	if math.IsNaN(attr) || math.IsInf(attr, 0) {
+		return SliceAnswer{}, ErrBadAttr
+	}
+	st := q.node.Status()
+	pts := anchorsFrom(q.node.ViewEntries(), float64(st.Attr), st.R)
+	if len(pts) == 0 {
+		return SliceAnswer{}, ErrNoEvidence
+	}
+	rank := rankAt(pts, attr)
+	ix := q.part.Index(rank)
+	sl := q.part.Slice(ix)
+	return SliceAnswer{
+		Attr:      attr,
+		Rank:      rank,
+		SliceIx:   ix,
+		Low:       sl.Low,
+		High:      sl.High,
+		Node:      st.ID,
+		Staleness: q.cal.staleness(st.Ticks, st.Samples, len(pts), rank, q.part.BoundaryDistance(rank)),
+	}, nil
+}
+
+// TopK implements SliceQuerier.
+func (q *NodeQuerier) TopK(frac float64) (TopKAnswer, error) {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return TopKAnswer{}, ErrBadFrac
+	}
+	st := q.node.Status()
+	entries := q.node.ViewEntries()
+	pts := anchorsFrom(entries, float64(st.Attr), st.R)
+	if len(pts) == 0 {
+		return TopKAnswer{}, ErrNoEvidence
+	}
+	cut := 1 - frac
+	ans := TopKAnswer{
+		Frac:          frac,
+		AttrThreshold: attrAt(pts, cut),
+		SelfIncluded:  st.R >= cut,
+		Node:          st.ID,
+		Staleness:     q.cal.staleness(st.Ticks, st.Samples, len(pts), cut, frac),
+	}
+	if ans.SelfIncluded {
+		ans.Members = append(ans.Members, TopKMember{ID: st.ID, Attr: float64(st.Attr), Rank: st.R})
+	}
+	for _, e := range entries {
+		if e.Placeholder() || e.R < cut {
+			continue
+		}
+		ans.Members = append(ans.Members, TopKMember{ID: e.ID, Attr: float64(e.Attr), Rank: e.R})
+	}
+	sortMembers(ans.Members)
+	return ans, nil
+}
+
+// Snapshot implements SliceQuerier.
+func (q *NodeQuerier) Snapshot() (Snapshot, error) {
+	st := q.node.Status()
+	pts := len(anchorsFrom(q.node.ViewEntries(), float64(st.Attr), st.R))
+	sl := q.part.Slice(st.SliceIx)
+	return Snapshot{
+		Node:      st.ID,
+		Attr:      float64(st.Attr),
+		Rank:      st.R,
+		SliceIx:   st.SliceIx,
+		Low:       sl.Low,
+		High:      sl.High,
+		ViewLen:   st.ViewLen,
+		Staleness: q.cal.staleness(st.Ticks, st.Samples, pts, st.R, q.part.BoundaryDistance(st.R)),
+	}, nil
+}
+
+// WatchBoundary implements SliceQuerier: it rides the node's
+// OnSliceChange machinery. Events are delivered from the node's gossip
+// goroutines; a full buffer drops the event rather than stalling
+// gossip (Seq gaps reveal drops).
+func (q *NodeQuerier) WatchBoundary(buffer int) (<-chan BoundaryEvent, func(), error) {
+	ch := make(chan BoundaryEvent, normalizeBuffer(buffer))
+	var seq atomic.Uint64
+	cancel := q.node.OnSliceChange(func(id core.ID, old, new int) {
+		ev := BoundaryEvent{Node: id, Old: old, New: new, Seq: seq.Add(1)}
+		select {
+		case ch <- ev:
+		default:
+		}
+	})
+	return ch, cancel, nil
+}
+
+// normalizeBuffer resolves the WatchBoundary buffer argument.
+func normalizeBuffer(buffer int) int {
+	if buffer <= 0 {
+		return 64
+	}
+	return buffer
+}
+
+// ClusterQuerier answers queries from a live cluster, round-robin
+// across its nodes: every query is served by ONE node's local estimate
+// (the paper's "any node can answer"), so load spreads evenly and the
+// answers exhibit exactly the per-node estimate variance a multi-node
+// deployment would. WatchBoundary aggregates every node's crossings
+// into one stream.
+//
+// The node set is snapshotted at construction: after churn, build a
+// fresh querier (the serving path snapshots after warmup; a killed
+// node's querier answers from its frozen final state).
+type ClusterQuerier struct {
+	queriers []*NodeQuerier
+	next     atomic.Uint64
+}
+
+var _ SliceQuerier = (*ClusterQuerier)(nil)
+
+// NewClusterQuerier wraps a cluster's current live nodes. A zero
+// Calibration selects RankingCalibration.
+func NewClusterQuerier(c *runtime.Cluster, cal Calibration) (*ClusterQuerier, error) {
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	qs := make([]*NodeQuerier, len(nodes))
+	for i, n := range nodes {
+		qs[i] = NewNodeQuerier(n, cal)
+	}
+	return &ClusterQuerier{queriers: qs}, nil
+}
+
+// pick returns the next querier round-robin.
+func (q *ClusterQuerier) pick() *NodeQuerier {
+	i := q.next.Add(1) - 1
+	return q.queriers[int(i%uint64(len(q.queriers)))]
+}
+
+// SliceOf implements SliceQuerier.
+func (q *ClusterQuerier) SliceOf(attr float64) (SliceAnswer, error) { return q.pick().SliceOf(attr) }
+
+// TopK implements SliceQuerier.
+func (q *ClusterQuerier) TopK(frac float64) (TopKAnswer, error) { return q.pick().TopK(frac) }
+
+// Snapshot implements SliceQuerier.
+func (q *ClusterQuerier) Snapshot() (Snapshot, error) { return q.pick().Snapshot() }
+
+// WatchBoundary implements SliceQuerier: one merged stream of every
+// node's boundary crossings. Seq numbers the merged stream.
+func (q *ClusterQuerier) WatchBoundary(buffer int) (<-chan BoundaryEvent, func(), error) {
+	ch := make(chan BoundaryEvent, normalizeBuffer(buffer))
+	var seq atomic.Uint64
+	cancels := make([]func(), 0, len(q.queriers))
+	for _, nq := range q.queriers {
+		cancel := nq.node.OnSliceChange(func(id core.ID, old, new int) {
+			ev := BoundaryEvent{Node: id, Old: old, New: new, Seq: seq.Add(1)}
+			select {
+			case ch <- ev:
+			default:
+			}
+		})
+		cancels = append(cancels, cancel)
+	}
+	return ch, func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}, nil
+}

@@ -1,0 +1,243 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Options configures a Server. The zero value is usable: an
+// OS-assigned port, DefaultDrainTimeout, and the default watch buffer.
+type Options struct {
+	// Addr is the listen address (":8080"); empty means ":0" (an
+	// OS-assigned port, reported by Server.Addr).
+	Addr string
+	// DrainTimeout bounds graceful shutdown: how long Shutdown waits for
+	// in-flight requests and SSE streams before closing connections. 0
+	// means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// WatchBuffer is the per-SSE-subscriber event buffer (0 = default 64).
+	WatchBuffer int
+}
+
+// DefaultDrainTimeout bounds graceful shutdown when Options.DrainTimeout
+// is zero.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Server exposes a SliceQuerier over HTTP/JSON:
+//
+//	GET /slice?attr=X   → SliceAnswer   (which slice is attribute X in?)
+//	GET /topk?frac=F    → TopKAnswer    (who is in the top F fraction?)
+//	GET /snapshot       → Snapshot      (the answering node's own state)
+//	GET /watch          → SSE stream of BoundaryEvent crossings
+//	GET /healthz        → {"ok":true,...} once the backend holds evidence
+//
+// Every answer carries its Staleness block; errors are JSON
+// {"error":"..."} with 400 for bad parameters and 503 while the backend
+// has no evidence yet. The server is engine-agnostic: mount any
+// SliceQuerier (live node, live cluster, or simulator).
+type Server struct {
+	q        SliceQuerier
+	opts     Options
+	srv      *http.Server
+	ln       net.Listener
+	draining chan struct{} // closed when Shutdown begins; ends SSE streams
+}
+
+// NewServer builds a server for q. Call Start to listen, or mount
+// Handler on infrastructure of your own.
+func NewServer(q SliceQuerier, opts Options) *Server {
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	s := &Server{q: q, opts: opts, draining: make(chan struct{})}
+	s.srv = &http.Server{Handler: s.Handler()}
+	// Shutdown waits for in-flight requests; an SSE stream never ends on
+	// its own, so it must observe the drain and return.
+	s.srv.RegisterOnShutdown(func() { close(s.draining) })
+	return s
+}
+
+// Handler returns the route table as a plain http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /slice", s.handleSlice)
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /watch", s.handleWatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Start binds the listener and serves in a background goroutine. It
+// returns once the port is bound, so Addr is valid immediately.
+func (s *Server) Start() error {
+	addr := s.opts.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with Addr ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server gracefully: it stops accepting
+// connections, waits up to DrainTimeout for in-flight requests (SSE
+// streams see their request context cancelled), then closes whatever
+// remains. This is the serving half of a node's departure — the process
+// stops answering before the churn layer announces the leave.
+func (s *Server) Shutdown(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, s.opts.DrainTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(dctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return s.srv.Close()
+	}
+	return err
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps query-plane errors to HTTP codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadAttr), errors.Is(err, ErrBadFrac):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNoEvidence), errors.Is(err, ErrNoNodes):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// floatParam parses a required float query parameter.
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("serving: missing query parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serving: bad %q: %w", name, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	attr, err := floatParam(r, "attr")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	ans, err := s.q.SliceOf(attr)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	frac, err := floatParam(r, "frac")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	ans, err := s.q.TopK(frac)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.q.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleHealthz reports liveness plus the backend's convergence state:
+// 200 with the snapshot's staleness once the node answers, 503 before.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.q.Snapshot()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"node":      snap.Node,
+		"slice":     snap.SliceIx,
+		"staleness": snap.Staleness,
+	})
+}
+
+// handleWatch streams boundary crossings as Server-Sent Events: one
+//
+//	event: boundary
+//	data: {"node":…,"old":…,"new":…,"seq":…}
+//
+// block per crossing. The stream ends when the client disconnects or
+// the server drains; Seq gaps tell a slow client it missed events.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "serving: streaming unsupported"})
+		return
+	}
+	events, cancel, err := s.q.WatchBoundary(s.opts.WatchBuffer)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			return
+		case ev := <-events:
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: boundary\ndata: %s\n\n", payload); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

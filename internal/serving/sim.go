@@ -1,0 +1,200 @@
+package serving
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/sim"
+)
+
+// SimQuerier adapts the cycle simulator to the query plane, mainly so
+// tests and scenario runs can exercise the serving contract without
+// standing up goroutines. Unlike NodeQuerier its anchors come from
+// engine.States() — the simulator's global oracle — so its answers are
+// as good as the protocol state itself, with none of the bounded-view
+// sampling error a live node adds. Treat it as the reference
+// implementation the live queriers are measured against, not as a
+// model of production accuracy.
+//
+// The simulator is not safe for concurrent stepping, so the querier
+// answers from an immutable snapshot taken by Refresh (and at
+// construction): step the engine, call Refresh, query. Refresh also
+// diffs believed slices against the previous snapshot and emits
+// BoundaryEvents to watchers — the sim has no callback plumbing, so
+// crossings are detected by comparison.
+type SimQuerier struct {
+	cal Calibration
+
+	mu       sync.Mutex
+	part     core.Partition
+	cycle    int
+	states   []metrics.NodeState
+	pts      []anchor
+	believed map[core.ID]int
+	watchers map[int]*simWatcher
+	nextID   int
+	next     atomic.Uint64 // round-robin answering node
+	seq      atomic.Uint64
+}
+
+// simWatcher is one WatchBoundary subscription on a SimQuerier.
+type simWatcher struct {
+	ch chan BoundaryEvent
+}
+
+var _ SliceQuerier = (*SimQuerier)(nil)
+
+// NewSimQuerier snapshots the engine's current state. A zero
+// Calibration selects RankingCalibration.
+func NewSimQuerier(e *sim.Engine, cal Calibration) *SimQuerier {
+	if cal == (Calibration{}) {
+		cal = RankingCalibration
+	}
+	q := &SimQuerier{
+		cal:      cal,
+		part:     e.Partition(),
+		believed: make(map[core.ID]int),
+		watchers: make(map[int]*simWatcher),
+	}
+	q.Refresh(e)
+	return q
+}
+
+// Refresh re-snapshots the engine (call it after stepping, with the
+// engine quiescent) and notifies watchers of every node whose believed
+// slice changed since the last snapshot.
+func (q *SimQuerier) Refresh(e *sim.Engine) {
+	states := e.States()
+	cycle := e.Cycle()
+
+	pts := make([]anchor, 0, len(states))
+	for _, st := range states {
+		pts = append(pts, anchor{attr: float64(st.Member.Attr), rank: clamp01(st.R)})
+	}
+	pts = monotonize(pts)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var crossings []BoundaryEvent
+	for _, st := range states {
+		old, seen := q.believed[st.Member.ID]
+		if seen && old != st.SliceIndex {
+			crossings = append(crossings, BoundaryEvent{Node: st.Member.ID, Old: old, New: st.SliceIndex})
+		}
+		q.believed[st.Member.ID] = st.SliceIndex
+	}
+	q.cycle = cycle
+	q.states = states
+	q.pts = pts
+	for _, ev := range crossings {
+		ev.Seq = q.seq.Add(1)
+		for _, w := range q.watchers {
+			select {
+			case w.ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// snapshot returns the current anchors, cycle, and the answering node
+// (round-robin across the simulated population).
+func (q *SimQuerier) snapshot() (pts []anchor, cycle int, self metrics.NodeState, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.states) == 0 {
+		return nil, 0, metrics.NodeState{}, false
+	}
+	i := q.next.Add(1) - 1
+	return q.pts, q.cycle, q.states[int(i%uint64(len(q.states)))], true
+}
+
+// SliceOf implements SliceQuerier.
+func (q *SimQuerier) SliceOf(attr float64) (SliceAnswer, error) {
+	if math.IsNaN(attr) || math.IsInf(attr, 0) {
+		return SliceAnswer{}, ErrBadAttr
+	}
+	pts, cycle, self, ok := q.snapshot()
+	if !ok || len(pts) == 0 {
+		return SliceAnswer{}, ErrNoEvidence
+	}
+	rank := rankAt(pts, attr)
+	ix := q.part.Index(rank)
+	sl := q.part.Slice(ix)
+	return SliceAnswer{
+		Attr:      attr,
+		Rank:      rank,
+		SliceIx:   ix,
+		Low:       sl.Low,
+		High:      sl.High,
+		Node:      self.Member.ID,
+		Staleness: q.cal.staleness(cycle, len(pts), len(pts), rank, q.part.BoundaryDistance(rank)),
+	}, nil
+}
+
+// TopK implements SliceQuerier.
+func (q *SimQuerier) TopK(frac float64) (TopKAnswer, error) {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return TopKAnswer{}, ErrBadFrac
+	}
+	pts, cycle, self, ok := q.snapshot()
+	if !ok || len(pts) == 0 {
+		return TopKAnswer{}, ErrNoEvidence
+	}
+	cut := 1 - frac
+	ans := TopKAnswer{
+		Frac:          frac,
+		AttrThreshold: attrAt(pts, cut),
+		SelfIncluded:  self.R >= cut,
+		Node:          self.Member.ID,
+		Staleness:     q.cal.staleness(cycle, len(pts), len(pts), cut, frac),
+	}
+	q.mu.Lock()
+	for _, st := range q.states {
+		if st.R < cut {
+			continue
+		}
+		ans.Members = append(ans.Members, TopKMember{ID: st.Member.ID, Attr: float64(st.Member.Attr), Rank: st.R})
+	}
+	q.mu.Unlock()
+	sortMembers(ans.Members)
+	return ans, nil
+}
+
+// Snapshot implements SliceQuerier.
+func (q *SimQuerier) Snapshot() (Snapshot, error) {
+	pts, cycle, self, ok := q.snapshot()
+	if !ok {
+		return Snapshot{}, ErrNoEvidence
+	}
+	sl := q.part.Slice(self.SliceIndex)
+	return Snapshot{
+		Node:      self.Member.ID,
+		Attr:      float64(self.Member.Attr),
+		Rank:      self.R,
+		SliceIx:   self.SliceIndex,
+		Low:       sl.Low,
+		High:      sl.High,
+		ViewLen:   len(pts) - 1,
+		Staleness: q.cal.staleness(cycle, len(pts), len(pts), self.R, q.part.BoundaryDistance(self.R)),
+	}, nil
+}
+
+// WatchBoundary implements SliceQuerier. Crossings are detected (and
+// delivered, synchronously) by Refresh.
+func (q *SimQuerier) WatchBoundary(buffer int) (<-chan BoundaryEvent, func(), error) {
+	w := &simWatcher{ch: make(chan BoundaryEvent, normalizeBuffer(buffer))}
+	q.mu.Lock()
+	id := q.nextID
+	q.nextID++
+	q.watchers[id] = w
+	q.mu.Unlock()
+	return w.ch, func() {
+		q.mu.Lock()
+		delete(q.watchers, id)
+		q.mu.Unlock()
+	}, nil
+}

@@ -1,0 +1,209 @@
+package slicing
+
+// ---------------------------------------------------------------------
+// Functional options: additive configuration for live nodes/clusters.
+//
+// NodeConfig and ClusterConfig are plain structs, and two of their
+// fields carry zero-value footguns: a zero Period silently means "the
+// runtime default", and a zero JitterFrac means DefaultJitterFrac —
+// turning jitter OFF requires knowing the JitterNone sentinel. The
+// options below make those intents explicit at the call site, and
+// WithServe attaches the query plane (serve.go) in the same breath.
+// The structs keep working unchanged; options are layered on top via
+// NewNodeWith / NewClusterWith.
+// ---------------------------------------------------------------------
+
+import (
+	"context"
+	"time"
+)
+
+// Option adjusts a NodeConfig or ClusterConfig beyond its struct
+// literal, resolving the zero-value ambiguities explicitly.
+type Option func(*optionSet)
+
+// optionSet accumulates applied options.
+type optionSet struct {
+	period *time.Duration
+	jitter *float64
+	serve  *ServeOptions
+}
+
+// WithPeriod sets the gossip period explicitly.
+func WithPeriod(d time.Duration) Option {
+	return func(o *optionSet) { o.period = &d }
+}
+
+// WithJitter sets the period desynchronization fraction explicitly.
+// WithJitter(0) means strictly periodic gossip — unlike a zero
+// JitterFrac field, which silently means DefaultJitterFrac.
+func WithJitter(frac float64) Option {
+	return func(o *optionSet) { o.jitter = &frac }
+}
+
+// WithServe mounts the query plane on addr (":8080"): the node or
+// cluster answers GET /slice, /topk, /snapshot, /healthz and the
+// /watch SSE stream from its local estimates. The server starts with
+// Start and drains with Close.
+func WithServe(addr string) Option {
+	return func(o *optionSet) { o.serve = &ServeOptions{Addr: addr} }
+}
+
+// WithServeOptions is WithServe with full control over drain timeout
+// and watch buffering.
+func WithServeOptions(opts ServeOptions) Option {
+	return func(o *optionSet) { o.serve = &opts }
+}
+
+// apply folds the options into resolved period/jitter values.
+func (o *optionSet) apply(opts []Option, period *time.Duration, jitter *float64) {
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.period != nil {
+		*period = *o.period
+	}
+	if o.jitter != nil {
+		if *o.jitter == 0 {
+			*jitter = JitterNone
+		} else {
+			*jitter = *o.jitter
+		}
+	}
+}
+
+// calibrationFor picks the staleness calibration matching a protocol.
+func calibrationFor(ordering bool) ServingCalibration {
+	if ordering {
+		return OrderingServingCalibration
+	}
+	return RankingServingCalibration
+}
+
+// ServedNode is a live node plus its (optional) query-plane server.
+// Built by NewNodeWith; without WithServe it is just the node.
+type ServedNode struct {
+	*Node
+	server *QueryServer
+}
+
+// NewNodeWith builds a live node with options applied on top of cfg.
+// With WithServe, Start also binds the query server and Close drains
+// it; the embedded Node is usable as usual.
+func NewNodeWith(cfg NodeConfig, opts ...Option) (*ServedNode, error) {
+	var o optionSet
+	o.apply(opts, &cfg.Period, &cfg.JitterFrac)
+	n, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sn := &ServedNode{Node: n}
+	if o.serve != nil {
+		q := NewNodeQuerier(n, calibrationFor(cfg.Protocol == LiveOrdering))
+		sn.server = NewQueryServer(q, *o.serve)
+	}
+	return sn, nil
+}
+
+// Start starts gossip and, when serving, binds the query endpoint.
+func (sn *ServedNode) Start() error {
+	if err := sn.Node.Start(); err != nil {
+		return err
+	}
+	if sn.server != nil {
+		if err := sn.server.Start(); err != nil {
+			sn.Node.Stop()
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryServer returns the attached server, nil without WithServe.
+func (sn *ServedNode) QueryServer() *QueryServer { return sn.server }
+
+// ServeAddr reports the bound query-plane address ("" when not
+// serving or not started).
+func (sn *ServedNode) ServeAddr() string {
+	if sn.server == nil {
+		return ""
+	}
+	return sn.server.Addr()
+}
+
+// Close shuts the node down in departure order: the query plane drains
+// first (the node stops answering before it stops gossiping — its
+// departure is a real churn event to the rest of the system), then
+// gossip stops.
+func (sn *ServedNode) Close(ctx context.Context) error {
+	var err error
+	if sn.server != nil {
+		err = sn.server.Shutdown(ctx)
+	}
+	sn.Node.Stop()
+	return err
+}
+
+// ServedCluster is a live cluster plus its (optional) query-plane
+// server, answering round-robin across the cluster's nodes.
+type ServedCluster struct {
+	*Cluster
+	server *QueryServer
+}
+
+// NewClusterWith builds a cluster with options applied on top of cfg;
+// see NewNodeWith.
+func NewClusterWith(cfg ClusterConfig, opts ...Option) (*ServedCluster, error) {
+	var o optionSet
+	o.apply(opts, &cfg.Period, &cfg.JitterFrac)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ServedCluster{Cluster: c}
+	if o.serve != nil {
+		q, err := NewClusterQuerier(c, calibrationFor(cfg.Protocol == LiveOrdering))
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		sc.server = NewQueryServer(q, *o.serve)
+	}
+	return sc, nil
+}
+
+// Start starts the cluster and, when serving, binds the query endpoint.
+func (sc *ServedCluster) Start() error {
+	if err := sc.Cluster.Start(); err != nil {
+		return err
+	}
+	if sc.server != nil {
+		if err := sc.server.Start(); err != nil {
+			sc.Cluster.Stop()
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryServer returns the attached server, nil without WithServe.
+func (sc *ServedCluster) QueryServer() *QueryServer { return sc.server }
+
+// ServeAddr reports the bound query-plane address ("" when not
+// serving or not started).
+func (sc *ServedCluster) ServeAddr() string {
+	if sc.server == nil {
+		return ""
+	}
+	return sc.server.Addr()
+}
+
+// Close drains the query plane, then stops the cluster.
+func (sc *ServedCluster) Close(ctx context.Context) error {
+	var err error
+	if sc.server != nil {
+		err = sc.server.Shutdown(ctx)
+	}
+	sc.Cluster.Stop()
+	return err
+}

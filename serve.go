@@ -1,0 +1,103 @@
+package slicing
+
+// ---------------------------------------------------------------------
+// Serving facade: the slice query plane.
+//
+// internal/serving turns the slice estimates nodes already maintain
+// into answers external clients can consume — "which slice is
+// attribute X in?", "who is in the top k%?", a boundary-crossing
+// stream — each answer carrying a staleness/error bound derived from
+// the answering node's convergence state. This section re-exports that
+// plane: the backend-agnostic SliceQuerier contract, the three
+// queriers (live node, live cluster, simulator), the HTTP/SSE server,
+// and the load harness behind `slicebench serve-bench`.
+// ---------------------------------------------------------------------
+
+import (
+	"context"
+
+	"github.com/gossipkit/slicing/internal/serving"
+)
+
+// Query-plane types.
+type (
+	// SliceQuerier answers slice queries from a local estimate; the
+	// backend-agnostic contract implemented by NodeQuerier,
+	// ClusterQuerier and SimQuerier.
+	SliceQuerier = serving.SliceQuerier
+	// SliceAnswer answers "which slice is attribute X in?".
+	SliceAnswer = serving.SliceAnswer
+	// TopKAnswer answers "who is in the top k%?".
+	TopKAnswer = serving.TopKAnswer
+	// TopKMember is one locally known top-k% member.
+	TopKMember = serving.TopKMember
+	// SliceSnapshot is the answering node's own state.
+	SliceSnapshot = serving.Snapshot
+	// BoundaryEvent is one slice-boundary crossing.
+	BoundaryEvent = serving.BoundaryEvent
+	// Staleness is the error bound attached to every answer.
+	Staleness = serving.Staleness
+	// ServingCalibration anchors staleness bounds to measured
+	// convergence data (see RankingServingCalibration).
+	ServingCalibration = serving.Calibration
+
+	// NodeQuerier answers queries from one live node's local estimate.
+	NodeQuerier = serving.NodeQuerier
+	// ClusterQuerier answers queries round-robin across a live cluster.
+	ClusterQuerier = serving.ClusterQuerier
+	// SimQuerier answers queries from a simulation snapshot (testing).
+	SimQuerier = serving.SimQuerier
+
+	// QueryServer exposes a SliceQuerier over HTTP/JSON with an SSE
+	// boundary stream.
+	QueryServer = serving.Server
+	// ServeOptions configures a QueryServer.
+	ServeOptions = serving.Options
+	// QueryLoadOptions configures RunQueryLoad.
+	QueryLoadOptions = serving.LoadOptions
+	// QueryLoadResult is RunQueryLoad's latency/staleness measurement.
+	QueryLoadResult = serving.LoadResult
+)
+
+// Default calibrations for the staleness bounds, derived from the
+// benchmark catalog's measured convergence floors (BENCH_summary.json
+// finalSDM; see the README's Serving section).
+var (
+	// RankingServingCalibration fits ranking-protocol backends.
+	RankingServingCalibration = serving.RankingCalibration
+	// OrderingServingCalibration fits ordering-protocol backends.
+	OrderingServingCalibration = serving.OrderingCalibration
+)
+
+// NewNodeQuerier wraps one live node as a SliceQuerier. A zero
+// calibration selects RankingServingCalibration.
+func NewNodeQuerier(n *Node, cal ServingCalibration) *NodeQuerier {
+	return serving.NewNodeQuerier(n, cal)
+}
+
+// NewClusterQuerier wraps a live cluster as a SliceQuerier: every query
+// is answered by one node's local estimate, round-robin. A zero
+// calibration selects RankingServingCalibration.
+func NewClusterQuerier(c *Cluster, cal ServingCalibration) (*ClusterQuerier, error) {
+	return serving.NewClusterQuerier(c, cal)
+}
+
+// NewSimQuerier snapshots a simulation as a SliceQuerier (the testing
+// backend; call Refresh after stepping the engine).
+func NewSimQuerier(e *Simulation, cal ServingCalibration) *SimQuerier {
+	return serving.NewSimQuerier(e, cal)
+}
+
+// NewQueryServer mounts a querier behind HTTP/JSON:
+// GET /slice?attr=X, GET /topk?frac=F, GET /snapshot, GET /healthz, and
+// GET /watch (an SSE stream of boundary crossings).
+func NewQueryServer(q SliceQuerier, opts ServeOptions) *QueryServer {
+	return serving.NewServer(q, opts)
+}
+
+// RunQueryLoad drives concurrent query load against a serving endpoint
+// and reports p50/p99 latency plus the staleness bounds the answers
+// carried (the engine behind `slicebench serve-bench`).
+func RunQueryLoad(ctx context.Context, baseURL string, opts QueryLoadOptions) (QueryLoadResult, error) {
+	return serving.RunLoad(ctx, baseURL, opts)
+}

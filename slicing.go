@@ -1,20 +1,21 @@
 package slicing
 
-import (
-	"time"
+// ---------------------------------------------------------------------
+// Domain facade: identities, attributes, slices, partitions.
+//
+// The vocabulary of the paper's §3 model, shared by every layer: nodes
+// (ID, Attr, Member), the normalized rank domain (0,1], and its
+// partition into ordered slices. Everything else in this package —
+// simulation, live runtime, scenarios, serving — is expressed in these
+// types. Sibling facade sections live one per file: simulate.go (the
+// cycle model), live.go (the runtime), scenarios.go (the declarative
+// catalog), serve.go (the query plane), options.go (functional
+// options), analytic.go (closed-form results).
+// ---------------------------------------------------------------------
 
-	"github.com/gossipkit/slicing/internal/churn"
+import (
 	"github.com/gossipkit/slicing/internal/core"
-	"github.com/gossipkit/slicing/internal/dist"
 	"github.com/gossipkit/slicing/internal/metrics"
-	"github.com/gossipkit/slicing/internal/ordering"
-	"github.com/gossipkit/slicing/internal/ranking"
-	"github.com/gossipkit/slicing/internal/runtime"
-	"github.com/gossipkit/slicing/internal/scenario"
-	"github.com/gossipkit/slicing/internal/sim"
-	"github.com/gossipkit/slicing/internal/stats"
-	"github.com/gossipkit/slicing/internal/transport"
-	"github.com/gossipkit/slicing/internal/transport/tcp"
 	"github.com/gossipkit/slicing/internal/view"
 )
 
@@ -53,113 +54,6 @@ func CustomSlices(bounds ...float64) (Partition, error) { return core.NewPartiti
 // identifier).
 func Ranks(members []Member) map[ID]int { return core.Ranks(members) }
 
-// Simulation API (the paper's cycle model).
-type (
-	// SimConfig parameterizes a simulation; see the field docs.
-	SimConfig = sim.Config
-	// SimResult carries the recorded series of a run.
-	SimResult = sim.Result
-	// Simulation is a stepwise-controllable simulation engine.
-	Simulation = sim.Engine
-	// MessageCounts tallies delivered messages by type.
-	MessageCounts = sim.MessageCounts
-)
-
-// Protocol kinds for SimConfig.Protocol.
-const (
-	// Ordering simulates JK / mod-JK (§4 of the paper).
-	Ordering = sim.Ordering
-	// Ranking simulates the rank-estimation protocol (§5).
-	Ranking = sim.Ranking
-)
-
-// Membership kinds for SimConfig.Membership.
-const (
-	// CyclonViews is the Cyclon variant of §4.3.2 (default).
-	CyclonViews = sim.CyclonViews
-	// NewscastViews is the Newscast-like substrate.
-	NewscastViews = sim.NewscastViews
-	// UniformOracle re-draws views uniformly at random every cycle.
-	UniformOracle = sim.UniformOracle
-)
-
-// Estimator kinds for SimConfig.Estimator.
-const (
-	// CounterEstimator is the unbounded ℓ/g counter (Fig. 5).
-	CounterEstimator = sim.CounterEstimator
-	// WindowEstimator is the sliding-window variant (§5.3.4).
-	WindowEstimator = sim.WindowEstimator
-)
-
-// Partner-selection policies for SimConfig.Policy.
-const (
-	// JK picks a uniformly random misplaced neighbor.
-	JK = ordering.SelectRandomMisplaced
-	// ModJK picks the misplaced neighbor with the maximal local
-	// disorder gain (the paper's contribution).
-	ModJK = ordering.SelectMaxGain
-	// RandomPartner picks any random neighbor (ablation baseline).
-	RandomPartner = ordering.SelectRandom
-)
-
-// Attribute distributions for SimConfig.AttrDist. Every concrete source
-// also implements AttrDistribution, exposing the analytic CDF and
-// quantile function of its law: the true attribute threshold of a slice
-// boundary b is Quantile(b), and the asymptotic normalized rank of a
-// node with attribute x is CDF(x).
-type (
-	// AttrSource draws attribute values.
-	AttrSource = dist.Source
-	// AttrDistribution extends AttrSource with analytic CDF and
-	// Quantile methods (all sources below implement it).
-	AttrDistribution = dist.Distribution
-	// UniformDist draws uniformly from [Lo, Hi).
-	UniformDist = dist.Uniform
-	// ParetoDist draws from a heavy-tailed Pareto distribution.
-	ParetoDist = dist.Pareto
-	// ExponentialDist draws exponentially distributed values.
-	ExponentialDist = dist.Exponential
-	// NormalDist draws normally distributed values.
-	NormalDist = dist.Normal
-	// ZipfDist draws ranks from the finite Zipf law on {1..N}.
-	ZipfDist = dist.Zipf
-	// LogNormalDist draws values whose logarithm is normal.
-	LogNormalDist = dist.LogNormal
-	// MixtureDist draws from a weighted mixture of component laws
-	// (multi-modal populations).
-	MixtureDist = dist.Mixture
-	// MixtureComponent pairs a mixture component with its weight.
-	MixtureComponent = dist.Weighted
-	// EmpiricalDist replays a histogram-backed measured profile.
-	EmpiricalDist = dist.Empirical
-)
-
-// NewEmpiricalDist bins raw samples (e.g. a bandwidth census) into an
-// EmpiricalDist with the given number of equal-width bins.
-func NewEmpiricalDist(samples []float64, bins int) (EmpiricalDist, error) {
-	return dist.NewEmpirical(samples, bins)
-}
-
-// Churn models for SimConfig.Schedule / SimConfig.Pattern.
-type (
-	// ChurnSchedule decides when and how many nodes churn.
-	ChurnSchedule = churn.Schedule
-	// ChurnPattern decides which nodes leave and what joiners bring.
-	ChurnPattern = churn.Pattern
-	// NoChurn is the static system.
-	NoChurn = churn.None
-	// BurstChurn churns every cycle until a cutoff (Fig. 6(c)).
-	BurstChurn = churn.Burst
-	// PeriodicChurn churns every k-th cycle (Fig. 6(d)).
-	PeriodicChurn = churn.Periodic
-	// CorrelatedChurn removes the lowest-attribute nodes and admits
-	// higher-attribute joiners (§5.3.3).
-	CorrelatedChurn = churn.Correlated
-	// UniformChurn removes random nodes and admits joiners from the
-	// initial distribution.
-	UniformChurn = churn.Uniform
-)
-
 // Series types recorded by simulations.
 type (
 	// Series is a named time series (cycle, value).
@@ -173,186 +67,3 @@ func SDM(states []NodeState, part Partition) float64 { return metrics.SDM(states
 
 // GDM computes the global disorder measure of a population snapshot.
 func GDM(states []NodeState) float64 { return metrics.GDM(states) }
-
-// Simulate runs cfg for the given number of cycles and returns the
-// recorded series.
-func Simulate(cfg SimConfig, cycles int) (*SimResult, error) { return sim.Run(cfg, cycles) }
-
-// NewSimulation builds a stepwise-controllable engine.
-func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
-
-// Scenario catalog: the declarative layer behind cmd/slicebench. A
-// Scenario is a named family of Specs — one per curve of a paper figure
-// or extension workload — and a Spec is a JSON-serializable description
-// of one run that translates into a SimConfig via its Config method.
-type (
-	// Scenario is a named family of runnable specs.
-	Scenario = scenario.Scenario
-	// ScenarioSpec declares one run as plain data.
-	ScenarioSpec = scenario.Spec
-	// ScenarioGrid declares a sweep (scenarios × seed replicas × scale).
-	ScenarioGrid = scenario.Grid
-	// ScenarioRunner fans grid runs across a worker pool.
-	ScenarioRunner = scenario.Runner
-	// ScenarioRunResult is one run's summary (and optional SDM series).
-	ScenarioRunResult = scenario.RunResult
-)
-
-// Scenarios returns the built-in scenario catalog: the paper's figure
-// families plus the extension workloads.
-func Scenarios() []Scenario { return scenario.All() }
-
-// ScenarioNames lists the catalog in presentation order.
-func ScenarioNames() []string { return scenario.Names() }
-
-// LookupScenario finds a catalog scenario by name (e.g. "fig6-burst").
-func LookupScenario(name string) (Scenario, error) { return scenario.Lookup(name) }
-
-// Execution backends: one spec, two engines. A ScenarioBackend executes
-// a ScenarioSpec either on the cycle-driven simulator (the paper's
-// PeerSim model) or on the live runtime (real protocol participants on
-// a sharded scheduler, churn as actual joins and crashes, transport
-// latency/loss injection from the spec's live block). Both return the
-// same result shape, so sim and live disorder trajectories are directly
-// comparable.
-type (
-	// ScenarioBackend executes specs on one engine.
-	ScenarioBackend = scenario.Backend
-	// ScenarioLiveSpec is a spec's live-backend tuning block.
-	ScenarioLiveSpec = scenario.LiveSpec
-)
-
-// Backend names accepted by ScenarioBackendByName (and the slicebench
-// -backend flag).
-const (
-	// BackendSim names the cycle-driven simulator backend.
-	BackendSim = scenario.BackendSim
-	// BackendLive names the live-runtime backend.
-	BackendLive = scenario.BackendLive
-)
-
-// SimScenarioBackend returns the simulator backend.
-func SimScenarioBackend() ScenarioBackend { return scenario.SimBackend{} }
-
-// LiveScenarioBackend returns the live-runtime backend.
-func LiveScenarioBackend() ScenarioBackend { return scenario.LiveBackend{} }
-
-// ScenarioBackendByName resolves "sim" or "live".
-func ScenarioBackendByName(name string) (ScenarioBackend, error) {
-	return scenario.BackendByName(name)
-}
-
-// Live runtime API.
-type (
-	// Node is a live protocol participant.
-	Node = runtime.Node
-	// NodeConfig parameterizes a live node.
-	NodeConfig = runtime.NodeConfig
-	// NodeStatus is a point-in-time node snapshot.
-	NodeStatus = runtime.Status
-	// Cluster is a process-local set of live nodes, multiplexed onto a
-	// sharded scheduler (a fixed worker pool draining per-shard timer
-	// wheels) so one process sustains 10,000+ gossiping nodes.
-	Cluster = runtime.Cluster
-	// ClusterConfig parameterizes a cluster.
-	ClusterConfig = runtime.ClusterConfig
-	// ClusterMessageCounts tallies a cluster's internal-network traffic.
-	ClusterMessageCounts = runtime.MessageCounts
-	// Estimator accumulates rank observations for a ranking node.
-	Estimator = ranking.Estimator
-	// LiveClock abstracts time for a cluster's scheduler.
-	LiveClock = runtime.Clock
-	// VirtualClock is a manually advanced clock: handing one to a
-	// cluster puts it in driven mode, where time moves only through
-	// Cluster.Advance — the same concurrent code paths as wall-clock
-	// operation, with no wall time spent waiting for gossip periods.
-	VirtualClock = runtime.VirtualClock
-)
-
-// NewVirtualClock returns a virtual clock for driven clusters.
-func NewVirtualClock() *VirtualClock { return runtime.NewVirtualClock() }
-
-// Jitter configuration for NodeConfig/ClusterConfig.JitterFrac.
-const (
-	// DefaultJitterFrac is the period desynchronization used when
-	// JitterFrac is left zero.
-	DefaultJitterFrac = runtime.DefaultJitterFrac
-	// JitterNone requests strictly periodic gossip (a zero JitterFrac
-	// means "default", so jitter-free operation needs the explicit
-	// sentinel).
-	JitterNone = runtime.JitterNone
-)
-
-// Live protocol and membership kinds (runtime flavors of the simulation
-// constants).
-const (
-	// LiveOrdering runs JK / mod-JK on a live node.
-	LiveOrdering = runtime.Ordering
-	// LiveRanking runs the ranking protocol on a live node.
-	LiveRanking = runtime.Ranking
-	// LiveCyclon selects the Cyclon-variant substrate.
-	LiveCyclon = runtime.CyclonViews
-	// LiveNewscast selects the Newscast-like substrate.
-	LiveNewscast = runtime.NewscastViews
-)
-
-// NewNode builds a live node; call Start to begin gossiping.
-func NewNode(cfg NodeConfig) (*Node, error) { return runtime.NewNode(cfg) }
-
-// NewCluster builds a process-local cluster of live nodes.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.NewCluster(cfg) }
-
-// NewCounterEstimator returns the unbounded ℓ/g estimator of Fig. 5.
-func NewCounterEstimator() Estimator { return ranking.NewCounter() }
-
-// NewWindowEstimator returns the sliding-window estimator of §5.3.4.
-func NewWindowEstimator(size int) (Estimator, error) { return ranking.NewWindow(size) }
-
-// Transports.
-type (
-	// Transport routes protocol messages between live nodes.
-	Transport = transport.Transport
-	// InMemTransportOptions configures the in-memory transport.
-	InMemTransportOptions = transport.InMemOptions
-	// TCPTransportOptions configures the TCP transport.
-	TCPTransportOptions = tcp.Options
-	// TCPTransport is the TCP-backed transport.
-	TCPTransport = tcp.Transport
-)
-
-// NewInMemTransport builds a process-local transport with optional
-// latency and loss injection.
-func NewInMemTransport(opts InMemTransportOptions) Transport {
-	return transport.NewInMem(opts)
-}
-
-// NewTCPTransport starts a TCP transport listening per opts.
-func NewTCPTransport(opts TCPTransportOptions) (*TCPTransport, error) {
-	return tcp.New(opts)
-}
-
-// Analytic results (Lemma 4.1 and Theorem 5.1).
-
-// RequiredSamples returns how many attribute observations a ranking
-// node at rank estimate pHat and distance d from the nearest slice
-// boundary needs for a confidence-(1−alpha) slice assignment
-// (Theorem 5.1).
-func RequiredSamples(alpha, pHat, d float64) (int, error) {
-	return stats.RequiredSamples(alpha, pHat, d)
-}
-
-// SliceDeviationBound returns the Chernoff bound of Lemma 4.1 on the
-// probability that a slice of width p holds a population deviating from
-// its mean by a factor ≥ beta.
-func SliceDeviationBound(n int, p, beta float64) (float64, error) {
-	return stats.SliceDeviationBound(n, p, beta)
-}
-
-// MinSliceWidth returns the smallest slice width with a (beta, eps)
-// population guarantee at system size n (Lemma 4.1).
-func MinSliceWidth(n int, beta, eps float64) (float64, error) {
-	return stats.MinSliceWidth(n, beta, eps)
-}
-
-// DefaultPeriod is a reasonable live gossip period for LAN deployments.
-const DefaultPeriod = 500 * time.Millisecond
