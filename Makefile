@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serial test-hot bench bench-json bench-compare serve-bench lint ci
+.PHONY: all build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke lint ci
 
 all: build
 
@@ -87,9 +87,21 @@ serve-bench:
 		-out BENCH_serving.json
 	@echo "wrote BENCH_serving.json (query-plane load benchmark)"
 
+# The observability smoke: stand a served, instrumented cluster up
+# end-to-end and scrape it — /metrics must parse as valid Prometheus
+# text format and carry every golden live-plane family, /debug/trace
+# must dump recorded events (TestMetricsEndToEnd) — then run a live
+# scenario under tracing and keep the protocol trace dump as a build
+# artifact (TRACE_sample.json: every view exchange, swap and boundary
+# crossing of the run, scrapeable offline with jq).
+obs-smoke:
+	$(GO) test -count=1 -run 'TestMetricsEndToEnd|TestMetricNames' .
+	$(GO) run ./cmd/slicebench trace livecluster -out TRACE_sample.json
+	@echo "wrote TRACE_sample.json (protocol trace artifact)"
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test test-serial test-hot bench bench-json bench-compare serve-bench
+ci: lint build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke

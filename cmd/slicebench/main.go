@@ -63,6 +63,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -71,6 +74,7 @@ import (
 
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/scenario"
+	"github.com/gossipkit/slicing/internal/telemetry"
 )
 
 func main() {
@@ -86,6 +90,7 @@ func usage(out io.Writer) {
   slicebench run <scenario> [flags]    run one scenario family
   slicebench sweep [flags]             run a scenario × seed grid
   slicebench serve-bench [flags]       serve a warmed-up cluster, measure query latency
+  slicebench trace <scenario>|[-url]   capture a protocol trace as JSON
   slicebench compare <old> <new>       diff the timing of two result files
   slicebench summarize <files...>      consolidate result files into one summary
 
@@ -93,6 +98,24 @@ run 'slicebench <subcommand> -h' for flags`)
 }
 
 func run(args []string, out, errOut io.Writer) error {
+	// Global diagnostics flags precede the subcommand (flag parsing
+	// stops at the first non-flag argument, the subcommand itself):
+	//
+	//	slicebench -log-level debug run live-convergence
+	gfs := flag.NewFlagSet("slicebench", flag.ContinueOnError)
+	gfs.SetOutput(errOut)
+	logLevel := gfs.String("log-level", "", telemetry.LogLevelUsage)
+	logFormat := gfs.String("log-format", "", telemetry.LogFormatUsage)
+	gfs.Usage = func() { usage(errOut) }
+	if err := gfs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(errOut, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	args = gfs.Args()
 	if len(args) == 0 {
 		usage(errOut)
 		return fmt.Errorf("missing subcommand")
@@ -106,6 +129,8 @@ func run(args []string, out, errOut io.Writer) error {
 		return runSweep(args[1:], out, errOut)
 	case "serve-bench":
 		return runServeBench(args[1:], out, errOut)
+	case "trace":
+		return runTrace(args[1:], out, errOut)
 	case "compare":
 		return runCompare(args[1:], out, errOut)
 	case "summarize":
@@ -183,6 +208,7 @@ func runOne(args []string, out, errOut io.Writer) error {
 		timing     = fs.Bool("timing", true, "report wall time per run (json only)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf    = fs.String("memprofile", "", "write a post-run heap profile to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics and /debug/trace for the running scenario on this address (runs sharing the process share the gauges; use -workers 1 for per-run readings)")
 	)
 	// Accept the scenario name before the flags (the natural word order)
 	// or after them; the flag package only parses flags up front.
@@ -207,6 +233,27 @@ func runOne(args []string, out, errOut io.Writer) error {
 	be, err := resolveBackend(*backend, []string{name})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		inst := scenario.Instrumentation{
+			Telemetry: telemetry.NewRegistry(),
+			Trace:     telemetry.NewTraceRing(0),
+		}
+		switch b := be.(type) {
+		case scenario.SimBackend:
+			b.Inst = inst
+			be = b
+		case scenario.LiveBackend:
+			b.Inst = inst
+			be = b
+		}
+		ln, err := serveDebug(*debugAddr, inst)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		slog.Info("serving run diagnostics", "url", "http://"+ln.Addr().String(),
+			"endpoints", "/metrics /debug/trace")
 	}
 	g := scenario.Grid{Scenarios: []string{name}, Scale: *scale, BaseSeed: *seed}
 	runs, err := g.Expand()
@@ -269,6 +316,23 @@ func runOne(args []string, out, errOut io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// serveDebug binds a diagnostics listener for an in-flight run:
+// metrics scrape plus trace dump.
+func serveDebug(addr string, inst scenario.Instrumentation) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", inst.Telemetry.Handler())
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = inst.Trace.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
 }
 
 // writeSeriesTable renders cycle-aligned series as an aligned table.

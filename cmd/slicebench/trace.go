@@ -1,0 +1,131 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/gossipkit/slicing/internal/scenario"
+	"github.com/gossipkit/slicing/internal/telemetry"
+)
+
+// runTrace captures a protocol trace — the per-node decision events
+// (view exchanges, swap attempts and abandons, slice-boundary
+// crossings, rank updates) behind the aggregate curves — as JSON.
+//
+// Two modes:
+//
+//	slicebench trace -url http://host:port        scrape a running node's /debug/trace
+//	slicebench trace <scenario> [flags]           run one live spec with a ring attached
+//
+// Scenario mode materializes the named family's first (or -spec named)
+// spec on the live backend with a trace ring attached, runs it to
+// completion, and dumps the ring.
+func runTrace(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench trace", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		url      = fs.String("url", "", "scrape a running node's /debug/trace instead of running a scenario")
+		spec     = fs.String("spec", "", "spec name within the scenario (default: the family's first spec)")
+		scale    = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed     = fs.Int64("seed", 1, "base seed for per-run seed derivation")
+		capacity = fs.Int("capacity", telemetry.DefaultTraceCapacity, "trace ring capacity (events; oldest overwritten)")
+		outPath  = fs.String("out", "", "write the trace JSON to a file instead of stdout")
+	)
+	// Accept the scenario name before the flags (the natural word order)
+	// or after them.
+	var name string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0)
+	}
+
+	dst := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	if *url != "" {
+		if name != "" {
+			return fmt.Errorf("trace takes either -url or a scenario name, not both")
+		}
+		return fetchTrace(*url, dst, errOut)
+	}
+	if name == "" {
+		return fmt.Errorf("trace needs a scenario name or -url (see 'slicebench list')")
+	}
+	if _, err := scenario.Lookup(name); err != nil {
+		return err
+	}
+	if _, err := resolveBackend(scenario.BackendLive, []string{name}); err != nil {
+		return err
+	}
+
+	g := scenario.Grid{Scenarios: []string{name}, Scale: *scale, BaseSeed: *seed}
+	runs, err := g.Expand()
+	if err != nil {
+		return err
+	}
+	ix := 0
+	if *spec != "" {
+		ix = -1
+		for i := range runs {
+			if runs[i].Spec.Name == *spec {
+				ix = i
+				break
+			}
+		}
+		if ix < 0 {
+			return fmt.Errorf("scenario %q has no spec %q", name, *spec)
+		}
+	}
+	ring := telemetry.NewTraceRing(*capacity)
+	be := scenario.LiveBackend{Inst: scenario.Instrumentation{Trace: ring}}
+	if _, err := be.Run(runs[ix].Spec); err != nil {
+		return err
+	}
+	dump := ring.Dump()
+	fmt.Fprintf(errOut, "traced %s/%s: %d events recorded (%d kept, capacity %d)\n",
+		name, runs[ix].Spec.Name, dump.Total, len(dump.Events), dump.Capacity)
+	return ring.WriteJSON(dst)
+}
+
+// fetchTrace scrapes /debug/trace from a running node and copies the
+// JSON through verbatim.
+func fetchTrace(base string, dst io.Writer, errOut io.Writer) error {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/debug/trace") {
+		url += "/debug/trace"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	n, err := io.Copy(dst, resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "fetched %d bytes from %s\n", n, url)
+	return nil
+}

@@ -11,9 +11,16 @@
 //
 // With -serve the node also answers slice queries over HTTP from its
 // local estimate (GET /slice?attr=, /topk?frac=, /snapshot, /healthz,
-// and the /watch SSE stream of boundary crossings):
+// and the /watch SSE stream of boundary crossings), plus the
+// observability plane: GET /metrics (Prometheus text format),
+// /debug/trace (the protocol decision trace as JSON) and
+// /debug/pprof/*:
 //
 //	slicenode -id 1 ... -serve :8080
+//
+// Without -serve, -debug-addr binds just the diagnostics endpoints on
+// a separate listener. Diagnostics log through log/slog; -log-level
+// and -log-format (text|json) control them.
 //
 // On SIGTERM/SIGINT the query plane drains first — in-flight requests
 // finish, streams close — and only then does gossip stop: the node's
@@ -39,6 +46,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +58,7 @@ import (
 	"time"
 
 	slicing "github.com/gossipkit/slicing"
+	"github.com/gossipkit/slicing/internal/telemetry"
 )
 
 func main() {
@@ -60,18 +72,19 @@ func main() {
 // with gossip timing under a "live" block borrowing the scenario
 // spec's field names (periodMS, jitterFrac).
 type fileConfig struct {
-	ID       uint64                    `json:"id"`
-	Listen   string                    `json:"listen"`
-	Attr     float64                   `json:"attr"`
-	Peers    map[string]string         `json:"peers"`
-	Slices   int                       `json:"slices"`
-	Protocol string                    `json:"protocol"`
-	View     int                       `json:"view"`
-	Window   int                       `json:"window"`
-	Seed     int64                     `json:"seed"`
-	Serve    string                    `json:"serve"`
-	ReportMS float64                   `json:"reportMS"`
-	Live     *slicing.ScenarioLiveSpec `json:"live"`
+	ID        uint64                    `json:"id"`
+	Listen    string                    `json:"listen"`
+	Attr      float64                   `json:"attr"`
+	Peers     map[string]string         `json:"peers"`
+	Slices    int                       `json:"slices"`
+	Protocol  string                    `json:"protocol"`
+	View      int                       `json:"view"`
+	Window    int                       `json:"window"`
+	Seed      int64                     `json:"seed"`
+	Serve     string                    `json:"serve"`
+	DebugAddr string                    `json:"debugAddr"`
+	ReportMS  float64                   `json:"reportMS"`
+	Live      *slicing.ScenarioLiveSpec `json:"live"`
 }
 
 // loadConfig reads and validates a config file. Unknown fields are
@@ -100,19 +113,22 @@ func loadConfig(path string) (*fileConfig, error) {
 // settings is the fully resolved configuration of one node run:
 // defaults, then config-file values, then explicitly set flags.
 type settings struct {
-	id       uint64
-	listen   string
-	attr     float64
-	peers    map[slicing.ID]string
-	slices   int
-	protocol string
-	period   time.Duration
-	jitter   float64
-	view     int
-	window   int
-	report   time.Duration
-	seed     int64
-	serve    string
+	id        uint64
+	listen    string
+	attr      float64
+	peers     map[slicing.ID]string
+	slices    int
+	protocol  string
+	period    time.Duration
+	jitter    float64
+	view      int
+	window    int
+	report    time.Duration
+	seed      int64
+	serve     string
+	debugAddr string
+	logLevel  string
+	logFormat string
 }
 
 // parseArgs resolves flags and the optional -config file into
@@ -134,6 +150,9 @@ func parseArgs(args []string) (*settings, error) {
 		report     = fs.Duration("report", 2*time.Second, "status report interval")
 		seed       = fs.Int64("seed", 0, "rng seed (0 = derive from id)")
 		serve      = fs.String("serve", "", "answer slice queries over HTTP on this address (empty = off)")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (with -serve they mount on the serve mux instead)")
+		logLevel   = fs.String("log-level", "", telemetry.LogLevelUsage)
+		logFormat  = fs.String("log-format", "", telemetry.LogFormatUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -175,6 +194,9 @@ func parseArgs(args []string) (*settings, error) {
 		if !explicit["serve"] && cfg.Serve != "" {
 			*serve = cfg.Serve
 		}
+		if !explicit["debug-addr"] && cfg.DebugAddr != "" {
+			*debugAddr = cfg.DebugAddr
+		}
 		if !explicit["report"] && cfg.ReportMS > 0 {
 			*report = time.Duration(cfg.ReportMS * float64(time.Millisecond))
 		}
@@ -212,7 +234,8 @@ func parseArgs(args []string) (*settings, error) {
 		slices: *slices, protocol: *protoArg,
 		period: *period, jitter: jitter,
 		view: *view, window: *window, report: *report,
-		seed: *seed, serve: *serve,
+		seed: *seed, serve: *serve, debugAddr: *debugAddr,
+		logLevel: *logLevel, logFormat: *logFormat,
 	}, nil
 }
 
@@ -221,6 +244,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, set.logLevel, set.logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	part, err := slicing.EqualSlices(set.slices)
 	if err != nil {
 		return err
@@ -271,9 +299,17 @@ func run(args []string) error {
 		return fmt.Errorf("unknown protocol %q", set.protocol)
 	}
 
+	// The node always carries its observability plane: a metrics
+	// registry and a protocol trace ring. They cost nothing until
+	// scraped, and -serve / -debug-addr expose them over HTTP.
+	reg := slicing.NewTelemetry()
+	ring := slicing.NewTraceRing(0)
 	opts := []slicing.Option{
 		slicing.WithPeriod(set.period),
 		slicing.WithJitter(set.jitter),
+		slicing.WithTelemetry(reg),
+		slicing.WithTrace(ring),
+		slicing.WithDebug(),
 	}
 	if set.serve != "" {
 		opts = append(opts, slicing.WithServe(set.serve))
@@ -285,10 +321,22 @@ func run(args []string) error {
 	if err := node.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("node %d listening on %s, attr=%g, protocol=%s, %d slices\n",
-		set.id, tr.Addr(), set.attr, set.protocol, set.slices)
+	logger.Info("node started",
+		"id", set.id, "addr", tr.Addr(), "attr", set.attr,
+		"protocol", set.protocol, "slices", set.slices)
 	if addr := node.ServeAddr(); addr != "" {
-		fmt.Printf("serving slice queries on http://%s\n", addr)
+		logger.Info("serving slice queries", "url", "http://"+addr,
+			"endpoints", "/slice /topk /snapshot /watch /healthz /metrics /debug/trace /debug/pprof/")
+	}
+	if set.debugAddr != "" {
+		dbg, err := startDebugServer(set.debugAddr, reg, ring)
+		if err != nil {
+			node.Close(context.Background())
+			return err
+		}
+		defer dbg.Close()
+		logger.Info("serving diagnostics", "url", "http://"+dbg.Addr().String(),
+			"endpoints", "/metrics /debug/trace /debug/pprof/")
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -301,14 +349,37 @@ func run(args []string) error {
 			// Departure order matters: drain the query plane (finish
 			// in-flight answers, end streams), then stop gossiping —
 			// to peers this is an ordinary crash-style churn event.
-			fmt.Println("draining and shutting down")
+			logger.Info("draining and shutting down")
 			return node.Close(context.Background())
 		case <-ticker.C:
 			st := node.Status()
-			fmt.Printf("rank≈%.4f slice=%d %v view=%d samples=%d\n",
-				st.R, st.SliceIx, st.Slice, st.ViewLen, st.Samples)
+			logger.Info("status",
+				"rank", fmt.Sprintf("%.4f", st.R), "slice", st.SliceIx,
+				"range", fmt.Sprintf("%v", st.Slice), "view", st.ViewLen, "samples", st.Samples)
 		}
 	}
+}
+
+// startDebugServer binds the standalone diagnostics listener for the
+// non-serving case: metrics scrape, trace dump and pprof, nothing else.
+func startDebugServer(addr string, reg *slicing.Telemetry, ring *slicing.TraceRing) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = ring.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
 }
 
 func parsePeers(arg string) (map[slicing.ID]string, error) {

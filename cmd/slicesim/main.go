@@ -19,11 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/gossipkit/slicing/internal/experiments"
 	"github.com/gossipkit/slicing/internal/metrics"
+	"github.com/gossipkit/slicing/internal/telemetry"
 )
 
 func main() {
@@ -36,16 +39,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("slicesim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig4a|fig4b|fig4c|fig4d|fig6a|fig6b|fig6c|fig6d|drift|heavytail|bimodal|lemma41|thm51|evensplit|all")
-		scale  = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
-		seed   = fs.Int64("seed", 1, "random seed")
-		format = fs.String("format", "table", "output format: table|csv")
-		every  = fs.Int("every", 0, "thin series to every k-th cycle (0 = keep all)")
-		list   = fs.Bool("list", false, "list available experiments")
+		exp       = fs.String("exp", "", "experiment: fig4a|fig4b|fig4c|fig4d|fig6a|fig6b|fig6c|fig6d|drift|heavytail|bimodal|lemma41|thm51|evensplit|all")
+		scale     = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
+		seed      = fs.Int64("seed", 1, "random seed")
+		format    = fs.String("format", "table", "output format: table|csv")
+		every     = fs.Int("every", 0, "thin series to every k-th cycle (0 = keep all)")
+		list      = fs.Bool("list", false, "list available experiments")
+		logLevel  = fs.String("log-level", "", telemetry.LogLevelUsage)
+		logFormat = fs.String("log-format", "", telemetry.LogFormatUsage)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	if *list {
 		for _, name := range experiments.Names() {
 			fmt.Fprintln(out, name)
@@ -62,9 +72,12 @@ func run(args []string, out io.Writer) error {
 		names = experiments.Names()
 	}
 	for _, name := range names {
+		begin := time.Now()
+		logger.Debug("running experiment", "name", name, "scale", *scale, "seed", *seed)
 		if err := runOne(name, opts, *format, *every, out); err != nil {
 			return err
 		}
+		logger.Debug("experiment done", "name", name, "wallMS", time.Since(begin).Milliseconds())
 	}
 	return nil
 }

@@ -129,6 +129,31 @@
 // serve-bench` load-tests it, writing p50/p99 latency and staleness
 // figures to BENCH_serving.json.
 //
+// # Observability
+//
+// Every layer reports into an optional, stdlib-only telemetry plane.
+// NewTelemetry builds a metrics Registry (atomic counters, gauges and
+// fixed-bucket histograms with a Prometheus text-format HTTP handler
+// and expvar mirroring); WithTelemetry attaches it to a node or
+// cluster, SimConfig.Telemetry to a simulation, and ServeOptions.
+// Telemetry to a query server, which then mounts GET /metrics.
+// Metric families cover the scheduler (queue depth, timer lag,
+// delivered/dropped messages, delivery latency, churn), the per-node
+// protocol state (rank estimate, slice, view length, sends), the
+// serving plane (per-endpoint latency and errors, SSE subscribers,
+// staleness bounds, watch drops) and the simulator (per-cycle SDM/GDM
+// gauges, per-phase timings). The name set is locked additive-only by
+// a golden test; attaching telemetry to a simulation never perturbs
+// it — instrumented runs are bit-identical to plain ones.
+//
+// NewTraceRing builds a lock-free ring of protocol decision events
+// (TraceViewExchange, TraceSwapApplied, TraceBoundaryCross,
+// TraceRankUpdate, …); WithTrace shares one ring across a cluster's
+// nodes and a served node dumps it as JSON at GET /debug/trace.
+// WithDebug mounts net/http/pprof on the same mux. Diagnostics in the
+// binaries flow through log/slog behind shared -log-level/-log-format
+// flags.
+//
 // # Facade layout and API stability
 //
 // The public API is a facade over internal engines, split into themed

@@ -19,6 +19,7 @@ import (
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/view"
 )
 
@@ -98,6 +99,10 @@ type Node struct {
 	policy Policy
 	v      *view.View
 	stats  Stats
+	// trace receives swap decision events when set (telemetry.TraceRing
+	// is nil-safe, so the hot path pays one nil check per event when
+	// tracing is off — the 100k-node simulator never sets it).
+	trace *telemetry.TraceRing
 
 	// Reusable per-node buffers for the per-tick view snapshot and the
 	// local-sequence computation. A node is single-threaded (the runtime
@@ -169,6 +174,10 @@ func (n *Node) View() *view.View { return n.v }
 // Stats returns a snapshot of the node's event counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// SetTrace attaches a protocol trace ring; nil detaches. Swap
+// requests, adoptions, rejections, and abandons are recorded on it.
+func (n *Node) SetTrace(tr *telemetry.TraceRing) { n.trace = tr }
+
 // Tick implements proto.Node: one active-thread period (Fig. 2 lines
 // 4-9). The view has already been recomputed by the membership layer.
 // The returned envelope carries the swap request, if any partner
@@ -183,6 +192,9 @@ func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
 		return nil
 	}
 	n.stats.ReqSent++
+	n.trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TraceSwapRequest, Node: uint64(n.id), Peer: uint64(target), Rank: selfR,
+	})
 	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: target, Msg: proto.SwapRequest{R: selfR, Attr: n.attr}})
 	return n.envBuf
 }
@@ -414,10 +426,16 @@ func (n *Node) handleSwapRequest(from core.ID, req proto.SwapRequest) []proto.En
 	if Misplaced(n.attr, req.Attr, n.r, req.R) {
 		n.r = req.R
 		n.stats.Swapped++
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceSwapApplied, Node: uint64(n.id), Peer: uint64(from), Rank: n.r,
+		})
 	} else {
 		// The initiator believed the swap would help but the local state
 		// moved on: an unsuccessful swap (§4.5.2).
 		n.stats.SwapFailedAtReceiver++
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: req.R,
+		})
 	}
 	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: reply})
 	return n.envBuf
@@ -433,14 +451,23 @@ func (n *Node) handleSwapReply(from core.ID, rep proto.SwapReply) {
 		// The partner has since been rotated out of the view; without
 		// its attribute value the predicate cannot be evaluated.
 		n.stats.SwapFailedAtInitiator++
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: rep.R,
+		})
 		return
 	}
 	n.v.UpdateR(from, rep.R)
 	if Misplaced(n.attr, e.Attr, n.r, rep.R) {
 		n.r = rep.R
 		n.stats.Swapped++
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceSwapApplied, Node: uint64(n.id), Peer: uint64(from), Rank: n.r,
+		})
 	} else {
 		n.stats.SwapFailedAtInitiator++
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: rep.R,
+		})
 	}
 }
 
@@ -448,7 +475,10 @@ func (n *Node) handleSwapReply(from core.ID, rep proto.SwapReply) {
 // sending because its predicate expired between selection and send (the
 // cycle engine's atomic-commit re-validation). The request was counted
 // by ReqSent when ticked; SwapAbandonedAtSender keeps the books exact.
-func (n *Node) AbandonSwap() { n.stats.SwapAbandonedAtSender++ }
+func (n *Node) AbandonSwap() {
+	n.stats.SwapAbandonedAtSender++
+	n.trace.Record(telemetry.TraceEvent{Kind: telemetry.TraceSwapAbandoned, Node: uint64(n.id)})
+}
 
 // SetR force-sets the node's random value. Used by churn models when
 // re-keying and by tests.

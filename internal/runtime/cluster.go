@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"github.com/gossipkit/slicing/internal/core"
@@ -12,6 +13,7 @@ import (
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/transport"
 	"github.com/gossipkit/slicing/internal/view"
 )
@@ -90,6 +92,15 @@ type ClusterConfig struct {
 	// Loss is the probability a message on the internal network is
 	// silently dropped (scheduler-routed mode only).
 	Loss float64
+	// Telemetry, when non-nil, receives the cluster's metrics: per-shard
+	// queue depths, delivered/dropped tallies, latency histograms, and
+	// churn counters. Cluster.Metrics returns it; its Handler serves
+	// /metrics. Nil keeps the schedule/send hot paths instrumentation-free.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records protocol decision events (view
+	// exchanges, swap attempts, boundary crossings, rank updates) from
+	// every node into one shared lock-free ring. Nil disables tracing.
+	Trace *telemetry.TraceRing
 }
 
 // Cluster is a set of live nodes multiplexed onto a sharded scheduler.
@@ -113,6 +124,12 @@ type Cluster struct {
 	rng     *rand.Rand
 	started bool
 	stopped bool
+
+	// nodeCount mirrors len(nodes) atomically so the telemetry gauge can
+	// sample it from a scrape goroutine without racing Join/Kill.
+	nodeCount atomic.Int64
+	telJoins  *telemetry.Counter
+	telKills  *telemetry.Counter
 }
 
 // NewCluster builds the nodes (ids 1..N) with bootstrap views wired into
@@ -174,6 +191,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:    cfg,
 		index:  make(map[core.ID]int, cfg.N),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Telemetry != nil {
+		sched.attachTelemetry(cfg.Telemetry)
+		c.attachClusterTelemetry(cfg.Telemetry)
 	}
 	attrs := make([]core.Attr, cfg.N)
 	rs := make([]float64, cfg.N)
@@ -265,6 +286,7 @@ func (c *Cluster) buildNode(attr core.Attr, r float64, bootstrap []view.Entry) (
 		Transport:  c.transportFor(),
 		InitialR:   r,
 		Bootstrap:  bootstrap,
+		Trace:      c.cfg.Trace,
 	}
 	if c.cfg.Protocol == Ranking {
 		est := c.cfg.Estimators
@@ -280,6 +302,7 @@ func (c *Cluster) buildNode(attr core.Attr, r float64, bootstrap []view.Entry) (
 	}
 	c.index[id] = len(c.nodes)
 	c.nodes = append(c.nodes, n)
+	c.nodeCount.Store(int64(len(c.nodes)))
 	c.sched.addNode(n)
 	return n, nil
 }
@@ -399,6 +422,7 @@ func (c *Cluster) Join(attr core.Attr) (*Node, error) {
 			return nil, err
 		}
 	}
+	c.telJoins.Inc()
 	return n, nil
 }
 
@@ -421,7 +445,9 @@ func (c *Cluster) Kill(id core.ID) bool {
 	}
 	c.nodes[last] = nil
 	c.nodes = c.nodes[:last]
+	c.nodeCount.Store(int64(len(c.nodes)))
 	delete(c.index, id)
+	c.telKills.Inc()
 	return true
 }
 

@@ -32,6 +32,7 @@ import (
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/transport"
 	"github.com/gossipkit/slicing/internal/view"
 )
@@ -125,6 +126,14 @@ type NodeConfig struct {
 	// InitialR is the ordering protocol's random draw; 0 draws from the
 	// node's rng.
 	InitialR float64
+	// Telemetry, when non-nil, receives this node's metrics (ticks,
+	// slice changes, send outcomes, live slice/rank/view gauges). Meant
+	// for standalone nodes — a Cluster registers scheduler-level
+	// aggregates instead of 10k per-node series.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records the node's protocol decision events
+	// (view exchanges, swap attempts, boundary crossings, rank updates).
+	Trace *telemetry.TraceRing
 }
 
 // Status is a point-in-time snapshot of a node.
@@ -171,6 +180,10 @@ type Node struct {
 
 	period time.Duration
 	jitter float64
+
+	reg   *telemetry.Registry
+	tel   *nodeTelemetry       // nil when no registry was configured
+	trace *telemetry.TraceRing // nil-safe: Record on nil is a no-op
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -250,11 +263,19 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		rng:    rng,
 		period: cfg.Period,
 		jitter: effectiveJitter(cfg.JitterFrac),
+		reg:    cfg.Telemetry,
+		trace:  cfg.Trace,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	node.state = proto.ViewBacked(cfg.ID, func() float64 { return slicer.Estimate() }, v)
 	node.lastSlice = slicer.SliceIndex()
+	if on, ok := slicer.(*ordering.Node); ok {
+		on.SetTrace(cfg.Trace)
+	}
+	if cfg.Telemetry != nil {
+		node.attachNodeTelemetry(cfg.Telemetry)
+	}
 	return node, nil
 }
 
@@ -293,6 +314,13 @@ func (n *Node) notifySliceChange() func() {
 	}
 	old := n.lastSlice
 	n.lastSlice = cur
+	n.trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TraceBoundaryCross, Node: uint64(n.slicer.ID()),
+		OldSlice: old, Slice: cur, Rank: n.slicer.Estimate(),
+	})
+	if n.tel != nil {
+		n.tel.sliceChanges.Inc()
+	}
 	if len(n.watches) == 0 {
 		return nil
 	}
@@ -399,21 +427,42 @@ func (n *Node) tick() {
 	if notify != nil {
 		notify()
 	}
+	if n.tel != nil {
+		n.tel.ticks.Inc()
+	}
+	if len(memEnvs) > 0 {
+		n.trace.Record(telemetry.TraceEvent{
+			Kind: telemetry.TraceViewExchange, Node: uint64(id), Peer: uint64(memEnvs[0].To),
+		})
+	}
 
 	for _, env := range memEnvs {
-		if err := n.tr.Send(id, env.To, env.Msg); err != nil {
+		n.countSend(n.tr.Send(id, env.To, env.Msg), func(err error) {
 			n.mu.Lock()
 			n.mem.OnTimeout(env.To)
 			if n.pendingView == env.To {
 				n.pendingView = 0
 			}
 			n.mu.Unlock()
-		}
+		})
 	}
 	for _, env := range slEnvs {
 		// Gossip tolerates loss: a failed send is simply retried with a
 		// different partner next period.
-		_ = n.tr.Send(id, env.To, env.Msg)
+		n.countSend(n.tr.Send(id, env.To, env.Msg), nil)
+	}
+}
+
+// countSend tallies a send outcome and runs onErr for failures.
+func (n *Node) countSend(err error, onErr func(error)) {
+	if n.tel != nil {
+		n.tel.sends.Inc()
+		if err != nil {
+			n.tel.sendErrs.Inc()
+		}
+	}
+	if err != nil && onErr != nil {
+		onErr(err)
 	}
 }
 
@@ -433,6 +482,12 @@ func (n *Node) handle(from core.ID, msg proto.Message) {
 		// Copy: the slicer's envelope buffer is reused on its next call,
 		// which may happen as soon as the lock is released below.
 		replies = append([]proto.Envelope(nil), n.slicer.Handle(from, msg, n.rng)...)
+		if _, isRank := msg.(proto.RankUpdate); isRank && n.trace != nil {
+			n.trace.Record(telemetry.TraceEvent{
+				Kind: telemetry.TraceRankUpdate, Node: uint64(n.slicer.ID()),
+				Peer: uint64(from), Rank: n.slicer.Estimate(),
+			})
+		}
 	}
 	id := n.slicer.ID()
 	notify := n.notifySliceChange()
@@ -442,7 +497,7 @@ func (n *Node) handle(from core.ID, msg proto.Message) {
 	}
 
 	for _, env := range replies {
-		_ = n.tr.Send(id, env.To, env.Msg)
+		n.countSend(n.tr.Send(id, env.To, env.Msg), nil)
 	}
 }
 

@@ -177,6 +177,11 @@ type scheduler struct {
 	vclock *VirtualClock // non-nil in driven mode
 	shards []*shard
 	seq    atomic.Uint64
+	// tel holds the scrape-path-independent instruments (histograms and
+	// the tick counter); nil — the default — keeps the hot path free of
+	// telemetry entirely. The tallies and queue depths are read via
+	// callback metrics instead (see telemetry.go).
+	tel *schedTelemetry
 
 	// Driven-mode quiescence accounting: pending counts released-but-
 	// unfinished events; stepTarget is the current batch end (nanos since
@@ -365,6 +370,15 @@ func (s *scheduler) worker(sh *shard) {
 // node's active thread and rebook the next period; delivery events
 // dispatch the passive handler.
 func (s *scheduler) execute(sh *shard, ev event) {
+	if s.tel != nil {
+		// Timer lag: how far behind its deadline the event runs. In
+		// driven mode this is bounded by the quantum; in wall-clock mode
+		// it surfaces worker backlog.
+		s.tel.timerLag.Observe(s.clock.Now().Sub(ev.at).Seconds())
+		if ev.node != nil {
+			s.tel.ticks.Inc()
+		}
+	}
 	if ev.node != nil {
 		sh.mu.Lock()
 		_, live := sh.nodes[ev.node.ID()]
@@ -544,6 +558,9 @@ func (t *schedNet) Send(from, to core.ID, msg proto.Message) error {
 	s.pushLocked(sh, event{at: s.clock.Now().Add(lat), from: from, to: to, msg: msg})
 	sh.mu.Unlock()
 	sh.wake()
+	if s.tel != nil {
+		s.tel.deliveryLat.Observe(lat.Seconds())
+	}
 	return nil
 }
 

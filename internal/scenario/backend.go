@@ -31,17 +31,22 @@ type Backend interface {
 }
 
 // SimBackend executes specs on the cycle-driven simulator.
-type SimBackend struct{}
+type SimBackend struct {
+	// Inst optionally attaches observability hooks to every run (the
+	// simulator uses Inst.Telemetry only; traces are a live concept).
+	Inst Instrumentation
+}
 
 // Name implements Backend.
 func (SimBackend) Name() string { return BackendSim }
 
 // Run implements Backend.
-func (SimBackend) Run(spec Spec) (*sim.Result, error) {
+func (b SimBackend) Run(spec Spec) (*sim.Result, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Telemetry = b.Inst.Telemetry
 	return sim.Run(cfg, spec.Cycles)
 }
 

@@ -28,14 +28,18 @@ import (
 // the uniform-oracle membership (a live node has no global view of the
 // population) and artificial concurrency (§4.5.2 approximates in the
 // cycle model exactly what the live runtime exhibits natively).
-type LiveBackend struct{}
+type LiveBackend struct {
+	// Inst optionally attaches observability hooks (metrics registry,
+	// protocol trace ring) to every materialized cluster.
+	Inst Instrumentation
+}
 
 // Name implements Backend.
 func (LiveBackend) Name() string { return BackendLive }
 
 // Run implements Backend.
-func (LiveBackend) Run(spec Spec) (*sim.Result, error) {
-	lc, err := MaterializeLive(spec)
+func (b LiveBackend) Run(spec Spec) (*sim.Result, error) {
+	lc, err := MaterializeLiveWith(spec, b.Inst)
 	if err != nil {
 		return nil, err
 	}

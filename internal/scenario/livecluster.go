@@ -8,6 +8,7 @@ import (
 	"github.com/gossipkit/slicing/internal/ranking"
 	"github.com/gossipkit/slicing/internal/runtime"
 	"github.com/gossipkit/slicing/internal/sim"
+	"github.com/gossipkit/slicing/internal/telemetry"
 )
 
 // LiveCluster is a spec materialized on the live runtime: a started
@@ -35,11 +36,30 @@ type LiveCluster struct {
 	rng *rand.Rand
 }
 
+// Instrumentation carries the observability hooks a caller can attach
+// to a materialized run: a metrics registry and a protocol trace ring.
+// The zero value attaches nothing and costs nothing.
+type Instrumentation struct {
+	// Telemetry receives the engine's metrics (scheduler queue depths,
+	// delivery latency, message counters for live runs; cycle gauges and
+	// phase timings for sim runs).
+	Telemetry *telemetry.Registry
+	// Trace receives protocol decision events (live runs only; the
+	// cycle simulator records aggregate series instead).
+	Trace *telemetry.TraceRing
+}
+
 // MaterializeLive builds and starts the live cluster a spec describes.
 // The caller owns the result and must Stop it. Simulation-only knobs
 // (uniform-oracle membership, artificial concurrency) are rejected,
 // exactly as by the live backend.
 func MaterializeLive(spec Spec) (*LiveCluster, error) {
+	return MaterializeLiveWith(spec, Instrumentation{})
+}
+
+// MaterializeLiveWith is MaterializeLive with observability hooks
+// attached to the cluster before it starts.
+func MaterializeLiveWith(spec Spec, inst Instrumentation) (*LiveCluster, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
@@ -90,6 +110,8 @@ func MaterializeLive(spec Spec) (*LiveCluster, error) {
 		MinLatency: time.Duration(live.MinLatencyMS * float64(time.Millisecond)),
 		MaxLatency: time.Duration(live.MaxLatencyMS * float64(time.Millisecond)),
 		Loss:       live.Loss,
+		Telemetry:  inst.Telemetry,
+		Trace:      inst.Trace,
 	}
 	switch cfg.Protocol {
 	case sim.Ordering:

@@ -74,6 +74,7 @@ import (
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/view"
 )
 
@@ -200,6 +201,11 @@ type Config struct {
 	// RecordGDM additionally records the global disorder measure each
 	// cycle (Fig. 4(a)).
 	RecordGDM bool
+	// Telemetry, when non-nil, exports per-cycle gauges (cycle, live
+	// size, SDM, GDM) and per-phase wall-clock histograms to the
+	// registry. Timing never touches the engine's RNG streams, so an
+	// instrumented run is bit-identical to an uninstrumented one.
+	Telemetry *telemetry.Registry
 }
 
 // Config validation errors.
@@ -315,6 +321,9 @@ type Engine struct {
 	workers int
 	ws      []simWorker
 
+	// tel is nil unless Config.Telemetry was set; see telemetry.go.
+	tel *engineTel
+
 	// Reusable per-cycle buffers. Outside the parallel rounds the engine
 	// is single-threaded, and none of these escape a Step call, so reuse
 	// keeps the hot path (snapshot, freeze, measure) allocation-free at
@@ -410,6 +419,9 @@ func New(cfg Config) (*Engine, error) {
 		size:    metrics.Series{Name: "n"},
 	}
 	e.slots[0] = noSlot
+	if cfg.Telemetry != nil {
+		e.tel = newEngineTel(cfg.Telemetry)
+	}
 	for i := 0; i < cfg.N; i++ {
 		attr := core.Attr(cfg.AttrDist.Sample(e.rng))
 		if err := e.addNode(attr); err != nil {

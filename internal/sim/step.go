@@ -16,7 +16,9 @@ import (
 // commits apply mutations in a deterministic slot order — so a cycle is
 // bit-identical at any worker count.
 func (e *Engine) Step() {
+	pc := e.startPhases()
 	refreshed := e.applyChurn()
+	pc.lap(phaseIxChurn)
 	if e.cfg.Membership == UniformOracle {
 		if !refreshed {
 			// Oracle draws serve from the self-entry cache; skip the
@@ -27,9 +29,12 @@ func (e *Engine) Step() {
 	} else {
 		e.exchangeRound()
 	}
+	pc.lap(phaseIxMembership)
 	e.protocolRound()
+	pc.lap(phaseIxProtocol)
 	e.cycle++
 	e.record()
+	pc.lap(phaseIxMeasure)
 }
 
 // Run advances the simulation by the given number of cycles.
@@ -501,8 +506,17 @@ func (e *Engine) record() {
 	})
 	e.sdm.Add(e.cycle, sdm)
 	e.size.Add(e.cycle, float64(n))
+	if e.tel != nil {
+		e.tel.cycle.Set(float64(e.cycle))
+		e.tel.nodes.Set(float64(n))
+		e.tel.sdm.Set(sdm)
+	}
 	if e.cfg.RecordGDM {
-		e.gdm.Add(e.cycle, e.measureGDM())
+		gdm := e.measureGDM()
+		e.gdm.Add(e.cycle, gdm)
+		if e.tel != nil {
+			e.tel.gdm.Set(gdm)
+		}
 	}
 	if e.cfg.Protocol == Ordering {
 		for i := range e.ws {

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbRun pins the determinism contract: an
+// instrumented engine produces bit-identical series to an
+// uninstrumented one, and the gauges land on the final cycle's values.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	cfg := Config{
+		N: 300, Slices: 4, ViewSize: 12,
+		Protocol: Ordering, RecordGDM: true,
+		AttrDist: dist.Uniform{Lo: 0, Hi: 1}, Seed: 7,
+	}
+	plain, err := Run(cfg, 25)
+	if err != nil {
+		t.Fatalf("Run (plain): %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New (instrumented): %v", err)
+	}
+	e.Run(25)
+
+	instSDM, plainSDM := e.SDM().Points, plain.SDM.Points
+	if len(instSDM) != len(plainSDM) {
+		t.Fatalf("series length %d vs %d", len(instSDM), len(plainSDM))
+	}
+	for i := range instSDM {
+		if instSDM[i] != plainSDM[i] {
+			t.Fatalf("cycle %d: instrumented SDM %v != plain %v", i, instSDM[i], plainSDM[i])
+		}
+	}
+	if e.Delivered != plain.Messages {
+		t.Errorf("message counts diverge: %+v vs %+v", e.Delivered, plain.Messages)
+	}
+
+	if got := e.tel.cycle.Value(); got != 25 {
+		t.Errorf("cycle gauge = %v, want 25", got)
+	}
+	if got := e.tel.nodes.Value(); got != float64(e.N()) {
+		t.Errorf("nodes gauge = %v, want %d", got, e.N())
+	}
+	last := instSDM[len(instSDM)-1].Value
+	if got := e.tel.sdm.Value(); got != last {
+		t.Errorf("sdm gauge = %v, want final SDM %v", got, last)
+	}
+	for ix, h := range e.tel.phases {
+		if h.Count() != 25 {
+			t.Errorf("phase %d histogram count = %d, want 25", ix, h.Count())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Handler returns the /metrics endpoint: the registry rendered in
+// Prometheus text exposition format, version 0.0.4.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		_ = r.WriteProm(bw)
+		_ = bw.Flush()
+	})
+}
+
+// WriteProm renders every family, sorted by name, to w. Callback
+// metrics are sampled here; a scrape therefore observes engine state
+// that costs nothing between scrapes.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, fam := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, ins := range fam.series {
+			if err := writeSeries(w, fam, ins); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, fam := range r.families {
+		fams = append(fams, fam)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func writeSeries(w io.Writer, fam *family, ins *instrument) error {
+	switch fam.kind {
+	case kindCounter:
+		v := ins.counter.Value()
+		if ins.counterFn != nil {
+			v = ins.counterFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, ins.labelSig, v)
+		return err
+	case kindGauge:
+		v := ins.gauge.Value()
+		if ins.gaugeFn != nil {
+			v = ins.gaugeFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, ins.labelSig, formatFloat(v))
+		return err
+	case kindHistogram:
+		h := ins.hist
+		cum := h.snapshot()
+		for i, bound := range h.bounds {
+			if err := writeBucket(w, fam.name, ins.labels, formatFloat(bound), cum[i]); err != nil {
+				return err
+			}
+		}
+		if err := writeBucket(w, fam.name, ins.labels, "+Inf", cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, ins.labelSig, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, ins.labelSig, h.Count())
+		return err
+	}
+	return nil
+}
+
+// writeBucket emits one cumulative histogram bucket with the le label
+// merged into the series labels.
+func writeBucket(w io.Writer, name string, labels []Label, le string, count uint64) error {
+	sig := labelSig(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, sig, count)
+	return err
+}
+
+// formatFloat renders a float the way the text format expects: shortest
+// round-trip form, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expvar publication is global (expvar.Publish panics on duplicates),
+// so remember what this process already exported.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar mirrors the registry under one expvar variable: a JSON
+// object mapping "name{labels}" to values (histograms expand to
+// count/sum/bucket objects). Calling it again with the same name is a
+// no-op, and several registries may not share a name.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Snapshot renders the registry as a plain JSON-ready map — the expvar
+// mirror, also handy in tests.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, fam := range r.sortedFamilies() {
+		for _, ins := range fam.series {
+			key := fam.name + ins.labelSig
+			switch fam.kind {
+			case kindCounter:
+				if ins.counterFn != nil {
+					out[key] = ins.counterFn()
+				} else {
+					out[key] = ins.counter.Value()
+				}
+			case kindGauge:
+				if ins.gaugeFn != nil {
+					out[key] = ins.gaugeFn()
+				} else {
+					out[key] = ins.gauge.Value()
+				}
+			case kindHistogram:
+				h := ins.hist
+				cum := h.snapshot()
+				buckets := make(map[string]uint64, len(cum))
+				for i, bound := range h.bounds {
+					buckets[formatFloat(bound)] = cum[i]
+				}
+				buckets["+Inf"] = cum[len(cum)-1]
+				out[key] = map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition validates a Prometheus text-format payload and
+// returns the metric family names it declares, mapped to their TYPE.
+// It checks the grammar this package's writer emits — HELP/TYPE
+// comments, name{labels} value samples, histogram _bucket/_sum/_count
+// suffixes attributed to their base family — and rejects samples whose
+// family was never typed. The CI smoke test scrapes a live /metrics
+// and feeds it here, so a formatting regression fails the build rather
+// than a downstream scraper.
+func ParseExposition(r io.Reader) (map[string]string, error) {
+	families := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, families); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	name := fields[2]
+	if !validName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case kindCounter, kindGauge, kindHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if prev, ok := families[name]; ok && prev != fields[3] {
+			return fmt.Errorf("metric %s typed twice (%s, %s)", name, prev, fields[3])
+		}
+		families[name] = fields[3]
+	}
+	return nil
+}
+
+func parseSample(line string, families map[string]string) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("metric %s: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	value := strings.TrimSpace(rest)
+	if value == "" {
+		return fmt.Errorf("metric %s: missing value", name)
+	}
+	// An optional timestamp may follow the value.
+	if i := strings.IndexByte(value, ' '); i >= 0 {
+		value = value[:i]
+	}
+	switch value {
+	case "+Inf", "-Inf", "NaN", "Nan":
+	default:
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("metric %s: bad value %q", name, value)
+		}
+	}
+	base := familyOf(name, families)
+	if _, ok := families[base]; !ok {
+		return fmt.Errorf("sample %s has no TYPE declaration", name)
+	}
+	return nil
+}
+
+// splitName peels the metric name off the front of a sample line.
+func splitName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", "", fmt.Errorf("invalid sample name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// scanLabels walks a {k="v",...} block, honoring escapes, and returns
+// the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for i < len(s) {
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label near %q", s[start:])
+		}
+		if key := s[start:i]; !validName(key) {
+			return 0, fmt.Errorf("invalid label key %q", key)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value near %q", s[i:])
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block")
+}
+
+// familyOf maps a sample name to its family: histogram series emit
+// _bucket/_sum/_count samples owned by the base name's TYPE.
+func familyOf(name string, families map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && families[base] == kindHistogram {
+			return base
+		}
+	}
+	return name
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingRecordAndSnapshot(t *testing.T) {
+	r := NewTraceRing(16)
+	for i := 0; i < 5; i++ {
+		r.Record(TraceEvent{Kind: TraceBoundaryCross, Node: uint64(i), OldSlice: 0, Slice: 1})
+	}
+	events := r.Snapshot()
+	if len(events) != 5 {
+		t.Fatalf("snapshot has %d events, want 5", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Node != uint64(i) {
+			t.Fatalf("event %d has node %d", i, ev.Node)
+		}
+		if ev.Time == 0 {
+			t.Fatalf("event %d missing timestamp", i)
+		}
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	r := NewTraceRing(16)
+	for i := 0; i < 40; i++ {
+		r.Record(TraceEvent{Kind: TraceSwapRequest, Node: uint64(i)})
+	}
+	if r.Total() != 40 {
+		t.Fatalf("total = %d, want 40", r.Total())
+	}
+	events := r.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("snapshot has %d events, want 16", len(events))
+	}
+	if events[0].Seq != 24 || events[len(events)-1].Seq != 39 {
+		t.Fatalf("retained seqs [%d..%d], want [24..39]", events[0].Seq, events[len(events)-1].Seq)
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Record(TraceEvent{Kind: TraceViewExchange})
+	if r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	dump := r.Dump()
+	if dump.Total != 0 || len(dump.Events) != 0 {
+		t.Fatalf("nil dump = %+v", dump)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(TraceEvent{Kind: TraceRankUpdate, Node: uint64(w), Rank: float64(i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot() // readers must never block or crash under write load
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", r.Total())
+	}
+	events := r.Snapshot()
+	if len(events) == 0 || len(events) > 256 {
+		t.Fatalf("snapshot has %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("snapshot not strictly seq-ordered at %d", i)
+		}
+	}
+}
+
+func TestTraceDumpJSON(t *testing.T) {
+	r := NewTraceRing(16)
+	r.Record(TraceEvent{Kind: TraceSwapApplied, Node: 3, Peer: 9, Attr: 0.25})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Total != 1 || len(dump.Events) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	ev := dump.Events[0]
+	if ev.Kind != TraceSwapApplied || ev.Node != 3 || ev.Peer != 9 {
+		t.Fatalf("event round-trip mismatch: %+v", ev)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"kind": "swapApplied"`)) {
+		t.Fatalf("kind not rendered as wire name:\n%s", buf.String())
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	lg.Debug("hello", "k", 1)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line invalid: %v (%s)", err, buf.String())
+	}
+	if line["msg"] != "hello" {
+		t.Fatalf("log line = %v", line)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -24,9 +24,12 @@ type Option func(*optionSet)
 
 // optionSet accumulates applied options.
 type optionSet struct {
-	period *time.Duration
-	jitter *float64
-	serve  *ServeOptions
+	period    *time.Duration
+	jitter    *float64
+	serve     *ServeOptions
+	telemetry *Telemetry
+	trace     *TraceRing
+	debug     bool
 }
 
 // WithPeriod sets the gossip period explicitly.
@@ -55,6 +58,27 @@ func WithServeOptions(opts ServeOptions) Option {
 	return func(o *optionSet) { o.serve = &opts }
 }
 
+// WithTelemetry attaches a metrics registry: the runtime's scheduler,
+// churn and node instruments register in it, and a served node mounts
+// its Prometheus handler at GET /metrics. Retrieve it later with
+// Cluster.Metrics / Node.Metrics.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(o *optionSet) { o.telemetry = reg }
+}
+
+// WithTrace attaches a protocol trace ring: the node's decision events
+// (view exchanges, swap attempts, boundary crossings, rank updates)
+// are recorded into it, and a served node dumps it at GET /debug/trace.
+func WithTrace(ring *TraceRing) Option {
+	return func(o *optionSet) { o.trace = ring }
+}
+
+// WithDebug mounts the pprof handlers under GET /debug/pprof/ on the
+// served query plane (only meaningful together with WithServe).
+func WithDebug() Option {
+	return func(o *optionSet) { o.debug = true }
+}
+
 // apply folds the options into resolved period/jitter values.
 func (o *optionSet) apply(opts []Option, period *time.Duration, jitter *float64) {
 	for _, opt := range opts {
@@ -70,6 +94,23 @@ func (o *optionSet) apply(opts []Option, period *time.Duration, jitter *float64)
 			*jitter = *o.jitter
 		}
 	}
+}
+
+// serveOptions resolves the query-plane options, propagating the
+// observability hooks onto the server unless WithServeOptions already
+// set them explicitly.
+func (o *optionSet) serveOptions() ServeOptions {
+	opts := *o.serve
+	if opts.Telemetry == nil {
+		opts.Telemetry = o.telemetry
+	}
+	if opts.Trace == nil {
+		opts.Trace = o.trace
+	}
+	if o.debug {
+		opts.Debug = true
+	}
+	return opts
 }
 
 // calibrationFor picks the staleness calibration matching a protocol.
@@ -93,6 +134,12 @@ type ServedNode struct {
 func NewNodeWith(cfg NodeConfig, opts ...Option) (*ServedNode, error) {
 	var o optionSet
 	o.apply(opts, &cfg.Period, &cfg.JitterFrac)
+	if o.telemetry != nil {
+		cfg.Telemetry = o.telemetry
+	}
+	if o.trace != nil {
+		cfg.Trace = o.trace
+	}
 	n, err := NewNode(cfg)
 	if err != nil {
 		return nil, err
@@ -100,7 +147,7 @@ func NewNodeWith(cfg NodeConfig, opts ...Option) (*ServedNode, error) {
 	sn := &ServedNode{Node: n}
 	if o.serve != nil {
 		q := NewNodeQuerier(n, calibrationFor(cfg.Protocol == LiveOrdering))
-		sn.server = NewQueryServer(q, *o.serve)
+		sn.server = NewQueryServer(q, o.serveOptions())
 	}
 	return sn, nil
 }
@@ -156,6 +203,12 @@ type ServedCluster struct {
 func NewClusterWith(cfg ClusterConfig, opts ...Option) (*ServedCluster, error) {
 	var o optionSet
 	o.apply(opts, &cfg.Period, &cfg.JitterFrac)
+	if o.telemetry != nil {
+		cfg.Telemetry = o.telemetry
+	}
+	if o.trace != nil {
+		cfg.Trace = o.trace
+	}
 	c, err := NewCluster(cfg)
 	if err != nil {
 		return nil, err
@@ -167,7 +220,7 @@ func NewClusterWith(cfg ClusterConfig, opts ...Option) (*ServedCluster, error) {
 			c.Stop()
 			return nil, err
 		}
-		sc.server = NewQueryServer(q, *o.serve)
+		sc.server = NewQueryServer(q, o.serveOptions())
 	}
 	return sc, nil
 }

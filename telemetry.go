@@ -1,0 +1,64 @@
+package slicing
+
+// ---------------------------------------------------------------------
+// Telemetry facade: metrics and protocol traces.
+//
+// internal/telemetry is a stdlib-only metrics plane — atomic counters,
+// gauges and fixed-bucket histograms behind a hand-rolled Prometheus
+// text-format handler — plus a lock-free ring of protocol decision
+// events. This section re-exports the two consumer-facing pieces: the
+// registry a caller attaches to a node or cluster (WithTelemetry) and
+// the trace ring (WithTrace). Registry.Handler() serves the scrape
+// endpoint; a served node mounts it at GET /metrics automatically.
+// ---------------------------------------------------------------------
+
+import (
+	"github.com/gossipkit/slicing/internal/telemetry"
+)
+
+// Telemetry types.
+type (
+	// Telemetry is a metrics registry: counters, gauges and histograms
+	// with Prometheus text-format exposition (Handler) and expvar
+	// mirroring (PublishExpvar).
+	Telemetry = telemetry.Registry
+	// TraceRing is a bounded lock-free buffer of protocol decision
+	// events; full rings overwrite oldest-first.
+	TraceRing = telemetry.TraceRing
+	// TraceEvent is one recorded protocol decision.
+	TraceEvent = telemetry.TraceEvent
+	// TraceKind labels a TraceEvent (view exchange, swap attempt,
+	// boundary crossing, …).
+	TraceKind = telemetry.TraceKind
+	// TraceDump is the JSON shape of a dumped ring.
+	TraceDump = telemetry.TraceDump
+)
+
+// Trace event kinds.
+const (
+	// TraceViewExchange records a membership gossip exchange.
+	TraceViewExchange = telemetry.TraceViewExchange
+	// TraceSwapRequest records an ordering-protocol swap attempt.
+	TraceSwapRequest = telemetry.TraceSwapRequest
+	// TraceSwapApplied records an adopted swap.
+	TraceSwapApplied = telemetry.TraceSwapApplied
+	// TraceSwapFailed records a swap rejected by its receiver.
+	TraceSwapFailed = telemetry.TraceSwapFailed
+	// TraceSwapAbandoned records a swap abandoned unsent.
+	TraceSwapAbandoned = telemetry.TraceSwapAbandoned
+	// TraceBoundaryCross records a node changing slices.
+	TraceBoundaryCross = telemetry.TraceBoundaryCross
+	// TraceRankUpdate records a rank-estimate revision.
+	TraceRankUpdate = telemetry.TraceRankUpdate
+)
+
+// NewTelemetry builds an empty metrics registry. Attach it with
+// WithTelemetry (or ClusterConfig.Telemetry / NodeConfig.Telemetry)
+// and serve Handler() — a served node does both for you and exposes
+// GET /metrics.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewTraceRing builds a protocol trace ring holding capacity events
+// (rounded up to a power of two; capacity <= 0 selects the default).
+// Attach it with WithTrace; a served node dumps it at GET /debug/trace.
+func NewTraceRing(capacity int) *TraceRing { return telemetry.NewTraceRing(capacity) }
