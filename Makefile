@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke lint ci
+.PHONY: all build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke chaos-smoke lint ci
 
 all: build
 
@@ -99,9 +99,27 @@ obs-smoke:
 	$(GO) run ./cmd/slicebench trace livecluster -out TRACE_sample.json
 	@echo "wrote TRACE_sample.json (protocol trace artifact)"
 
+# The chaos gate: run the adversarial scenario families (drift,
+# byzantine, partition/heal, message chaos) at scale 0.1 on BOTH
+# backends and keep the results as BENCH_chaos.json, then enforce the
+# recovery contract under the race detector — disorder must re-converge
+# within a stated cycle budget after a partition heals, and top-slice
+# pollution must stay under its bound at a 10% liar fraction
+# (TestChaosRecoveryGates pins the exact numbers).
+chaos-smoke:
+	$(GO) run ./cmd/slicebench sweep -family chaos -scale 0.1 -workers 2 \
+		-out BENCH_chaos_sim.json -quiet
+	$(GO) run ./cmd/slicebench sweep -family chaos -scale 0.1 -backend live \
+		-workers 2 -out BENCH_chaos_live.json -quiet
+	$(GO) run ./cmd/slicebench summarize BENCH_chaos_sim.json BENCH_chaos_live.json \
+		-out BENCH_chaos.json
+	@echo "wrote BENCH_chaos.json (adversarial-family sweep, both backends)"
+	$(GO) test -race -count=1 -run 'TestChaosRecoveryGates|TestPartitionHealDeterministic' \
+		./internal/scenario ./internal/runtime
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke
+ci: lint build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke chaos-smoke

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	slicebench list
+//	slicebench list -family chaos
 //	slicebench run fig6-burst -scale 0.05
+//	slicebench sweep -family chaos -scale 0.1 -backend live -out BENCH_chaos.json
 //	slicebench run fig4-policies -format csv -every 5
 //	slicebench run live-convergence -backend live -scale 0.1
 //	slicebench run scale-100k -simworkers 8 -cpuprofile cpu.prof -memprofile mem.prof
@@ -122,7 +124,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	switch args[0] {
 	case "list":
-		return runList(out)
+		return runList(args[1:], out, errOut)
 	case "run":
 		return runOne(args[1:], out, errOut)
 	case "sweep":
@@ -144,10 +146,25 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 }
 
-// runList prints the scenario catalog.
-func runList(out io.Writer) error {
-	tab := metrics.NewTable("name", "figure", "backends", "specs", "description")
+// runList prints the scenario catalog, optionally filtered by family
+// name or tag.
+func runList(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("slicebench list", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	family := fs.String("family", "", "only list scenarios matching this name or tag (e.g. chaos)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("list takes flags only, got %q", fs.Args())
+	}
+	tab := metrics.NewTable("name", "figure", "backends", "tags", "specs", "description")
+	listed := 0
 	for _, sc := range scenario.All() {
+		if *family != "" && !sc.HasTag(*family) {
+			continue
+		}
+		listed++
 		fig := sc.Figure
 		if fig == "" {
 			fig = "extension"
@@ -156,7 +173,10 @@ func runList(out io.Writer) error {
 		if sc.SupportsBackend(scenario.BackendLive) {
 			backends += "+" + scenario.BackendLive
 		}
-		tab.AddRow(sc.Name, fig, backends, len(sc.Specs), sc.Description)
+		tab.AddRow(sc.Name, fig, backends, strings.Join(sc.Tags, ","), len(sc.Specs), sc.Description)
+	}
+	if *family != "" && listed == 0 {
+		return fmt.Errorf("no scenario matches family %q (see 'slicebench list')", *family)
 	}
 	_, err := tab.WriteTo(out)
 	return err
@@ -545,6 +565,7 @@ func runSweep(args []string, out, errOut io.Writer) error {
 	fs.SetOutput(errOut)
 	var (
 		scenarios  = fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		family     = fs.String("family", "", "only sweep scenarios matching this name or tag (e.g. chaos)")
 		replicas   = fs.Int("replicas", 1, "seed replicas per spec")
 		scale      = fs.Float64("scale", 1, "population/cycle scale in (0,1]; 1 = paper scale")
 		seed       = fs.Int64("seed", 1, "base seed for per-run seed derivation")
@@ -583,6 +604,22 @@ func runSweep(args []string, out, errOut io.Writer) error {
 				g.Scenarios = append(g.Scenarios, sc.Name)
 			}
 		}
+	}
+	if *family != "" {
+		kept := g.Scenarios[:0]
+		for _, name := range g.Scenarios {
+			sc, err := scenario.Lookup(name)
+			if err != nil {
+				return err
+			}
+			if sc.HasTag(*family) {
+				kept = append(kept, name)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no selected scenario matches family %q (see 'slicebench list')", *family)
+		}
+		g.Scenarios = kept
 	}
 	runs, err := g.Expand()
 	if err != nil {

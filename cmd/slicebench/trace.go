@@ -7,19 +7,41 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"github.com/gossipkit/slicing/internal/scenario"
 	"github.com/gossipkit/slicing/internal/telemetry"
 )
 
+// traceKindTable decodes every trace event kind: what emits it and
+// what its numeric fields carry. `slicebench trace -kinds` prints it.
+var traceKindTable = []struct {
+	kind   telemetry.TraceKind
+	fields string
+	desc   string
+}{
+	{telemetry.TraceViewExchange, "node, peer", "active thread initiated a view exchange with peer"},
+	{telemetry.TraceSwapRequest, "node, peer, attr", "ordering node proposed a swap (attr = offered attribute)"},
+	{telemetry.TraceSwapApplied, "node, peer, attr", "swap accepted and applied (attr = adopted attribute)"},
+	{telemetry.TraceSwapFailed, "node, peer", "swap rejected at the receiver (no local gain)"},
+	{telemetry.TraceSwapAbandoned, "node, peer", "in-flight swap abandoned (timeout or stale payload)"},
+	{telemetry.TraceBoundaryCross, "node, oldSlice, slice, rank", "the node's believed slice changed"},
+	{telemetry.TraceRankUpdate, "node, peer, rank", "ranking estimator absorbed an observation from peer"},
+	{telemetry.TracePartitionOpen, "slice (= groups)", "fault plane split the network into seeded groups"},
+	{telemetry.TracePartitionHeal, "slice (= groups)", "fault plane healed the partition"},
+	{telemetry.TraceLieSent, "node, attr", "byzantine node installed a misreported attribute (attr = the lie)"},
+}
+
 // runTrace captures a protocol trace — the per-node decision events
 // (view exchanges, swap attempts and abandons, slice-boundary
-// crossings, rank updates) behind the aggregate curves — as JSON.
+// crossings, rank updates, fault-plane injections) behind the
+// aggregate curves — as JSON.
 //
-// Two modes:
+// Modes:
 //
 //	slicebench trace -url http://host:port        scrape a running node's /debug/trace
 //	slicebench trace <scenario> [flags]           run one live spec with a ring attached
+//	slicebench trace -kinds                       print the event-kind decode table
 //
 // Scenario mode materializes the named family's first (or -spec named)
 // spec on the live backend with a trace ring attached, runs it to
@@ -34,6 +56,7 @@ func runTrace(args []string, out, errOut io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base seed for per-run seed derivation")
 		capacity = fs.Int("capacity", telemetry.DefaultTraceCapacity, "trace ring capacity (events; oldest overwritten)")
 		outPath  = fs.String("out", "", "write the trace JSON to a file instead of stdout")
+		kinds    = fs.Bool("kinds", false, "print the decode table of trace event kinds and exit")
 	)
 	// Accept the scenario name before the flags (the natural word order)
 	// or after them.
@@ -46,6 +69,15 @@ func runTrace(args []string, out, errOut io.Writer) error {
 	}
 	if name == "" && fs.NArg() == 1 {
 		name = fs.Arg(0)
+	}
+
+	if *kinds {
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "kind\tfields\tmeaning")
+		for _, row := range traceKindTable {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", row.kind, row.fields, row.desc)
+		}
+		return tw.Flush()
 	}
 
 	dst := out

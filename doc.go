@@ -105,6 +105,24 @@
 // as the engine's throughput benchmarks (see BenchmarkEngineScaling
 // and `make bench-json`).
 //
+// # Robustness: the fault plane
+//
+// A spec's Faults block opts a run into seeded, deterministic fault
+// injection, shared by both backends: attribute drift (a cohort's real
+// attributes random-walk, step, or oscillate mid-run), byzantine
+// misreporting (an f-fraction lies always-top, at random, or
+// collusively onto a target slice, graded per cycle by the pollution
+// series — the liar-held fraction of the slice they target), scheduled
+// network partitions (cross-group traffic black-holed for a window,
+// then healed), and message chaos (loss bursts, duplication, delay
+// spikes). Every injection decision is a pure hash of seed, node and
+// cycle — a faulted run is bit-reproducible at any worker count — and
+// windows scale with the run, so a 0.1-scale sweep keeps the fault
+// structure. The chaos-drift, chaos-byzantine, chaos-partition and
+// chaos-messages scenario families exercise the plane end to end, and
+// `make chaos-smoke` gates their recovery behavior in CI (see the
+// README's Robustness section).
+//
 // # Serving: the query plane
 //
 // Beyond reproducing the paper, the package answers slice queries at
@@ -119,7 +137,12 @@
 // combining the Theorem 5.1 Wald confidence interval on the node's rank
 // estimate with a calibrated residual disorder floor (inflated while
 // the protocol is still warming up), so callers can tell a converged
-// answer from a guess.
+// answer from a guess. Two health flags ride along: Warming marks a
+// node younger than the calibration's warmup grace, and Degraded marks
+// a node whose passive thread has been starved of incoming messages
+// past the calibration's patience — the partition signature — which
+// also flips /healthz to a 503 "degraded" state so load balancers stop
+// routing to a node answering from a minority partition.
 //
 // NewQueryServer exposes a querier over HTTP/JSON — GET /slice, /topk,
 // /snapshot, /healthz, and an SSE stream at /watch — and its Shutdown

@@ -483,3 +483,9 @@ func (n *Node) AbandonSwap() {
 // SetR force-sets the node's random value. Used by churn models when
 // re-keying and by tests.
 func (n *Node) SetR(r float64) { n.r = r }
+
+// SetAttr force-sets the node's attribute. The fault plane uses it for
+// attribute drift (the attribute really changed) and byzantine
+// impersonation (the node adopts a lie): either way every subsequent
+// swap decision and outgoing payload carries the new value.
+func (n *Node) SetAttr(a core.Attr) { n.attr = a }

@@ -106,6 +106,18 @@ func (n *Node) Member() core.Member { return core.Member{ID: n.id, Attr: n.attr}
 // Estimate implements proto.Node: the current rank estimate ℓ/g.
 func (n *Node) Estimate() float64 { return n.est.Estimate() }
 
+// SetAttr force-sets the node's attribute and reboxes the UPD message
+// to carry it. The fault plane uses it for attribute drift and
+// byzantine impersonation; because Observe compares every incoming
+// sample against the CURRENT attribute, fresh observations converge
+// the estimate toward the new attribute's rank (the sliding-window
+// estimator forgets the stale comparisons, the counter estimator only
+// dilutes them).
+func (n *Node) SetAttr(a core.Attr) {
+	n.attr = a
+	n.updMsg = proto.RankUpdate{Attr: a}
+}
+
 // SliceIndex implements proto.Node (Fig. 5 lines 16, 21).
 func (n *Node) SliceIndex() int { return n.part.Index(n.est.Estimate()) }
 

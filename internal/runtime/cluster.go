@@ -10,6 +10,7 @@ import (
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/ranking"
@@ -124,6 +125,11 @@ type Cluster struct {
 	rng     *rand.Rand
 	started bool
 	stopped bool
+
+	// netf mirrors the fault set currently installed on the scheduler
+	// (SetPartition / SetChaos compose through it). Guarded like the
+	// fields above: mutations must not race each other.
+	netf netFaults
 
 	// nodeCount mirrors len(nodes) atomically so the telemetry gauge can
 	// sample it from a scrape goroutine without racing Join/Kill.
@@ -388,6 +394,102 @@ func (c *Cluster) Nodes() []*Node {
 // cluster's internal network (zero when an external Transport carries
 // the traffic).
 func (c *Cluster) MessageCounts() MessageCounts { return c.sched.counts() }
+
+// NetFaultCounts tallies the injections performed by the internal
+// network's fault layer (see SetPartition / SetChaos).
+type NetFaultCounts struct {
+	PartitionDrops uint64
+	ChaosDrops     uint64
+	ChaosDups      uint64
+	ChaosDelays    uint64
+}
+
+// FaultCounts reports the cluster's fault-injection tallies so far.
+func (c *Cluster) FaultCounts() NetFaultCounts {
+	return NetFaultCounts{
+		PartitionDrops: c.sched.faultPartDrops.Load(),
+		ChaosDrops:     c.sched.faultChaosDrops.Load(),
+		ChaosDups:      c.sched.faultChaosDups.Load(),
+		ChaosDelays:    c.sched.faultChaosDelays.Load(),
+	}
+}
+
+// storeFaults publishes the cluster's current fault set to the
+// scheduler (nil when everything is cleared, keeping the honest send
+// path at a single pointer load).
+func (c *Cluster) storeFaults() {
+	if c.netf == (netFaults{}) {
+		c.sched.setFaults(nil)
+		return
+	}
+	nf := c.netf
+	c.sched.setFaults(&nf)
+}
+
+// SetPartition splits the internal network into groups that cannot
+// exchange messages: every send whose endpoints hash (under salt) into
+// different groups is black-holed. Views keep their cross-group
+// entries, so HealPartition lets the overlay re-merge through them.
+// Like Join/Kill, it must not race other cluster mutations; it applies
+// to sends scheduled after it returns. Requires the scheduler-routed
+// network.
+func (c *Cluster) SetPartition(salt int64, groups int) error {
+	if c.tr != nil {
+		return ErrExternalInjection
+	}
+	if groups < 2 {
+		return fault.ErrGroups
+	}
+	c.netf.partSalt = salt
+	c.netf.partGroups = groups
+	c.storeFaults()
+	c.cfg.Trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TracePartitionOpen, Slice: groups,
+	})
+	return nil
+}
+
+// HealPartition removes the partition installed by SetPartition;
+// cross-group traffic flows again from the next scheduled send.
+func (c *Cluster) HealPartition() {
+	if c.netf.partGroups == 0 {
+		return
+	}
+	groups := c.netf.partGroups
+	c.netf.partSalt = 0
+	c.netf.partGroups = 0
+	c.storeFaults()
+	c.cfg.Trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TracePartitionHeal, Slice: groups,
+	})
+}
+
+// SetChaos layers message chaos onto the internal network: loss is an
+// extra drop probability, dup duplicates delivered messages, and delayP
+// adds delay to a delivery with that probability. It composes with (and
+// is checked after) the construction-time Loss/latency injection.
+// Requires the scheduler-routed network.
+func (c *Cluster) SetChaos(loss, dup, delayP float64, delay time.Duration) error {
+	if c.tr != nil {
+		return ErrExternalInjection
+	}
+	if loss < 0 || loss > 1 || dup < 0 || dup > 1 || delayP < 0 || delayP > 1 {
+		return fault.ErrChaosProb
+	}
+	if delay < 0 {
+		return ErrLatencyRange
+	}
+	c.netf.loss, c.netf.dup, c.netf.delayP, c.netf.delay = loss, dup, delayP, delay
+	c.storeFaults()
+	return nil
+}
+
+// ClearChaos removes the chaos installed by SetChaos, leaving any
+// partition in place.
+func (c *Cluster) ClearChaos() {
+	c.netf.loss, c.netf.dup, c.netf.delayP, c.netf.delay = 0, 0, 0, 0
+	c.storeFaults()
+}
 
 // Partition returns the slice partition the cluster was configured with.
 func (c *Cluster) Partition() core.Partition { return c.part }

@@ -1,9 +1,12 @@
 package runtime
 
 import (
+	"math"
 	"testing"
 
+	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/metrics"
 )
 
 // lossyCluster builds a single-shard driven cluster with seeded message
@@ -70,5 +73,101 @@ func TestMessageCountsDeterministicUnderLoss(t *testing.T) {
 	}
 	if other := c.MessageCounts(); other == a {
 		t.Errorf("different seed produced identical counts %+v — counts are not seed-sensitive", a)
+	}
+}
+
+// clusterSDM measures the cluster's slice disorder from node snapshots,
+// exactly like the scenario layer's live recorder.
+func clusterSDM(c *Cluster, part core.Partition) float64 {
+	nodes := c.Nodes()
+	states := make([]metrics.NodeState, 0, len(nodes))
+	for _, n := range nodes {
+		st := n.Status()
+		states = append(states, metrics.NodeState{
+			Member:     core.Member{ID: st.ID, Attr: st.Attr},
+			R:          st.R,
+			SliceIndex: st.SliceIx,
+		})
+	}
+	return metrics.SDM(states, part)
+}
+
+// TestPartitionHealDeterministic extends the reproducibility contract
+// to the fault plane: two same-seed single-shard runs that open a
+// 2-group partition mid-run and heal it later must produce
+// byte-identical message counts, fault tallies, AND per-cycle SDM
+// series. The partition check is a pure hash performed before any RNG
+// draw, so black-holed traffic consumes no randomness and the healed
+// run replays bit-for-bit.
+func TestPartitionHealDeterministic(t *testing.T) {
+	const (
+		seed     = 42
+		partSalt = 7
+		pre      = 10 // cycles before the partition opens
+		during   = 10 // partitioned cycles
+		post     = 10 // cycles after heal
+	)
+	part := testPartition(t, 4)
+	type outcome struct {
+		counts MessageCounts
+		faults NetFaultCounts
+		sdm    []float64
+	}
+	run := func() outcome {
+		c := drivenCluster(t, ClusterConfig{
+			N:         32,
+			Partition: part,
+			ViewSize:  6,
+			Protocol:  Ranking,
+			AttrDist:  dist.Uniform{Lo: 0, Hi: 100},
+			Seed:      seed,
+			Shards:    1,
+		})
+		var o outcome
+		step := func(cycles int) {
+			for i := 0; i < cycles; i++ {
+				if err := c.Advance(testPeriod); err != nil {
+					t.Fatal(err)
+				}
+				o.sdm = append(o.sdm, clusterSDM(c, part))
+			}
+		}
+		step(pre)
+		atOpen := c.FaultCounts()
+		if atOpen.PartitionDrops != 0 {
+			t.Fatalf("partition drops before the partition opened: %+v", atOpen)
+		}
+		if err := c.SetPartition(partSalt, 2); err != nil {
+			t.Fatal(err)
+		}
+		step(during)
+		atHeal := c.FaultCounts()
+		if atHeal.PartitionDrops == 0 {
+			t.Error("no cross-group traffic black-holed during the partition window")
+		}
+		c.HealPartition()
+		step(post)
+		o.counts = c.MessageCounts()
+		o.faults = c.FaultCounts()
+		if o.faults.PartitionDrops != atHeal.PartitionDrops {
+			t.Errorf("drops kept rising after heal: %d at heal, %d at end",
+				atHeal.PartitionDrops, o.faults.PartitionDrops)
+		}
+		return o
+	}
+	a, b := run(), run()
+	if a.counts != b.counts {
+		t.Errorf("partitioned same-seed runs diverged in counts:\n  first  %+v\n  second %+v", a.counts, b.counts)
+	}
+	if a.faults != b.faults {
+		t.Errorf("partitioned same-seed runs diverged in fault tallies:\n  first  %+v\n  second %+v", a.faults, b.faults)
+	}
+	if len(a.sdm) != len(b.sdm) {
+		t.Fatalf("SDM series lengths differ: %d vs %d", len(a.sdm), len(b.sdm))
+	}
+	for i := range a.sdm {
+		if a.sdm[i] != b.sdm[i] || math.IsNaN(a.sdm[i]) {
+			t.Errorf("SDM series diverged at cycle %d: %v vs %v", i, a.sdm[i], b.sdm[i])
+		}
 	}
 }

@@ -149,6 +149,12 @@ type Status struct {
 	// the node's own convergence clock, used by the serving layer to
 	// derive staleness bounds.
 	Ticks int
+	// RecvGap is the number of consecutive ticks the passive thread has
+	// gone without receiving a single message. A warmed-up node with a
+	// large gap is effectively cut off from the overlay — the serving
+	// layer's partition detector (Calibration.StarvationTicks) reads this
+	// to flag degraded answers.
+	RecvGap int
 }
 
 // SliceChangeFunc observes slice reassignments. Callbacks run on the
@@ -175,6 +181,7 @@ type Node struct {
 	pendingView core.ID // target of the in-flight view exchange, 0 if none
 	lastSlice   int
 	ticks       int
+	lastRecv    int // ticks value when the passive thread last received
 	watches     []sliceWatch
 	nextWatch   int
 
@@ -469,6 +476,7 @@ func (n *Node) countSend(err error, onErr func(error)) {
 // handle is the passive thread: it processes one incoming message.
 func (n *Node) handle(from core.ID, msg proto.Message) {
 	n.mu.Lock()
+	n.lastRecv = n.ticks
 	var replies []proto.Envelope
 	switch m := msg.(type) {
 	case proto.ViewRequest:
@@ -514,6 +522,7 @@ func (n *Node) Status() Status {
 		Slice:   n.part.Slice(ix),
 		ViewLen: n.mem.View().Len(),
 		Ticks:   n.ticks,
+		RecvGap: n.ticks - n.lastRecv,
 	}
 	if rn, ok := n.slicer.(*ranking.Node); ok {
 		st.Samples = rn.Samples()
@@ -539,6 +548,22 @@ func (n *Node) ViewEntries() []view.Entry {
 
 // Partition returns the slice partition the node was configured with.
 func (n *Node) Partition() core.Partition { return n.part }
+
+// SetAttr replaces the node's attribute value mid-run — the live hook
+// the fault plane uses for attribute drift and byzantine misreporting.
+// The protocol keeps running: subsequent gossip advertises the new
+// value, and the estimators re-converge toward its rank (the window
+// estimator forgets, the counter dilutes).
+func (n *Node) SetAttr(a core.Attr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch s := n.slicer.(type) {
+	case *ordering.Node:
+		s.SetAttr(a)
+	case *ranking.Node:
+		s.SetAttr(a)
+	}
+}
 
 // OrderingStats returns the node's ordering event counters; ok is false
 // for non-ordering nodes. Measurement collectors use it to compute the

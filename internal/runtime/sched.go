@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/transport"
 )
@@ -195,7 +196,34 @@ type scheduler struct {
 	stop    chan struct{}
 	done    sync.WaitGroup
 	started bool
+
+	// faults is the internal network's fault-injection state; nil (the
+	// default) injects nothing and costs one atomic load per send.
+	// Mutations happen between driven steps (or from the cluster's
+	// control API) and become visible atomically, so no send ever sees a
+	// half-written configuration.
+	faults atomic.Pointer[netFaults]
+	// Fault-injection tallies (cumulative, scrape-path metrics).
+	faultPartDrops, faultChaosDrops, faultChaosDups, faultChaosDelays atomic.Uint64
 }
+
+// netFaults configures the internal network's injected faults. The
+// zero value of each family is off.
+type netFaults struct {
+	// partSalt/partGroups partition the id space: a send whose endpoints
+	// hash to different groups is black-holed. partGroups < 2 means no
+	// partition.
+	partSalt   int64
+	partGroups int
+	// loss/dup/delayP are extra per-send probabilities layered on the
+	// transport's own seeded loss; delay is the latency added to a
+	// delay-spiked send.
+	loss, dup, delayP float64
+	delay             time.Duration
+}
+
+// setFaults installs (or clears, with nil) the fault configuration.
+func (s *scheduler) setFaults(nf *netFaults) { s.faults.Store(nf) }
 
 func newScheduler(cfg schedConfig) *scheduler {
 	if cfg.shards < 1 {
@@ -531,9 +559,19 @@ func (t *schedNet) Unregister(id core.ID) {
 
 // Send implements transport.Transport: an existence check, a seeded
 // loss/latency draw on the destination shard's rng, and an event push —
-// all in one critical section on the destination shard.
+// all in one critical section on the destination shard. Injected
+// faults (partition, chaos windows) layer onto the same draw sequence:
+// the partition test is a pure hash of the endpoints (no draw), so a
+// partitioned send consumes no randomness and heals bit-compatibly.
 func (t *schedNet) Send(from, to core.ID, msg proto.Message) error {
 	s := (*scheduler)(t)
+	nf := s.faults.Load()
+	if nf != nil && nf.partGroups > 1 &&
+		fault.Group(nf.partSalt, uint64(from), nf.partGroups) != fault.Group(nf.partSalt, uint64(to), nf.partGroups) {
+		s.shardFor(to).counts.dropped.Add(1)
+		s.faultPartDrops.Add(1)
+		return nil // black-holed at the partition: the sender cannot tell
+	}
 	sh := s.shardFor(to)
 	sh.mu.Lock()
 	if _, ok := sh.handlers[to]; !ok {
@@ -546,6 +584,12 @@ func (t *schedNet) Send(from, to core.ID, msg proto.Message) error {
 		sh.counts.dropped.Add(1)
 		return nil // lost in transit: the sender cannot tell
 	}
+	if nf != nil && nf.loss > 0 && sh.rng.Float64() < nf.loss {
+		sh.mu.Unlock()
+		sh.counts.dropped.Add(1)
+		s.faultChaosDrops.Add(1)
+		return nil
+	}
 	var lat time.Duration
 	if s.cfg.maxLat > 0 {
 		span := s.cfg.maxLat - s.cfg.minLat
@@ -555,7 +599,17 @@ func (t *schedNet) Send(from, to core.ID, msg proto.Message) error {
 			lat = s.cfg.minLat
 		}
 	}
+	if nf != nil && nf.delayP > 0 && sh.rng.Float64() < nf.delayP {
+		lat += nf.delay
+		s.faultChaosDelays.Add(1)
+	}
 	s.pushLocked(sh, event{at: s.clock.Now().Add(lat), from: from, to: to, msg: msg})
+	if nf != nil && nf.dup > 0 && sh.rng.Float64() < nf.dup {
+		// Duplication: a second copy of the same message lands at the
+		// same deadline (its seq orders it right after the original).
+		s.pushLocked(sh, event{at: s.clock.Now().Add(lat), from: from, to: to, msg: msg})
+		s.faultChaosDups.Add(1)
+	}
 	sh.mu.Unlock()
 	sh.wake()
 	if s.tel != nil {

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"github.com/gossipkit/slicing/internal/telemetry"
 )
@@ -21,6 +22,10 @@ const (
 	metricJoins       = "slicing_runtime_joins_total"
 	metricKills       = "slicing_runtime_kills_total"
 	metricNodes       = "slicing_runtime_nodes"
+	// metricFaults counts the internal network's fault-plane injections,
+	// labeled kind=partitionDrop|chaosDrop|chaosDup|chaosDelay (stays 0
+	// until SetPartition / SetChaos install faults).
+	metricFaults = "slicing_runtime_faults_injected_total"
 )
 
 // schedTelemetry is the scheduler's hot-path instrument set; nil when
@@ -80,6 +85,22 @@ func (s *scheduler) attachTelemetry(reg *telemetry.Registry) {
 			}
 			return sum
 		})
+	type faultTally struct {
+		kind string
+		ctr  *atomic.Uint64
+	}
+	for _, t := range []faultTally{
+		{"partitionDrop", &s.faultPartDrops},
+		{"chaosDrop", &s.faultChaosDrops},
+		{"chaosDup", &s.faultChaosDups},
+		{"chaosDelay", &s.faultChaosDelays},
+	} {
+		ctr := t.ctr
+		reg.CounterFunc(metricFaults,
+			"Fault-plane injections performed by the internal network, by kind.",
+			func() uint64 { return ctr.Load() },
+			telemetry.L("kind", t.kind))
+	}
 	s.tel = &schedTelemetry{
 		timerLag: reg.Histogram(metricTimerLag,
 			"Delay between an event's due time and its execution.",

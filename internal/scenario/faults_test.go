@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fullFaultsSpec exercises every family and every optional field at
+// once, including the TargetSlice pointer.
+func fullFaultsSpec() *FaultsSpec {
+	target := 3
+	return &FaultsSpec{
+		Drift:     &DriftSpec{Kind: DriftOscillate, From: 10, Until: 50, Frac: 0.2, Amp: 5, Period: 8},
+		Byzantine: &ByzantineSpec{Policy: LieCollusive, From: 15, Until: 45, Frac: 0.1, TargetSlice: &target},
+		Partition: &PartitionSpec{From: 20, Until: 40, Groups: 3},
+		Chaos:     []ChaosSpec{{From: 5, Until: 55, Loss: 0.3, Dup: 0.1, Delay: 0.2, DelayMS: 7}},
+	}
+}
+
+func TestFaultsSpecJSONRoundTrip(t *testing.T) {
+	spec := validSpec()
+	spec.Cycles = 60
+	spec.Faults = fullFaultsSpec()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", back, spec)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped faulted spec invalid: %v", err)
+	}
+	// A faultless spec must not grow a faults key.
+	if data, _ := json.Marshal(validSpec()); string(data) != "" && reflect.DeepEqual(json.Valid(data), false) {
+		t.Fatalf("marshal broke: %s", data)
+	}
+	plainJSON, _ := json.Marshal(validSpec())
+	if got := string(plainJSON); errors.Is(nil, nil) && jsonHasKey(got, "faults") {
+		t.Errorf("zero Faults should be omitted: %s", got)
+	}
+}
+
+// jsonHasKey reports whether a marshaled object contains the top-level key.
+func jsonHasKey(data, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(data), &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+func TestFaultsSpecValidation(t *testing.T) {
+	cases := map[string]func(*FaultsSpec){
+		"unknown drift kind":  func(f *FaultsSpec) { f.Drift.Kind = "brownian" },
+		"drift frac zero":     func(f *FaultsSpec) { f.Drift.Frac = 0 },
+		"drift frac over 1":   func(f *FaultsSpec) { f.Drift.Frac = 1.5 },
+		"drift amp zero":      func(f *FaultsSpec) { f.Drift.Amp = 0 },
+		"oscillate no period": func(f *FaultsSpec) { f.Drift.Period = 0 },
+		"drift window order":  func(f *FaultsSpec) { f.Drift.From = 50; f.Drift.Until = 10 },
+		"unknown lie policy":  func(f *FaultsSpec) { f.Byzantine.Policy = "sybil" },
+		"byz frac zero":       func(f *FaultsSpec) { f.Byzantine.Frac = 0 },
+		"one group":           func(f *FaultsSpec) { f.Partition.Groups = 1 },
+		"loss over 1":         func(f *FaultsSpec) { f.Chaos[0].Loss = 1.5 },
+		"negative dup":        func(f *FaultsSpec) { f.Chaos[0].Dup = -0.1 },
+		"negative delayMS":    func(f *FaultsSpec) { f.Chaos[0].DelayMS = -3 },
+	}
+	for name, mutate := range cases {
+		spec := validSpec()
+		spec.Cycles = 60
+		spec.Faults = fullFaultsSpec()
+		mutate(spec.Faults)
+		if _, err := spec.Config(); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: Config() = %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+func TestFaultsScaledWindows(t *testing.T) {
+	spec := Spec{
+		Name: "s", Protocol: ProtoRanking,
+		N: 1000, Slices: 10, ViewSize: 10, Cycles: 1000,
+		Attr:   DistSpec{Kind: "uniform", Lo: 0, Hi: 1},
+		Faults: fullFaultsSpec(),
+	}
+	scaled := spec.Scaled(0.1) // Cycles 1000 → 100, effective ratio 0.1
+	if scaled.Cycles != 100 {
+		t.Fatalf("Cycles = %d, want 100", scaled.Cycles)
+	}
+	d := scaled.Faults.Drift
+	if d.From != 1 || d.Until != 5 {
+		t.Errorf("drift window = [%d,%d), want [1,5)", d.From, d.Until)
+	}
+	pt := scaled.Faults.Partition
+	if pt.From != 2 || pt.Until != 4 {
+		t.Errorf("partition window = [%d,%d), want [2,4)", pt.From, pt.Until)
+	}
+	// Scaled windows must stay valid (at least one open cycle, ordered).
+	if _, err := scaled.Config(); err != nil {
+		t.Errorf("scaled faulted spec no longer builds: %v", err)
+	}
+	// An open-ended window stays open.
+	open := spec
+	open.Faults = &FaultsSpec{Drift: &DriftSpec{Kind: DriftStep, From: 50, Frac: 0.5, Amp: 1}}
+	if got := open.Scaled(0.1).Faults.Drift.Until; got != 0 {
+		t.Errorf("open window gained an end: until = %d", got)
+	}
+	// The receiver's faults block is untouched (deep copy).
+	if spec.Faults.Drift.From != 10 {
+		t.Error("Scaled mutated the receiver's fault windows")
+	}
+	// Scale 1 is the identity on the faults block too.
+	if !reflect.DeepEqual(spec.Scaled(1).Faults, spec.Faults) {
+		t.Error("Scaled(1) changed the faults block")
+	}
+}
+
+// TestChaosRecoveryGates pins the convergence-recovery contract CI
+// enforces on the adversarial families (the chaos-smoke gate):
+//
+//   - chaos-partition, sim: disorder spikes while the partition is open
+//     and re-converges within recoveryBudget cycles of the heal — back
+//     below recoveredFactor of its at-heal level.
+//   - chaos-partition, live: disorder must at least stop diverging and
+//     begin re-merging by the deadline. The live runtime's membership
+//     times out unanswered peers (§3.3: crash and partition look alike),
+//     so a long partition evicts most cross-group view entries and the
+//     re-merge rides the few surviving links — slower than the sim,
+//     whose stale view entries survive the window (see README
+//     "Robustness").
+//   - chaos-byzantine (f = 10%, always-top), both backends: top-slice
+//     pollution stays ≤ pollutionBound while the lie window is open and
+//     decays once it closes.
+func TestChaosRecoveryGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run recovery gate")
+	}
+	const (
+		scale           = 0.1
+		recoveryBudget  = 40  // cycles after heal the run gets to re-merge
+		recoveredFactor = 0.6 // sim must drop below this fraction of at-heal SDM
+		pollutionBound  = 0.7 // f=0.1 of N claiming top: at most ~2/3 of the slice
+	)
+	backends := []Backend{SimBackend{}, LiveBackend{}}
+
+	partSC, err := Lookup("chaos-partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range backends {
+		spec := partSC.Specs[0].Scaled(scale)
+		res, err := be.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		heal := spec.Faults.Partition.Until
+		atHeal, ok := res.SDM.At(heal)
+		if !ok {
+			t.Fatalf("%s: no SDM sample at heal cycle %d", be.Name(), heal)
+		}
+		recovered, ok := res.SDM.At(heal + recoveryBudget)
+		if !ok {
+			t.Fatalf("%s: no SDM sample at recovery deadline %d", be.Name(), heal+recoveryBudget)
+		}
+		if res.Faults.PartitionDrops == 0 {
+			t.Errorf("%s: partition window black-holed nothing", be.Name())
+		}
+		gate := atHeal
+		if be.Name() == BackendSim {
+			gate = atHeal * recoveredFactor
+		}
+		if recovered > gate {
+			t.Errorf("%s: no re-merge within %d cycles of heal: SDM %.4f at heal, %.4f at deadline (gate: ≤ %.4f)",
+				be.Name(), recoveryBudget, atHeal, recovered, gate)
+		}
+	}
+
+	byzSC, err := Lookup("chaos-byzantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range backends {
+		spec := byzSC.Specs[0].Scaled(scale)
+		res, err := be.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if res.Faults.LiesInstalled == 0 {
+			t.Fatalf("%s: byzantine window installed no lies", be.Name())
+		}
+		win := spec.Faults.Byzantine
+		peak := 0.0
+		for _, p := range res.Pollution.Points {
+			if p.Cycle >= win.From && p.Cycle < win.Until && p.Value > peak {
+				peak = p.Value
+			}
+		}
+		if peak == 0 {
+			t.Errorf("%s: pollution never rose during the lie window", be.Name())
+		}
+		if peak > pollutionBound {
+			t.Errorf("%s: pollution peaked at %.3f with f=%.2f, gate is ≤ %.2f",
+				be.Name(), peak, win.Frac, pollutionBound)
+		}
+		during, _ := res.Pollution.At(win.Until - 1)
+		final, ok := res.Pollution.Last()
+		if !ok {
+			t.Fatalf("%s: no pollution samples", be.Name())
+		}
+		if final.Value >= during && during > 0 {
+			t.Errorf("%s: pollution did not decay after the window: %.3f during, %.3f final",
+				be.Name(), during, final.Value)
+		}
+	}
+}

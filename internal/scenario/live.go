@@ -51,6 +51,7 @@ func (b LiveBackend) Run(spec Spec) (*sim.Result, error) {
 		GDM:             metrics.Series{Name: "gdm"},
 		UnsuccessfulPct: metrics.Series{Name: "unsuccessful%"},
 		Size:            metrics.Series{Name: "n"},
+		Pollution:       metrics.Series{Name: "pollution"},
 		Cycles:          spec.Cycles,
 	}
 	// One node walk per recorded cycle: per-node states for SDM/GDM/size
@@ -77,6 +78,13 @@ func (b LiveBackend) Run(spec Spec) (*sim.Result, error) {
 				}
 			}
 		}
+		// Pollution grades the BELIEVED states (who claims the target
+		// slice); the disorder measures then grade against ground truth —
+		// a lying node is judged by the attribute it is hiding.
+		if p, ok := lc.Pollution(states); ok {
+			res.Pollution.Add(cycle, p)
+		}
+		states = lc.GroundTruth(states)
 		res.SDM.Add(cycle, metrics.SDM(states, part))
 		res.Size.Add(cycle, float64(len(states)))
 		if spec.RecordGDM {
@@ -120,6 +128,7 @@ func (b LiveBackend) Run(spec Spec) (*sim.Result, error) {
 		Dropped:      counts.Dropped,
 	}
 	res.FinalN = len(c.Nodes())
+	res.Faults = lc.FaultTally()
 	return res, nil
 }
 

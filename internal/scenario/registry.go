@@ -19,6 +19,10 @@ type Scenario struct {
 	// run on ("sim", "live"); empty means sim-only. Live-annotated
 	// scenarios are exercised end-to-end on the live backend in CI.
 	Backends []string `json:"backends,omitempty"`
+	// Tags label the family for filtering (`slicebench list/sweep
+	// -family <tag>`); e.g. every fault-injection family carries
+	// "chaos".
+	Tags []string `json:"tags,omitempty"`
 	// Specs hold one entry per curve, at paper scale.
 	Specs []Spec `json:"specs"`
 }
@@ -39,6 +43,20 @@ func (sc Scenario) SupportsBackend(name string) bool {
 
 // bothBackends annotates a family as runnable on either engine.
 func bothBackends() []string { return []string{BackendSim, BackendLive} }
+
+// HasTag reports whether the family carries the tag (or is named by
+// it: a family name always matches itself).
+func (sc Scenario) HasTag(tag string) bool {
+	if sc.Name == tag {
+		return true
+	}
+	for _, t := range sc.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
 
 // uniformAttr is the default attribute law of the figure scenarios: the
 // protocols are distribution-free, and a uniform spread keeps true
@@ -357,6 +375,86 @@ var registry = []Scenario{
 			Attr: uniformAttr(), MinN: 16, MinCycles: 80,
 		}},
 	},
+	{
+		Name: "chaos-drift",
+		Description: "fault plane: a 30% cohort's attributes step far above the range mid-run — " +
+			"disorder spikes when the drift lands, then the estimators re-converge onto the new truth",
+		Backends: bothBackends(),
+		Tags:     []string{"chaos"},
+		Specs: []Spec{
+			{Name: "window", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 5000,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Drift: &DriftSpec{Kind: DriftStep, From: 80, Until: 200, Frac: 0.3, Amp: 2000}},
+				MinCycles: 120},
+			{Name: "counter", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Drift: &DriftSpec{Kind: DriftStep, From: 80, Until: 200, Frac: 0.3, Amp: 2000}},
+				MinCycles: 120},
+		},
+	},
+	{
+		Name: "chaos-byzantine",
+		Description: "fault plane: 10% of nodes misreport their attribute for a window, then stop — " +
+			"the target slice's pollution rises while the lie holds and decays after the heal",
+		Backends: bothBackends(),
+		Tags:     []string{"chaos"},
+		Specs: []Spec{
+			{Name: "always-top", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Byzantine: &ByzantineSpec{Policy: LieAlwaysTop, From: 60, Until: 160, Frac: 0.1}},
+				MinCycles: 120},
+			{Name: "collusive", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Byzantine: &ByzantineSpec{Policy: LieCollusive, From: 60, Until: 160, Frac: 0.1}},
+				MinCycles: 120},
+		},
+	},
+	{
+		Name: "chaos-partition",
+		Description: "fault plane: the overlay splits into two seeded groups for a window, then heals — " +
+			"cross-group traffic is black-holed, per-side disorder grows, and the kept view entries re-merge the overlay",
+		Backends: bothBackends(),
+		Tags:     []string{"chaos"},
+		Specs: []Spec{
+			{Name: "ranking", Protocol: ProtoRanking, Estimator: EstWindow, WindowSize: 5000,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Partition: &PartitionSpec{From: 60, Until: 150, Groups: 2}},
+				MinCycles: 120},
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr:      uniformAttr(),
+				Faults:    &FaultsSpec{Partition: &PartitionSpec{From: 60, Until: 150, Groups: 2}},
+				MinCycles: 120},
+		},
+	},
+	{
+		Name: "chaos-messages",
+		Description: "fault plane: a loss burst with duplication and delay spikes hits mid-run — " +
+			"gossip degrades gracefully and convergence resumes when the window closes",
+		Backends: bothBackends(),
+		Tags:     []string{"chaos"},
+		Specs: []Spec{
+			{Name: "ranking", Protocol: ProtoRanking,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr: uniformAttr(),
+				Faults: &FaultsSpec{Chaos: []ChaosSpec{
+					{From: 60, Until: 160, Loss: 0.25, Dup: 0.1, Delay: 0.1, DelayMS: 5},
+				}},
+				MinCycles: 120},
+			{Name: "ordering", Protocol: ProtoOrdering, Policy: PolicyModJK,
+				N: 2000, Slices: 10, ViewSize: 20, Cycles: 240, Seed: 42,
+				Attr: uniformAttr(),
+				Faults: &FaultsSpec{Chaos: []ChaosSpec{
+					{From: 60, Until: 160, Loss: 0.25, Dup: 0.1, Delay: 0.1, DelayMS: 5},
+				}},
+				MinCycles: 120},
+		},
+	},
 }
 
 // scaleScenario builds one member of the scale-* family: the
@@ -490,10 +588,12 @@ func (sc Scenario) clone() Scenario {
 		}
 		spec.SliceBounds = append([]float64(nil), spec.SliceBounds...)
 		spec.Attr.Components = append([]WeightedDist(nil), spec.Attr.Components...)
+		spec.Faults = spec.Faults.clone()
 		specs[i] = spec
 	}
 	sc.Specs = specs
 	sc.Backends = append([]string(nil), sc.Backends...)
+	sc.Tags = append([]string(nil), sc.Tags...)
 	return sc
 }
 

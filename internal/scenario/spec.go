@@ -98,6 +98,10 @@ type Spec struct {
 	Attr DistSpec `json:"attr"`
 	// Churn defines the churn regime; nil means a static system.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Faults defines the fault-injection plan (attribute drift,
+	// byzantine misreporting, scheduled partitions, message chaos); nil
+	// means an honest, fault-free run. Both backends honor it.
+	Faults *FaultsSpec `json:"faults,omitempty"`
 	// Live tunes live-backend execution (gossip period, jitter,
 	// transport latency/loss injection); nil uses the live defaults. The
 	// sim backend ignores it, so adding Live to a spec never changes its
@@ -469,6 +473,13 @@ func (s Spec) Config() (sim.Config, error) {
 		}
 		cfg.Schedule, cfg.Pattern = sched, pat
 	}
+	if s.Faults != nil {
+		plan, err := s.Faults.plan(s.Name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Faults = plan
+	}
 	if s.Live != nil {
 		if err := s.Live.validate(s.Name); err != nil {
 			return cfg, err
@@ -523,12 +534,12 @@ func (s Spec) Scaled(scale float64) Spec {
 	if s.WindowSize > 0 {
 		s.WindowSize = scaledInt(s.WindowSize, scale, minWindow)
 	}
+	// Cycle-positioned structure (churn phases, fault windows) shrinks
+	// by the run's EFFECTIVE ratio (which the cycle floor may have kept
+	// above scale), so burst proportions and window positions survive
+	// scaling instead of overflowing the shortened run.
+	ratio := float64(s.Cycles) / float64(origCycles)
 	if s.Churn != nil {
-		// Phases shrink by the run's EFFECTIVE ratio (which the cycle
-		// floor may have kept above scale), so the phase structure —
-		// quiet/burst/quiet proportions, number of waves — survives
-		// scaling instead of overflowing the shortened run.
-		ratio := float64(s.Cycles) / float64(origCycles)
 		c := *s.Churn
 		c.Phases = append([]ChurnPhase(nil), c.Phases...)
 		for i := range c.Phases {
@@ -537,6 +548,9 @@ func (s Spec) Scaled(scale float64) Spec {
 			}
 		}
 		s.Churn = &c
+	}
+	if s.Faults != nil {
+		s.Faults = s.Faults.scaled(ratio)
 	}
 	return s
 }

@@ -25,11 +25,31 @@ type Calibration struct {
 	// Z is the z-score of the reported Wald interval; 0 means
 	// DefaultZ (1.96, a 95% interval).
 	Z float64
+	// WarmupTicks is the grace period for fresh joiners: a node that has
+	// completed fewer ticks answers with Staleness.Warming set, telling
+	// clients "too young to judge" instead of handing them a vacuous
+	// near-1 bound. 0 means DefaultWarmupTicks.
+	WarmupTicks int
+	// StarvationTicks is the partition detector's patience: a node whose
+	// passive thread has received nothing for this many consecutive ticks
+	// is presumed cut off (black-holed links starve the rank sampler) and
+	// answers with Staleness.Degraded set and an inflated bound. 0 means
+	// DefaultStarvationTicks.
+	StarvationTicks int
 }
 
 // DefaultZ is the z-score used when Calibration.Z is zero: a two-sided
 // 95% confidence interval.
 const DefaultZ = 1.96
+
+// DefaultWarmupTicks is the fresh-joiner grace when
+// Calibration.WarmupTicks is zero: below this many completed periods an
+// answer is flagged Warming rather than trusted to its numeric bound.
+const DefaultWarmupTicks = 5
+
+// DefaultStarvationTicks is the partition-detection patience when
+// Calibration.StarvationTicks is zero.
+const DefaultStarvationTicks = 8
 
 // Default calibrations, derived from the BENCH_summary.json convergence
 // data of the scenario catalog (see README "Serving"): ranking runs
@@ -50,6 +70,22 @@ func (c Calibration) z() float64 {
 		return DefaultZ
 	}
 	return c.Z
+}
+
+// warmup returns the effective fresh-joiner grace.
+func (c Calibration) warmup() int {
+	if c.WarmupTicks <= 0 {
+		return DefaultWarmupTicks
+	}
+	return c.WarmupTicks
+}
+
+// starvation returns the effective partition-detection patience.
+func (c Calibration) starvation() int {
+	if c.StarvationTicks <= 0 {
+		return DefaultStarvationTicks
+	}
+	return c.StarvationTicks
 }
 
 // staleness computes the error bound for an answer derived from a node
@@ -97,5 +133,32 @@ func (c Calibration) staleness(ticks, samples, points int, rank, boundaryDist fl
 			st.Confidence = conf
 		}
 	}
+	// Below the warmup grace the residual inflation saturates toward a
+	// vacuous bound of 1; Warming tells the client the node is merely
+	// young, not wrong — wait, or ask another node.
+	if ticks < c.warmup() {
+		st.Warming = true
+	}
+	return st
+}
+
+// starve applies the partition detector to a computed staleness block:
+// recvGap is the number of consecutive ticks the answering node's
+// passive thread has gone without receiving a message. A warmed-up node
+// starved past the calibration's patience is flagged Degraded and its
+// bound inflates with the gap: every piece of evidence behind the answer
+// — samples, ticks, the view itself — predates the moment the node was
+// cut off, so the whole estimate is frozen and its error grows the
+// longer the starvation lasts. Warming takes precedence: a fresh joiner
+// has not earned a degraded verdict.
+func (c Calibration) starve(st Staleness, recvGap int) Staleness {
+	patience := c.starvation()
+	if st.Warming || recvGap < patience {
+		return st
+	}
+	factor := float64(recvGap) / float64(patience)
+	st.Degraded = true
+	st.ResidualSDM = math.Min(1, st.ResidualSDM*factor)
+	st.Bound = math.Min(1, st.Bound*factor)
 	return st
 }

@@ -59,6 +59,55 @@ func TestStalenessBoundIsMaxAndClamped(t *testing.T) {
 	}
 }
 
+func TestStalenessWarmingGrace(t *testing.T) {
+	cal := Calibration{ResidualSDM: 0.01, ConvergedTicks: 100, WarmupTicks: 10}
+	// A fresh joiner's inflated residual saturates to the vacuous bound
+	// 1.0; the Warming flag is what tells the client the node is merely
+	// young rather than a converged node reporting total disorder.
+	fresh := cal.staleness(1, 0, 20, 0.5, 0.1)
+	if !fresh.Warming {
+		t.Errorf("ticks=1 < warmup=10 must flag Warming: %+v", fresh)
+	}
+	warmed := cal.staleness(10, 0, 20, 0.5, 0.1)
+	if warmed.Warming {
+		t.Errorf("ticks=10 >= warmup=10 must not flag Warming: %+v", warmed)
+	}
+	// Zero WarmupTicks selects the default grace.
+	def := Calibration{ResidualSDM: 0.01, ConvergedTicks: 100}
+	if st := def.staleness(DefaultWarmupTicks-1, 0, 20, 0.5, 0.1); !st.Warming {
+		t.Errorf("default grace not applied: %+v", st)
+	}
+	if st := def.staleness(DefaultWarmupTicks, 0, 20, 0.5, 0.1); st.Warming {
+		t.Errorf("default grace too long: %+v", st)
+	}
+}
+
+func TestStalenessStarvationDegrades(t *testing.T) {
+	cal := Calibration{ResidualSDM: 0.01, ConvergedTicks: 100, StarvationTicks: 8}
+	healthy := cal.staleness(200, 500, 20, 0.5, 0.1)
+
+	fed := cal.starve(healthy, 3)
+	if fed.Degraded || fed.Bound != healthy.Bound {
+		t.Errorf("gap below patience must not degrade: %+v", fed)
+	}
+	starved := cal.starve(healthy, 16)
+	if !starved.Degraded {
+		t.Errorf("gap 16 >= patience 8 must flag Degraded: %+v", starved)
+	}
+	if starved.Bound <= healthy.Bound {
+		t.Errorf("starved bound %v must inflate past healthy %v", starved.Bound, healthy.Bound)
+	}
+	if got, want := starved.ResidualSDM, healthy.ResidualSDM*2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("starved residual = %v, want gap/patience inflation %v", got, want)
+	}
+	// Warming takes precedence: a fresh joiner has simply not received
+	// traffic yet, which is youth, not a partition verdict.
+	young := cal.staleness(1, 0, 20, 0.5, 0.1)
+	if st := cal.starve(young, 16); st.Degraded || !st.Warming {
+		t.Errorf("warming node must not be degraded: %+v", st)
+	}
+}
+
 func TestStalenessConfidencePopulated(t *testing.T) {
 	st := RankingCalibration.staleness(200, 500, 20, 0.5, 0.2)
 	if !(st.Confidence > 0 && st.Confidence <= 1) {

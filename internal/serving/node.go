@@ -22,6 +22,14 @@ type NodeQuerier struct {
 
 var _ SliceQuerier = (*NodeQuerier)(nil)
 
+// staleness derives the staleness block for an answer computed from the
+// node status st, running both health detectors: the warmup grace
+// (Warming) inside Calibration.staleness and the receive-starvation
+// partition detector (Degraded) on top.
+func (q *NodeQuerier) staleness(st runtime.Status, points int, rank, boundaryDist float64) Staleness {
+	return q.cal.starve(q.cal.staleness(st.Ticks, st.Samples, points, rank, boundaryDist), st.RecvGap)
+}
+
 // NewNodeQuerier wraps a live node. A zero Calibration selects
 // RankingCalibration (the conservative default: its residual floor is
 // the tighter of the two, but its warmup inflation still dominates
@@ -53,7 +61,7 @@ func (q *NodeQuerier) SliceOf(attr float64) (SliceAnswer, error) {
 		Low:       sl.Low,
 		High:      sl.High,
 		Node:      st.ID,
-		Staleness: q.cal.staleness(st.Ticks, st.Samples, len(pts), rank, q.part.BoundaryDistance(rank)),
+		Staleness: q.staleness(st, len(pts), rank, q.part.BoundaryDistance(rank)),
 	}, nil
 }
 
@@ -74,7 +82,7 @@ func (q *NodeQuerier) TopK(frac float64) (TopKAnswer, error) {
 		AttrThreshold: attrAt(pts, cut),
 		SelfIncluded:  st.R >= cut,
 		Node:          st.ID,
-		Staleness:     q.cal.staleness(st.Ticks, st.Samples, len(pts), cut, frac),
+		Staleness:     q.staleness(st, len(pts), cut, frac),
 	}
 	if ans.SelfIncluded {
 		ans.Members = append(ans.Members, TopKMember{ID: st.ID, Attr: float64(st.Attr), Rank: st.R})
@@ -102,7 +110,7 @@ func (q *NodeQuerier) Snapshot() (Snapshot, error) {
 		Low:       sl.Low,
 		High:      sl.High,
 		ViewLen:   st.ViewLen,
-		Staleness: q.cal.staleness(st.Ticks, st.Samples, pts, st.R, q.part.BoundaryDistance(st.R)),
+		Staleness: q.staleness(st, pts, st.R, q.part.BoundaryDistance(st.R)),
 	}, nil
 }
 

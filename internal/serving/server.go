@@ -358,6 +358,12 @@ var buildInfo = sync.OnceValue(func() map[string]string {
 // debug.ReadBuildInfo), the server's uptime, and the answering node's
 // gossip tick count, so a fleet's versions and progress are auditable
 // from the health endpoint alone.
+//
+// The "state" field summarizes the health detectors: "ok", "warming"
+// (younger than the warmup grace; still 200 — a joining node is healthy,
+// just young), or "degraded" (the starvation detector believes the node
+// is partitioned away; 503, so load balancers stop routing queries to a
+// node answering from a minority partition's frozen state).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	base := map[string]any{
 		"build":         buildInfo(),
@@ -366,16 +372,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.q.Snapshot()
 	if err != nil {
 		base["ok"] = false
+		base["state"] = "unavailable"
 		base["error"] = err.Error()
 		writeJSON(w, http.StatusServiceUnavailable, base)
 		return
 	}
-	base["ok"] = true
 	base["node"] = snap.Node
 	base["slice"] = snap.SliceIx
 	base["staleness"] = snap.Staleness
 	base["gossipTicks"] = snap.Staleness.Ticks
-	writeJSON(w, http.StatusOK, base)
+	switch {
+	case snap.Staleness.Degraded:
+		base["ok"] = false
+		base["state"] = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, base)
+	case snap.Staleness.Warming:
+		base["ok"] = true
+		base["state"] = "warming"
+		writeJSON(w, http.StatusOK, base)
+	default:
+		base["ok"] = true
+		base["state"] = "ok"
+		writeJSON(w, http.StatusOK, base)
+	}
 }
 
 // handleTrace dumps the protocol trace ring as indented JSON.

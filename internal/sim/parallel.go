@@ -24,6 +24,8 @@ type simWorker struct {
 	sampler sampler
 
 	dropped     uint64
+	partDrops   uint64
+	chaosDrops  uint64
 	reqReceived uint64
 	reqFailed   uint64
 }

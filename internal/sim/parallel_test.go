@@ -6,6 +6,7 @@ import (
 
 	"github.com/gossipkit/slicing/internal/churn"
 	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/ordering"
 )
 
@@ -66,6 +67,42 @@ func invarianceConfigs() map[string]Config {
 			Membership: UniformOracle, Estimator: WindowEstimator, WindowSize: 500,
 			AttrDist: attr, Seed: 15,
 			Schedule: flat, Pattern: churn.Uniform{Dist: attr},
+		},
+		// The fault plane must not break the contract: all four fault
+		// families at once, on both protocols, under churn.
+		"ranking/window/churn/faults": {
+			N: 400, Slices: 10, ViewSize: 12, Protocol: Ranking,
+			Estimator: WindowEstimator, WindowSize: 500,
+			AttrDist: attr, Seed: 16,
+			Schedule: flat, Pattern: churn.Uniform{Dist: attr},
+			Faults: allFaultsPlan(),
+		},
+		"ordering/modjk/churn/faults": {
+			N: 400, Slices: 10, ViewSize: 12, Protocol: Ordering,
+			Policy: ordering.SelectMaxGain, Concurrency: 0.5,
+			AttrDist: attr, Seed: 17, RecordGDM: true,
+			Schedule: flat, Pattern: churn.Uniform{Dist: attr},
+			Faults: allFaultsPlan(),
+		},
+	}
+}
+
+// allFaultsPlan stacks every fault family into one plan, with windows
+// that open, overlap and close inside a 40-cycle run.
+func allFaultsPlan() *fault.Plan {
+	return &fault.Plan{
+		Drift: &fault.Drift{
+			Kind: fault.DriftWalk, Window: fault.Window{From: 5, To: 30},
+			Frac: 0.3, Amp: 15,
+		},
+		Byzantine: &fault.Byzantine{
+			Policy: fault.LieAlwaysTop, Window: fault.Window{From: 8, To: 25},
+			Frac: 0.1, TargetSlice: -1,
+		},
+		Partition: &fault.Partition{Window: fault.Window{From: 12, To: 20}, Groups: 2},
+		Chaos: []fault.Chaos{
+			{Window: fault.Window{From: 0, To: 15}, Loss: 0.1, Dup: 0.05, Delay: 0.1},
+			{Window: fault.Window{From: 25, To: 35}, Loss: 0.3},
 		},
 	}
 }

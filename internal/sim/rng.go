@@ -22,6 +22,7 @@ import "math/bits"
 const (
 	phaseMembership uint64 = 1 // view-exchange partner selection, oracle re-draws
 	phaseProtocol   uint64 = 2 // overlap decision + slicing-step draws
+	phaseFault      uint64 = 3 // fault-plane draws (attribute drift steps)
 )
 
 // mix64 is the splitmix64 finalizer (Steele, Lea & Flood): a full-period

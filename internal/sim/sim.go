@@ -69,6 +69,7 @@ import (
 	"github.com/gossipkit/slicing/internal/churn"
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
+	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/membership"
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
@@ -198,6 +199,12 @@ type Config struct {
 	// Schedule and Pattern define churn; nil means a static system.
 	Schedule churn.Schedule
 	Pattern  churn.Pattern
+	// Faults is the run's fault-injection plan (attribute drift,
+	// byzantine misreporting, partition/heal, message chaos); nil means
+	// an honest, well-behaved run. Injection draws come from the
+	// fault-phase counter streams and the engine's serial stream, so a
+	// faulted run stays bit-identical at any worker count. See faults.go.
+	Faults *fault.Plan
 	// RecordGDM additionally records the global disorder measure each
 	// cycle (Fig. 4(a)).
 	RecordGDM bool
@@ -250,6 +257,9 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Estimator == WindowEstimator && cfg.WindowSize < 1 {
 		return ranking.ErrWindow
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -305,16 +315,30 @@ type Engine struct {
 	nextID  core.ID
 	cycle   int
 
-	sdm    metrics.Series
-	gdm    metrics.Series
-	unsucc metrics.Series // % unsuccessful swaps per cycle
-	size   metrics.Series // live system size per cycle
+	sdm       metrics.Series
+	gdm       metrics.Series
+	unsucc    metrics.Series // % unsuccessful swaps per cycle
+	size      metrics.Series // live system size per cycle
+	pollution metrics.Series // liar fraction of the targeted slice per cycle
 
 	// Message counters (cumulative).
 	Delivered MessageCounts
 
 	prevReqReceived uint64
 	prevFailed      uint64
+
+	// Fault-plane state; see faults.go. The salts are derived from the
+	// run seed at construction, partNow/chaosNow cache the cycle's
+	// active windows, lying tracks which IDs currently impersonate a
+	// false attribute, and fc tallies every injection.
+	saltDrift int64
+	saltByz   int64
+	saltPart  int64
+	partNow   *fault.Partition
+	chaosNow  *fault.Chaos
+	lying     map[core.ID]struct{}
+	fc        FaultCounts
+	prevFC    FaultCounts
 
 	// workers is the resolved compute-worker count (≥ 1); ws holds one
 	// scratch block per worker. See parallel.go.
@@ -417,6 +441,11 @@ func New(cfg Config) (*Engine, error) {
 		gdm:     metrics.Series{Name: "gdm"},
 		unsucc:  metrics.Series{Name: "unsuccessful%"},
 		size:    metrics.Series{Name: "n"},
+
+		pollution: metrics.Series{Name: "pollution"},
+		saltDrift: fault.DriftSalt(cfg.Seed),
+		saltByz:   fault.ByzantineSalt(cfg.Seed),
+		saltPart:  fault.PartitionSalt(cfg.Seed),
 	}
 	e.slots[0] = noSlot
 	if cfg.Telemetry != nil {

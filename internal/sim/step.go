@@ -18,6 +18,11 @@ import (
 func (e *Engine) Step() {
 	pc := e.startPhases()
 	refreshed := e.applyChurn()
+	if e.applyFaults() {
+		// Drift or a lie transition changed node attributes after churn's
+		// refresh: the self-entry cache is stale again.
+		refreshed = false
+	}
 	pc.lap(phaseIxChurn)
 	if e.cfg.Membership == UniformOracle {
 		if !refreshed {
@@ -131,6 +136,7 @@ func (e *Engine) removeNode(id core.ID) {
 	e.nodes[last] = simNode{} // release protocol state to the GC
 	e.nodes = e.nodes[:last]
 	e.slots[id] = noSlot
+	delete(e.lying, id)
 }
 
 // exchangeRound is the membership phase for the gossiping substrates
@@ -180,9 +186,13 @@ func (e *Engine) exchangeRound() {
 	e.replyStore = grow(e.replyStore, n*stride)
 	e.selfSnap = grow(e.selfSnap, n)
 	for i := range e.ws {
-		e.ws[i].dropped = 0
+		e.ws[i].dropped, e.ws[i].partDrops, e.ws[i].chaosDrops = 0, 0, 0
 	}
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	chaosLoss := 0.0
+	if e.chaosNow != nil {
+		chaosLoss = e.chaosNow.Loss
+	}
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
@@ -191,7 +201,21 @@ func (e *Engine) exchangeRound() {
 			tgt := int32(-1)
 			if id, ok := sn.ex.SelectPartner(&st); ok {
 				if ts, live := e.slotOf(id); live {
-					tgt = ts
+					switch {
+					case e.partitionBlocks(sn.id, id):
+						// The partner is unreachable across the partition:
+						// the exchange is suppressed, but the view entry is
+						// KEPT — the partner is alive, and those entries are
+						// what re-merges the overlay when the partition
+						// heals (no sim node ever re-bootstraps).
+						ws.partDrops++
+					case chaosLoss > 0 && st.Float64() < chaosLoss:
+						// Chaos ate the view request; the exchange never
+						// completes this cycle.
+						ws.chaosDrops++
+					default:
+						tgt = ts
+					}
 				} else {
 					// The partner departed: the request times out and the
 					// initiator drops the stale entry (§3.3).
@@ -208,7 +232,9 @@ func (e *Engine) exchangeRound() {
 		}
 	})
 	for i := range e.ws {
-		e.Delivered.Dropped += e.ws[i].dropped
+		e.Delivered.Dropped += e.ws[i].dropped + e.ws[i].partDrops + e.ws[i].chaosDrops
+		e.fc.PartitionDrops += e.ws[i].partDrops
+		e.fc.ChaosDrops += e.ws[i].chaosDrops
 	}
 
 	// Deterministic per-target initiator lists: a counting sort of the
@@ -389,6 +415,29 @@ func (e *Engine) protocolRound() {
 		}
 		sn := &e.nodes[s]
 		for _, env := range envs {
+			if e.partitionBlocks(sn.id, env.To) {
+				e.fc.PartitionDrops++
+				e.Delivered.Dropped++
+				continue
+			}
+			if ch := e.chaosNow; ch != nil {
+				// Chaos draws run on the engine's serial stream, exactly
+				// like the overlapping-delivery shuffle — this loop is
+				// slot-ordered and single-threaded, so the draw sequence
+				// is worker-count independent. A delayed envelope joins
+				// the overlapping set: it lands at end of cycle with the
+				// stale-delivery semantics overlap already has.
+				if ch.Loss > 0 && e.rng.Float64() < ch.Loss {
+					e.fc.ChaosDrops++
+					e.Delivered.Dropped++
+					continue
+				}
+				if ch.Delay > 0 && e.rng.Float64() < ch.Delay {
+					e.fc.ChaosDelays++
+					overlapping = append(overlapping, deferredEnv{from: int32(s), env: env})
+					continue
+				}
+			}
 			if req, ok := env.Msg.(proto.SwapRequest); ok {
 				// Atomic exchange: send the live value, and only if the
 				// swap still helps.
@@ -402,6 +451,11 @@ func (e *Engine) protocolRound() {
 				}
 			}
 			e.deliver(sn.id, env)
+			if ch := e.chaosNow; ch != nil && ch.Dup > 0 && e.rng.Float64() < ch.Dup {
+				// Duplication: the same envelope lands twice.
+				e.fc.ChaosDups++
+				e.deliver(sn.id, env)
+			}
 		}
 	}
 	e.deferredBuf = overlapping[:0]
@@ -413,6 +467,16 @@ func (e *Engine) protocolRound() {
 	for _, d := range overlapping {
 		sn := &e.nodes[d.from]
 		env := d.env
+		if e.partitionBlocks(sn.id, env.To) {
+			e.fc.PartitionDrops++
+			e.Delivered.Dropped++
+			continue
+		}
+		if ch := e.chaosNow; ch != nil && ch.Loss > 0 && e.rng.Float64() < ch.Loss {
+			e.fc.ChaosDrops++
+			e.Delivered.Dropped++
+			continue
+		}
 		if req, ok := env.Msg.(proto.SwapRequest); ok && !e.cfg.StalePayloads {
 			// The exchange executes on live values; only the partner
 			// selection was stale. This keeps the swap two-sided and the
@@ -506,10 +570,12 @@ func (e *Engine) record() {
 	})
 	e.sdm.Add(e.cycle, sdm)
 	e.size.Add(e.cycle, float64(n))
+	e.recordPollution(believed)
 	if e.tel != nil {
 		e.tel.cycle.Set(float64(e.cycle))
 		e.tel.nodes.Set(float64(n))
 		e.tel.sdm.Set(sdm)
+		e.publishFaultTelemetry()
 	}
 	if e.cfg.RecordGDM {
 		gdm := e.measureGDM()
@@ -669,9 +735,14 @@ type Result struct {
 	GDM             metrics.Series
 	UnsuccessfulPct metrics.Series
 	Size            metrics.Series
-	Messages        MessageCounts
-	FinalN          int
-	Cycles          int
+	// Pollution is the per-cycle byzantine slice pollution (empty unless
+	// the run's fault plan had a Byzantine family).
+	Pollution metrics.Series
+	Messages  MessageCounts
+	// Faults tallies the injections the run's fault plan performed.
+	Faults FaultCounts
+	FinalN int
+	Cycles int
 }
 
 // Run builds an engine from cfg, advances it the given number of cycles
@@ -687,7 +758,9 @@ func Run(cfg Config, cycles int) (*Result, error) {
 		GDM:             e.GDM(),
 		UnsuccessfulPct: e.UnsuccessfulPct(),
 		Size:            e.Size(),
+		Pollution:       e.Pollution(),
 		Messages:        e.Delivered,
+		Faults:          e.FaultTally(),
 		FinalN:          e.N(),
 		Cycles:          e.Cycle(),
 	}, nil

@@ -20,6 +20,24 @@ const (
 	// MetricPhaseSeconds is the wall-clock time of each cycle phase,
 	// labeled phase=churn|membership|protocol|measure (histogram).
 	MetricPhaseSeconds = "slicing_sim_phase_seconds"
+	// MetricFaults counts fault-plane injections, labeled
+	// kind=drift|lie|partitionDrop|chaosDrop|chaosDup|chaosDelay
+	// (counter; stays 0 without a Config.Faults plan).
+	MetricFaults = "slicing_sim_faults_injected_total"
+	// MetricPollution is the latest byzantine slice pollution: the liar
+	// fraction of the target slice's believed occupants (gauge).
+	MetricPollution = "slicing_sim_slice_pollution"
+)
+
+// Fault-counter indices into engineTel.faults.
+const (
+	faultIxDrift = iota
+	faultIxLie
+	faultIxPartDrop
+	faultIxChaosDrop
+	faultIxChaosDup
+	faultIxChaosDelay
+	faultKindCount
 )
 
 // Phase indices into engineTel.phases.
@@ -38,7 +56,9 @@ const (
 // touching engine state.
 type engineTel struct {
 	cycle, nodes, sdm, gdm *telemetry.Gauge
+	pollution              *telemetry.Gauge
 	phases                 [phaseCount]*telemetry.Histogram
+	faults                 [faultKindCount]*telemetry.Counter
 }
 
 func newEngineTel(reg *telemetry.Registry) *engineTel {
@@ -57,6 +77,19 @@ func newEngineTel(reg *telemetry.Registry) *engineTel {
 	t.phases[phaseIxMembership] = phase("membership")
 	t.phases[phaseIxProtocol] = phase("protocol")
 	t.phases[phaseIxMeasure] = phase("measure")
+	t.pollution = reg.Gauge(MetricPollution,
+		"Latest byzantine slice pollution: liar fraction of the target slice.")
+	faultKind := func(name string) *telemetry.Counter {
+		return reg.Counter(MetricFaults,
+			"Fault-plane injections performed, by kind.",
+			telemetry.L("kind", name))
+	}
+	t.faults[faultIxDrift] = faultKind("drift")
+	t.faults[faultIxLie] = faultKind("lie")
+	t.faults[faultIxPartDrop] = faultKind("partitionDrop")
+	t.faults[faultIxChaosDrop] = faultKind("chaosDrop")
+	t.faults[faultIxChaosDup] = faultKind("chaosDup")
+	t.faults[faultIxChaosDelay] = faultKind("chaosDelay")
 	return t
 }
 

@@ -25,6 +25,12 @@ const (
 	TraceSwapAbandoned
 	TraceBoundaryCross
 	TraceRankUpdate
+	// Fault-plane events: the chaos layer records when it opens or heals
+	// a network partition and when a byzantine node installs a
+	// misreported attribute (Attr carries the lie).
+	TracePartitionOpen
+	TracePartitionHeal
+	TraceLieSent
 )
 
 var traceKindNames = map[TraceKind]string{
@@ -35,6 +41,9 @@ var traceKindNames = map[TraceKind]string{
 	TraceSwapAbandoned: "swapAbandoned",
 	TraceBoundaryCross: "boundaryCross",
 	TraceRankUpdate:    "rankUpdate",
+	TracePartitionOpen: "partitionOpen",
+	TracePartitionHeal: "partitionHeal",
+	TraceLieSent:       "lieSent",
 }
 
 // String returns the JSON wire name of the kind.

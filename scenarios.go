@@ -57,6 +57,26 @@ type (
 	ScenarioLiveSpec = scenario.LiveSpec
 )
 
+// Fault plane: a spec's Faults block opts a run into seeded,
+// deterministic fault injection on either backend — attribute drift,
+// byzantine misreporting, scheduled partitions, and message chaos.
+// Windows are half-open cycle intervals [From, Until); injection
+// decisions are pure hashes of seed, node and cycle, so faulted runs
+// stay bit-reproducible. The chaos-* scenario families exercise every
+// family end to end (see the README's Robustness section).
+type (
+	// ScenarioFaultsSpec is a spec's fault-injection block.
+	ScenarioFaultsSpec = scenario.FaultsSpec
+	// ScenarioDriftSpec schedules mid-run attribute drift.
+	ScenarioDriftSpec = scenario.DriftSpec
+	// ScenarioByzantineSpec schedules attribute misreporting.
+	ScenarioByzantineSpec = scenario.ByzantineSpec
+	// ScenarioPartitionSpec schedules a network partition and heal.
+	ScenarioPartitionSpec = scenario.PartitionSpec
+	// ScenarioChaosSpec schedules a message loss/dup/delay window.
+	ScenarioChaosSpec = scenario.ChaosSpec
+)
+
 // Backend names accepted by ScenarioBackendByName (and the slicebench
 // -backend flag).
 const (
