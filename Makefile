@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke chaos-smoke lint ci
+.PHONY: all build test test-serial test-hot bench bench-json bench-compare scale-smoke serve-bench obs-smoke chaos-smoke lint ci
 
 all: build
 
@@ -32,17 +32,23 @@ test-hot:
 	$(GO) test -race -count=1 -run 'TestWorkerCountInvariance|TestParallelEngineAtScale' ./internal/sim
 
 # One iteration per benchmark: a smoke pass that proves they still run.
+# -short skips the n=1,000,000 EngineScaling rows — the million-node
+# tier is exercised by scale-smoke and the scale-1m sweep instead of
+# paying twelve 2 GB engine constructions here.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
 
 # A small sweep over the full scenario catalog via slicebench: every
 # registered scenario must smoke-run, and the per-run wall time and
 # cycles/sec land in BENCH_sweep.json (CI uploads it as an artifact).
-# The scale-* family additionally runs at FULL scale — N=10k/50k/100k,
-# one run at a time with the parallel cycle engine inside each run
+# The scale-* family additionally runs at FULL scale — N=10k/50k/100k
+# plus the million-node tier (scale-1m, ~1.9 GB of engine state), one
+# run at a time with the parallel cycle engine inside each run
 # (-simworkers 4; results are bit-identical at any worker count) — so
 # BENCH_scale.json tracks the engine's cycles/sec as a function of N
-# from build to build. The four raw files then consolidate into
+# from build to build, with per-run memory budgets (arena/state/staging
+# bytes per node) recorded alongside timing. The four raw files then
+# consolidate into
 # BENCH_summary.json (scenario → finalSDM, cyclesPerSec, backend): one
 # stable cross-PR shape that `slicebench compare` can diff between
 # builds to gate perf regressions.
@@ -50,7 +56,7 @@ bench-json:
 	$(GO) run ./cmd/slicebench sweep -scenarios all -scale 0.01 -workers 4 \
 		-out BENCH_sweep.json -quiet
 	@echo "wrote BENCH_sweep.json"
-	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k \
+	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k,scale-1m \
 		-workers 1 -simworkers 4 -out BENCH_scale.json -quiet
 	@echo "wrote BENCH_scale.json"
 	$(GO) run ./cmd/slicebench sweep -backend live -scale 0.1 -workers 2 \
@@ -76,6 +82,19 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/slicebench compare BENCH_baseline.json BENCH_summary.json \
 		-fail-above 15 -min-wall-ms 1000
+
+# The million-node memory gate: run the scale-1m family at a reduced
+# cycle count — enough to build the 1M-slot arena, run the parallel
+# rounds and churn, not enough to wait for convergence — under a hard
+# GOMEMLIMIT ceiling, and print each engine's audited memory budget
+# (-memstats: arena/state/staging split and bytes/node). A per-node
+# regression that slipped past the unit tests (a stray map, a pointer
+# field, an unpooled buffer) either blows the bytes/node line or drives
+# the runtime into the memory limit; both fail loudly here rather than
+# silently on a researcher's machine.
+scale-smoke:
+	GOMEMLIMIT=6GiB $(GO) run ./cmd/slicebench run scale-1m -cycles 2 \
+		-simworkers 4 -memstats -format csv
 
 # Load-test the query plane: materialize the serving scenario family as
 # real 1k-node clusters, hammer their HTTP endpoints with concurrent
@@ -122,4 +141,4 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test test-serial test-hot bench bench-json bench-compare serve-bench obs-smoke chaos-smoke
+ci: lint build test test-serial test-hot bench bench-json bench-compare scale-smoke serve-bench obs-smoke chaos-smoke

@@ -225,7 +225,9 @@ func runOne(args []string, out, errOut io.Writer) error {
 		backend    = fs.String("backend", "sim", "execution backend: sim|live")
 		format     = fs.String("format", "table", "output format: table|csv|json")
 		every      = fs.Int("every", 1, "record the SDM every k-th cycle")
+		cycles     = fs.Int("cycles", 0, "override every spec's cycle count (0 = spec value)")
 		timing     = fs.Bool("timing", true, "report wall time per run (json only)")
+		memStats   = fs.Bool("memstats", false, "print the engine memory budget per run (arena bytes, bytes/node) plus process heap stats")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf    = fs.String("memprofile", "", "write a post-run heap profile to this file")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics and /debug/trace for the running scenario on this address (runs sharing the process share the gauges; use -workers 1 for per-run readings)")
@@ -287,6 +289,9 @@ func runOne(args []string, out, errOut io.Writer) error {
 		if *simWorkers > 0 {
 			runs[i].Spec.SimWorkers = *simWorkers
 		}
+		if *cycles > 0 {
+			runs[i].Spec.Cycles = *cycles
+		}
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -317,6 +322,9 @@ func runOne(args []string, out, errOut io.Writer) error {
 			return fmt.Errorf("%s/%s: %s", res.Scenario, res.Spec.Name, res.Error)
 		}
 	}
+	if *memStats {
+		writeMemStats(errOut, results)
+	}
 	switch *format {
 	case "json":
 		return scenario.WriteJSON(out, results)
@@ -335,6 +343,45 @@ func runOne(args []string, out, errOut io.Writer) error {
 		return writeSeriesTable(out, series)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// writeMemStats prints each run's engine-side memory budget (the
+// deterministic accounting sim.MemReport performs over the arena and
+// the per-slot slices) followed by the process-level heap picture from
+// runtime.ReadMemStats — the two together separate "what the engine
+// reserves per node" from allocator slack and GC headroom.
+func writeMemStats(out io.Writer, results []scenario.RunResult) {
+	for _, res := range results {
+		if res.Mem == nil {
+			fmt.Fprintf(out, "# mem %s/%s: no engine report (sim backend with -timing only)\n",
+				res.Scenario, res.Spec.Name)
+			continue
+		}
+		m := res.Mem
+		fmt.Fprintf(out, "# mem %s/%s: n=%d arena=%s state=%s staging=%s total=%s (%.1f bytes/node)\n",
+			res.Scenario, res.Spec.Name, m.Nodes,
+			fmtBytes(m.ArenaBytes), fmtBytes(m.StateBytes), fmtBytes(m.StagingBytes),
+			fmtBytes(m.Total()), m.BytesPerNode)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(out, "# mem process: heapAlloc=%s heapSys=%s (peak proxy) totalAlloc=%s numGC=%d\n",
+		fmtBytes(int64(ms.HeapAlloc)), fmtBytes(int64(ms.HeapSys)),
+		fmtBytes(int64(ms.TotalAlloc)), ms.NumGC)
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 

@@ -99,11 +99,15 @@
 // sweeps it (scenario grids fan out across a worker pool with
 // deterministic per-run seeds), and the examples and the experiments
 // package are thin wrappers over the same entries. The scale-10k,
-// scale-50k and scale-100k families push the arena-based simulation
+// scale-50k, scale-100k and scale-1m families push the simulation
 // engine well past the paper's N=10,000 evaluation ceiling — both
-// protocols, static and churning, at up to 100,000 nodes — and double
+// protocols, static and churning, at up to 1,000,000 nodes — and double
 // as the engine's throughput benchmarks (see BenchmarkEngineScaling
-// and `make bench-json`).
+// and `make bench-json`). The engine itself is a struct-of-arrays
+// arena: per-node state in parallel slices addressed by slot, all view
+// storage flattened into one backing array, per-worker scratch instead
+// of per-node buffers — ~1.9 kB per node all in, which is what makes
+// the million-node tier (`make scale-smoke`) fit a laptop.
 //
 // # Robustness: the fault plane
 //

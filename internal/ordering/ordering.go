@@ -107,10 +107,21 @@ type Node struct {
 	// Reusable per-node buffers for the per-tick view snapshot and the
 	// local-sequence computation. A node is single-threaded (the runtime
 	// serializes it behind a mutex, the simulator runs one goroutine), and
-	// nothing below retains these across calls, so reuse is safe.
-	scratch []view.Entry
-	seq     seqScratch
+	// nothing below retains these across calls, so reuse is safe. The
+	// cycle simulator bypasses these entirely: it calls TickSwap with a
+	// per-worker Scratch so a million value-stored nodes don't each grow
+	// private buffers.
+	scratch Scratch
 	envBuf  []proto.Envelope
+}
+
+// Scratch holds the reusable tick buffers — the filtered view snapshot
+// and the local-sequence members. Callers that drive many nodes from
+// one goroutine (the cycle engine's workers) share one Scratch across
+// all of them instead of paying per-node buffer growth.
+type Scratch struct {
+	entries []view.Entry
+	members []localMember
 }
 
 var _ proto.Node = (*Node)(nil)
@@ -183,20 +194,32 @@ func (n *Node) SetTrace(tr *telemetry.TraceRing) { n.trace = tr }
 // The returned envelope carries the swap request, if any partner
 // qualifies.
 func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
+	target, req, ok := n.TickSwap(state, rng, &n.scratch)
+	if !ok {
+		return nil
+	}
+	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: target, Msg: req})
+	return n.envBuf
+}
+
+// TickSwap is Tick without the envelope boxing: it returns the chosen
+// partner and the swap request by value, drawing tick scratch from scr.
+// The cycle engine's compute phase calls this once per node per cycle,
+// so avoiding the per-tick interface allocation matters at N=10⁶.
+func (n *Node) TickSwap(state proto.StateReader, rng core.RNG, scr *Scratch) (core.ID, proto.SwapRequest, bool) {
 	selfR, ok := state.R(n.id)
 	if !ok {
 		selfR = n.r
 	}
-	target, ok := n.selectPartner(selfR, state, rng)
+	target, ok := n.selectPartner(selfR, state, rng, scr)
 	if !ok {
-		return nil
+		return 0, proto.SwapRequest{}, false
 	}
 	n.stats.ReqSent++
 	n.trace.Record(telemetry.TraceEvent{
 		Kind: telemetry.TraceSwapRequest, Node: uint64(n.id), Peer: uint64(target), Rank: selfR,
 	})
-	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: target, Msg: proto.SwapRequest{R: selfR, Attr: n.attr}})
-	return n.envBuf
+	return target, proto.SwapRequest{R: selfR, Attr: n.attr}, true
 }
 
 // neighborCoordinate resolves a neighbor's random value through the
@@ -210,22 +233,22 @@ func neighborCoordinate(state proto.StateReader, e view.Entry) float64 {
 	return e.R
 }
 
-func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng core.RNG) (core.ID, bool) {
+func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng core.RNG, scr *Scratch) (core.ID, bool) {
 	if n.policy == SelectMaxGain {
 		// localSequences takes (and placeholder-filters) its own view
 		// snapshot; snapshotting here too would copy the view twice per
 		// tick on the paper's default policy.
-		return n.selectMaxGain(selfR, state)
+		return n.selectMaxGain(selfR, state, scr)
 	}
 	// Placeholder entries carry no usable coordinates; they are gossip
 	// contacts for the membership layer only.
-	entries := n.scratch[:0]
+	entries := scr.entries[:0]
 	for _, e := range n.v.Raw() {
 		if !e.Placeholder() {
 			entries = append(entries, e)
 		}
 	}
-	n.scratch = entries
+	scr.entries = entries
 	if len(entries) == 0 {
 		return 0, false
 	}
@@ -255,8 +278,8 @@ func (n *Node) selectPartner(selfR float64, state proto.StateReader, rng core.RN
 // the tick costs a single O(c) scan and sends nothing, instead of the
 // O(c²) rank count. The outcome is identical, since G is only ever
 // evaluated for misplaced neighbors.
-func (n *Node) selectMaxGain(selfR float64, state proto.StateReader) (core.ID, bool) {
-	members := n.localMembers(selfR, state)
+func (n *Node) selectMaxGain(selfR float64, state proto.StateReader, scr *Scratch) (core.ID, bool) {
+	members := n.localMembers(selfR, state, scr)
 	anyMisplaced := false
 	for i := 1; i < len(members); i++ {
 		if Misplaced(n.attr, members[i].attr, selfR, members[i].r) {
@@ -302,30 +325,25 @@ type localSeq struct {
 	size   int // c+1 in the paper's notation
 }
 
-// seqScratch holds the reusable member buffer of localSequences.
-type seqScratch struct {
-	members []localMember
-}
-
 // localMembers collects N_i ∪ {i} — self first — with each member's
 // coordinate resolved through the state reader, into the reusable
 // scratch. Ranks start at zero; rankMembers fills them.
-func (n *Node) localMembers(selfR float64, state proto.StateReader) []localMember {
-	members := append(n.seq.members[:0], localMember{id: n.id, attr: n.attr, r: selfR})
+func (n *Node) localMembers(selfR float64, state proto.StateReader, scr *Scratch) []localMember {
+	members := append(scr.members[:0], localMember{id: n.id, attr: n.attr, r: selfR})
 	for _, e := range n.v.Raw() {
 		if e.Placeholder() {
 			continue
 		}
 		members = append(members, localMember{id: e.ID, attr: e.Attr, r: neighborCoordinate(state, e)})
 	}
-	n.seq.members = members
+	scr.members = members
 	return members
 }
 
 // localSequences computes LA.sequence_i and LR.sequence_i over
 // N_i ∪ {i} (§4.3) and annotates each member with its indices.
 func (n *Node) localSequences(selfR float64, state proto.StateReader) localSeq {
-	return n.rankMembers(n.localMembers(selfR, state))
+	return n.rankMembers(n.localMembers(selfR, state, &n.scratch))
 }
 
 // rankMembers runs once per node per cycle on unconverged neighborhoods
@@ -407,9 +425,10 @@ func (n *Node) LDM(state proto.StateReader) float64 {
 func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envelope {
 	switch m := msg.(type) {
 	case proto.SwapRequest:
-		return n.handleSwapRequest(from, m)
+		n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: n.ApplySwapRequest(from, m)})
+		return n.envBuf
 	case proto.SwapReply:
-		n.handleSwapReply(from, m)
+		n.ApplySwapReply(from, m)
 		return nil
 	default:
 		// Not an ordering message (e.g. a stray RankUpdate); ignore.
@@ -417,10 +436,12 @@ func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envel
 	}
 }
 
-// handleSwapRequest applies the receiver side of the exchange: reply
+// ApplySwapRequest applies the receiver side of the exchange: reply
 // with the current random value, then adopt the initiator's value if the
-// swap predicate holds (Fig. 2 lines 15-19).
-func (n *Node) handleSwapRequest(from core.ID, req proto.SwapRequest) []proto.Envelope {
+// swap predicate holds (Fig. 2 lines 15-19). The reply is returned by
+// value; Handle boxes it into an envelope for the wire-level runtime,
+// while the cycle engine delivers it to the initiator directly.
+func (n *Node) ApplySwapRequest(from core.ID, req proto.SwapRequest) proto.SwapReply {
 	n.stats.ReqReceived++
 	reply := proto.SwapReply{R: n.r}
 	if Misplaced(n.attr, req.Attr, n.r, req.R) {
@@ -437,15 +458,14 @@ func (n *Node) handleSwapRequest(from core.ID, req proto.SwapRequest) []proto.En
 			Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: req.R,
 		})
 	}
-	n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: reply})
-	return n.envBuf
+	return reply
 }
 
-// handleSwapReply applies the initiator side: refresh the view's record
+// ApplySwapReply applies the initiator side: refresh the view's record
 // of the partner's value, then adopt it if the predicate holds (Fig. 2
 // lines 10-14). The partner's attribute comes from the view — the ACK
 // does not carry it (the paper notes the initiator already has it).
-func (n *Node) handleSwapReply(from core.ID, rep proto.SwapReply) {
+func (n *Node) ApplySwapReply(from core.ID, rep proto.SwapReply) {
 	e, ok := n.v.Get(from)
 	if !ok {
 		// The partner has since been rotated out of the view; without

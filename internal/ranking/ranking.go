@@ -40,12 +40,21 @@ type Node struct {
 	boundaryBias bool
 
 	// Reusable per-tick buffers (a node is single-threaded; neither
-	// slice is retained by callers beyond the consuming call).
-	scratch []view.Entry
+	// slice is retained by callers beyond the consuming call). The cycle
+	// simulator bypasses these: it calls TickTargets with a per-worker
+	// Scratch so value-stored nodes don't each grow private buffers.
+	scratch Scratch
 	envBuf  []proto.Envelope
 	// updMsg is the node's UPD message, boxed once: the attribute value
 	// it carries never changes (§3.1 assumes static attributes).
 	updMsg proto.Message
+}
+
+// Scratch holds the reusable tick buffer — the filtered view snapshot.
+// Callers that drive many nodes from one goroutine (the cycle engine's
+// workers) share one Scratch across all of them.
+type Scratch struct {
+	entries []view.Entry
 }
 
 // Stats counts protocol events.
@@ -148,17 +157,32 @@ func (n *Node) lower(m core.Member) bool {
 // returned envelopes carry UPD messages for the boundary-closest
 // neighbor j1 and a random neighbor j2.
 func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
+	j1, j2, ok := n.TickTargets(state, rng, &n.scratch)
+	if !ok {
+		return nil
+	}
+	n.envBuf = append(n.envBuf[:0],
+		proto.Envelope{To: j1, Msg: n.updMsg},
+		proto.Envelope{To: j2, Msg: n.updMsg})
+	return n.envBuf
+}
+
+// TickTargets is Tick without the envelope boxing: it feeds the view
+// scan into the estimator and returns the two UPD targets (j1 may equal
+// j2) by value, drawing tick scratch from scr. Both updates carry the
+// node's current attribute — read it with Member().Attr at delivery.
+func (n *Node) TickTargets(state proto.StateReader, rng core.RNG, scr *Scratch) (core.ID, core.ID, bool) {
 	// Placeholder entries are contact addresses, not attribute samples;
 	// they are neither observed nor targeted. The filter reads the view's
 	// backing slice directly (no snapshot copy): nothing below mutates
 	// the view.
-	entries := n.scratch[:0]
+	entries := scr.entries[:0]
 	for _, e := range n.v.Raw() {
 		if !e.Placeholder() {
 			entries = append(entries, e)
 		}
 	}
-	n.scratch = entries
+	scr.entries = entries
 	if n.scanView {
 		for _, e := range entries {
 			n.est.Observe(n.lower(e.Member()))
@@ -166,9 +190,8 @@ func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
 		}
 	}
 	if len(entries) == 0 {
-		return nil
+		return 0, 0, false
 	}
-	envs := n.envBuf[:0]
 	// j1: the neighbor whose rank estimate is closest to its nearest
 	// slice boundary (Fig. 5 lines 8-10). Estimates resolve through the
 	// state reader so the simulator can model freshness; a live node
@@ -184,14 +207,11 @@ func (n *Node) Tick(state proto.StateReader, rng core.RNG) []proto.Envelope {
 	} else {
 		j1 = entries[rng.Intn(len(entries))]
 	}
-	envs = append(envs, proto.Envelope{To: j1.ID, Msg: n.updMsg})
 	n.stats.UpdatesSent++
 	// j2: a uniformly random neighbor (Fig. 5 line 12).
 	j2 := entries[rng.Intn(len(entries))]
-	envs = append(envs, proto.Envelope{To: j2.ID, Msg: n.updMsg})
 	n.stats.UpdatesSent++
-	n.envBuf = envs
-	return envs
+	return j1.ID, j2.ID, true
 }
 
 func (n *Node) boundaryDistance(state proto.StateReader, e view.Entry) float64 {
@@ -210,7 +230,13 @@ func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envel
 		// Not a ranking message (e.g. a stray SwapRequest); ignore.
 		return nil
 	}
-	n.stats.UpdatesReceived++
-	n.est.Observe(n.lower(core.Member{ID: from, Attr: upd.Attr}))
+	n.ApplyRankUpdate(from, upd.Attr)
 	return nil
+}
+
+// ApplyRankUpdate is the passive thread without the message unboxing:
+// absorb one UPD observation carrying the sender's attribute.
+func (n *Node) ApplyRankUpdate(from core.ID, attr core.Attr) {
+	n.stats.UpdatesReceived++
+	n.est.Observe(n.lower(core.Member{ID: from, Attr: attr}))
 }

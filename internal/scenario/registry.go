@@ -266,6 +266,7 @@ var registry = []Scenario{
 	scaleScenario(10_000, 50),
 	scaleScenario(50_000, 30),
 	scaleScenario(100_000, 20),
+	scaleScenario(1_000_000, 10),
 	{
 		Name: "live-convergence",
 		Description: "sim-vs-live: the same specs run on the cycle simulator and on a live driven cluster — " +
@@ -467,6 +468,9 @@ var registry = []Scenario{
 // bench-json`, which writes BENCH_scale.json at full scale).
 func scaleScenario(n, cycles int) Scenario {
 	name := fmt.Sprintf("scale-%dk", n/1000)
+	if n >= 1_000_000 {
+		name = fmt.Sprintf("scale-%dm", n/1_000_000)
+	}
 	churn := &ChurnSpec{
 		Phases:  []ChurnPhase{{Join: 0.001, Leave: 0.001}},
 		Pattern: PatternSpec{Kind: PatternUniform},

@@ -145,6 +145,12 @@ type RunResult struct {
 	SDM []metrics.Point `json:"sdm,omitempty"`
 	// Timing is nil when the runner's timing collection is disabled.
 	Timing *Timing `json:"timing,omitempty"`
+	// Mem is the engine's end-of-run memory budget (sim backend only).
+	// Like Timing it is machine-specific only in that it exists per run —
+	// the numbers themselves are deterministic — but it rides the same
+	// switch so DisableTiming keeps sweep output a pure function of the
+	// grid.
+	Mem *sim.MemReport `json:"mem,omitempty"`
 }
 
 // Runner fans runs across a worker pool. The zero value runs on every
@@ -199,6 +205,10 @@ func (r Runner) execute(run Run) RunResult {
 		res.Timing = &Timing{
 			WallMS:       float64(elapsed.Microseconds()) / 1000,
 			CyclesPerSec: float64(run.Spec.Cycles) / elapsed.Seconds(),
+		}
+		if out.Mem.Nodes > 0 {
+			mem := out.Mem
+			res.Mem = &mem
 		}
 	}
 	return res

@@ -3,24 +3,49 @@ package sim
 import (
 	"sort"
 	"testing"
+	"unsafe"
 
 	"github.com/gossipkit/slicing/internal/churn"
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
 )
 
-// checkArenaConsistency verifies the engine's core invariants: the slot
-// table and the arena agree in both directions, the incrementally
-// maintained membership is exactly the live population in attribute
-// order, and no departed ID resolves to a live node.
+// checkArenaConsistency verifies the engine's core invariants after the
+// struct-of-arrays refactor: every parallel slice has one entry per
+// live node, the slot table and the arena agree in both directions,
+// every view header is bound onto exactly its slot's arena block, and
+// the incrementally maintained membership is exactly the live
+// population in attribute order with no departed ID resolving to a
+// live node.
 func checkArenaConsistency(t *testing.T, e *Engine) {
 	t.Helper()
-	for i := range e.nodes {
-		sn := &e.nodes[i]
-		s, ok := e.slotOf(sn.id)
+	n := len(e.ids)
+	nodes := len(e.ons) + len(e.rns)
+	if len(e.views) != n || len(e.self) != n || nodes != n {
+		t.Fatalf("cycle %d: parallel slices out of lockstep: ids=%d views=%d self=%d nodes=%d",
+			e.cycle, n, len(e.views), len(e.self), nodes)
+	}
+	for i := range e.ids {
+		s, ok := e.slotOf(e.ids[i])
 		if !ok || s != int32(i) {
 			t.Fatalf("cycle %d: node %v at slot %d, slot table says (%d,%v)",
-				e.cycle, sn.id, i, s, ok)
+				e.cycle, e.ids[i], i, s, ok)
+		}
+		nodeID := e.memberAt(int32(i)).ID
+		if nodeID != e.ids[i] {
+			t.Fatalf("cycle %d: slot %d's protocol node is %v, ids slice says %v",
+				e.cycle, i, nodeID, e.ids[i])
+		}
+		// The view header must be bound onto this slot's arena block:
+		// same backing pointer, capacity clamped to the stride.
+		eb, _ := e.varena.Block(i)
+		raw := e.views[i].Raw()
+		if cap(raw) == 0 || unsafe.SliceData(raw[:cap(raw)]) != unsafe.SliceData(eb[:cap(eb)]) {
+			t.Fatalf("cycle %d: slot %d's view is not bound to its arena block", e.cycle, i)
+		}
+		if cap(raw) > e.varena.Stride() {
+			t.Fatalf("cycle %d: slot %d's view capacity %d exceeds the arena stride %d",
+				e.cycle, i, cap(raw), e.varena.Stride())
 		}
 	}
 	live := 0
@@ -30,32 +55,32 @@ func checkArenaConsistency(t *testing.T, e *Engine) {
 			continue
 		}
 		live++
-		if int(s) >= len(e.nodes) {
-			t.Fatalf("cycle %d: slot %d for %v beyond arena size %d", e.cycle, s, id, len(e.nodes))
+		if int(s) >= n {
+			t.Fatalf("cycle %d: slot %d for %v beyond arena size %d", e.cycle, s, id, n)
 		}
-		if e.nodes[s].id != id {
+		if e.ids[s] != id {
 			t.Fatalf("cycle %d: slot %d holds %v, slot table maps %v there",
-				e.cycle, s, e.nodes[s].id, id)
+				e.cycle, s, e.ids[s], id)
 		}
 	}
-	if live != len(e.nodes) {
-		t.Fatalf("cycle %d: %d live slot entries vs arena size %d", e.cycle, live, len(e.nodes))
+	if live != n {
+		t.Fatalf("cycle %d: %d live slot entries vs arena size %d", e.cycle, live, n)
 	}
-	if len(e.members) != len(e.nodes) {
-		t.Fatalf("cycle %d: membership has %d entries, arena %d", e.cycle, len(e.members), len(e.nodes))
+	if len(e.members) != n {
+		t.Fatalf("cycle %d: membership has %d entries, arena %d", e.cycle, len(e.members), n)
 	}
 	for i, m := range e.members {
 		if i > 0 && !core.Less(e.members[i-1], m) {
 			t.Fatalf("cycle %d: membership out of order at %d: %v !< %v",
 				e.cycle, i, e.members[i-1], m)
 		}
-		sn := e.lookup(m.ID)
-		if sn == nil {
+		s, ok := e.slotOf(m.ID)
+		if !ok {
 			t.Fatalf("cycle %d: membership lists departed node %v", e.cycle, m.ID)
 		}
-		if sn.node.Member() != m {
+		if e.memberAt(s) != m {
 			t.Fatalf("cycle %d: membership entry %v diverges from node state %v",
-				e.cycle, m, sn.node.Member())
+				e.cycle, m, e.memberAt(s))
 		}
 	}
 }

@@ -72,8 +72,16 @@ func BenchmarkStepRankingChurn(b *testing.B) {
 // results are bit-identical across the workers dimension, so the rows
 // measure pure throughput scaling. The scale-* scenario family
 // exercises the same workloads through slicebench (-simworkers).
+//
+// The n=1000000 rows are the million-node acceptance tier of the
+// struct-of-arrays engine: ~1.9 GB of engine state per run, so they are
+// skipped under -short (and each row costs seconds per iteration — use
+// -benchtime 2x or so).
 func BenchmarkEngineScaling(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1_000_000} {
+		if n >= 1_000_000 && testing.Short() {
+			continue
+		}
 		for _, workers := range []int{1, 4, 8} {
 			if workers > 1 && n < 10000 {
 				// Parallel rounds are for big arenas; keep the table small.

@@ -4,9 +4,6 @@ import (
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/metrics"
-	"github.com/gossipkit/slicing/internal/ordering"
-	"github.com/gossipkit/slicing/internal/proto"
-	"github.com/gossipkit/slicing/internal/ranking"
 )
 
 // This file is the simulator half of the fault plane (Config.Faults).
@@ -48,16 +45,6 @@ func (e *Engine) FaultTally() FaultCounts { return e.fc }
 // of the byzantine target slice's believed occupants that are liars.
 // Empty unless the plan has a Byzantine family.
 func (e *Engine) Pollution() metrics.Series { return e.pollution }
-
-// setAttr routes a forced attribute change to the protocol node.
-func setAttr(n proto.Node, a core.Attr) {
-	switch v := n.(type) {
-	case *ordering.Node:
-		v.SetAttr(a)
-	case *ranking.Node:
-		v.SetAttr(a)
-	}
-}
 
 // applyFaults runs the cycle's serial fault step, after churn and
 // before the membership phase: caches the cycle's partition/chaos
@@ -103,7 +90,7 @@ func (e *Engine) applyDrift(d *fault.Drift) bool {
 		}
 		m.Attr += core.Attr(delta)
 		if _, lies := e.lying[m.ID]; !lies {
-			setAttr(e.nodes[e.slots[m.ID]].node, m.Attr)
+			e.setAttrAt(e.slots[m.ID], m.Attr)
 		}
 		e.fc.DriftPerturbations++
 		moved = true
@@ -134,7 +121,7 @@ func (e *Engine) applyByzantine(b *fault.Byzantine) bool {
 		switch {
 		case want:
 			lie := e.lieAttr(b, m.ID)
-			node := e.nodes[e.slots[m.ID]].node
+			s := e.slots[m.ID]
 			if !cur {
 				if e.lying == nil {
 					e.lying = make(map[core.ID]struct{})
@@ -142,14 +129,14 @@ func (e *Engine) applyByzantine(b *fault.Byzantine) bool {
 				e.lying[m.ID] = struct{}{}
 				e.fc.LiesInstalled++
 			}
-			if node.Member().Attr != lie {
-				setAttr(node, lie)
+			if e.memberAt(s).Attr != lie {
+				e.setAttrAt(s, lie)
 				changed = true
 			}
 		case cur:
 			// Window closed (or the node was never in the cohort — map
 			// entries only exist for cohort nodes): drop the lie.
-			setAttr(e.nodes[e.slots[m.ID]].node, m.Attr)
+			e.setAttrAt(e.slots[m.ID], m.Attr)
 			delete(e.lying, m.ID)
 			changed = true
 		}

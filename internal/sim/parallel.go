@@ -1,6 +1,12 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/view"
+)
 
 // This file holds the engine's parallel-execution primitives. The
 // determinism contract they uphold: the worker count may change WHICH
@@ -18,10 +24,21 @@ import "sync"
 //     exact and commutative — and reduce over per-worker fields.
 
 // simWorker is one worker's scratch block: a private rejection sampler
-// for the oracle round and integer partial tallies for the reduce
-// steps.
+// for the oracle round, merge/reply/tick scratch for the compute and
+// commit phases (shared across every node the worker drives, so a
+// million value-stored nodes don't each grow private buffers), and
+// integer partial tallies for the reduce steps.
 type simWorker struct {
-	sampler sampler
+	sampler  sampler
+	merge    view.MergeScratch
+	replyBuf []view.Entry
+	oscr     ordering.Scratch
+	rscr     ranking.Scratch
+	// stream holds the current node's derived RNG stream. Compute phases
+	// pass it to protocol code through the core.RNG interface; parking it
+	// here instead of in a loop-local keeps the interface conversion from
+	// heap-allocating a fresh 8-byte box per node per cycle.
+	stream Stream
 
 	dropped     uint64
 	partDrops   uint64

@@ -20,17 +20,26 @@
 //
 // # Engine core
 //
-// Nodes live in a dense arena: a contiguous []simNode slice addressed by
-// index, plus one ID→index table ([]int32, indexed directly by the
-// monotonically assigned core.ID). Every hot-path lookup — message
-// delivery, state reads, snapshots, sampling, measurement — is therefore
-// a bounds check and a slice index: no hashing, no pointer chasing.
-// Churn is O(1) amortized per node: leavers are swap-deleted from the
-// arena, and the attribute-ordered membership (which the churn patterns
-// and the per-cycle SDM both consume) is maintained incrementally by a
-// single merge pass per churn event instead of being re-sorted. The
-// engine scales to populations of 100k+ nodes; see the scale-* scenario
-// family and BenchmarkEngineScaling.
+// Node state is laid out struct-of-arrays: the engine holds parallel
+// slices addressed by a dense arena index ("slot") — identifiers (ids),
+// value-stored protocol instances (ons/rns, one per protocol kind),
+// view headers (views) and cached self entries (self) — plus one
+// ID→slot table ([]int32, indexed directly by the monotonically
+// assigned core.ID). View storage itself lives outside the headers, in
+// one flat backing array indexed by slot*ViewSize with a packed ID
+// mirror (view.Arena): the compute and commit halves of a gossip round,
+// the per-cycle SDM/GDM measurement and churn's swap-delete all stream
+// contiguous memory instead of chasing per-node heap objects. Every
+// hot-path lookup — message delivery, state reads, snapshots, sampling,
+// measurement — is a bounds check and a slice index: no hashing, no
+// pointer chasing, no interface dispatch (the engine calls the concrete
+// ordering/ranking APIs and inlines the Cyclon/Newscast exchange
+// semantics over the arena directly). Churn is O(1) amortized per node:
+// leavers are swap-deleted (the vacating view is rebound onto the freed
+// arena block), and the attribute-ordered membership is maintained
+// incrementally by a single merge pass per churn event. The engine
+// scales to populations of 10⁶ nodes; see the scale-* scenario family,
+// BenchmarkEngineScaling, and MemReport for the bytes/node budget.
 //
 // # Parallel cycles
 //
@@ -45,17 +54,19 @@
 //     the engine's serial stream.
 //   - The membership phase runs partner selection on all nodes
 //     concurrently against their own views, freezes every view, then
-//     commits merges per view owner in initiator-slot order
-//     (membership.Exchanger).
+//     commits merges per view owner in initiator-slot order.
 //   - The protocol phase computes every initiator's exchange (partner
-//     choice, outgoing envelopes) in parallel against a frozen
+//     choice, outgoing payloads) in parallel against a frozen
 //     start-of-phase coordinate snapshot, then applies deliveries in a
 //     deterministic slot-ordered commit. Non-overlapping ordering
 //     exchanges re-validate the swap predicate on live values at commit
 //     — the atomic model's "the view is up-to-date when a message is
 //     sent" — so the atomic cycle model still produces zero
 //     unsuccessful swaps; overlapping exchanges (Config.Concurrency)
-//     keep their stale-delivery semantics.
+//     keep their stale-delivery semantics. Ranking's one-way updates
+//     additionally commit in parallel (per-target staging; see
+//     protocolRound), since which estimator absorbs which update is
+//     fixed by the compute phase alone.
 //   - Measurements reduce over fixed-size chunks whose partial sums are
 //     added in chunk order, keeping floating-point totals independent
 //     of the worker count.
@@ -70,10 +81,8 @@ import (
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/dist"
 	"github.com/gossipkit/slicing/internal/fault"
-	"github.com/gossipkit/slicing/internal/membership"
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
-	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/ranking"
 	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/view"
@@ -264,30 +273,6 @@ func (cfg *Config) validate() error {
 	return nil
 }
 
-// simNode couples a slicing protocol instance with its membership
-// protocol; they share one view. Nodes are stored by value in the
-// engine's arena.
-type simNode struct {
-	id   core.ID
-	node proto.Node
-	mem  membership.Protocol
-	// ex is mem's compute/commit decomposition, resolved once at
-	// creation: the parallel membership round runs on it. nil for the
-	// uniform oracle, whose re-draws the engine executes directly.
-	ex membership.Exchanger
-	// self caches node.SelfEntry() so bootstrap and oracle sampling read
-	// a struct field instead of calling through the protocol interface
-	// once per drawn sample. Refreshed by refreshSelfEntries; see there
-	// for the staleness contract.
-	self view.Entry
-}
-
-// orderingNode returns the node as *ordering.Node when applicable.
-func (s *simNode) orderingNode() (*ordering.Node, bool) {
-	n, ok := s.node.(*ordering.Node)
-	return n, ok
-}
-
 // noSlot marks a departed (or never-assigned) ID in the slot table.
 const noSlot = int32(-1)
 
@@ -297,11 +282,31 @@ type Engine struct {
 	part core.Partition
 	rng  *rand.Rand
 
-	// nodes is the arena: every live node, contiguous, addressed by
-	// index ("slot"). Slots are stable within a cycle; churn swap-deletes
-	// leavers and appends joiners, so slot order changes only at churn
-	// boundaries.
-	nodes []simNode
+	// The node arena, struct-of-arrays: one entry per live node in each
+	// of the parallel slices below, addressed by slot. Slots are stable
+	// within a cycle; churn swap-deletes leavers and appends joiners, so
+	// slot order changes only at churn boundaries.
+	//
+	// ids holds the node identifiers. Exactly one of ons/rns is in use
+	// per run — protocol instances are stored BY VALUE, so a scan over
+	// them streams memory instead of chasing a million heap pointers.
+	// views holds the per-slot view headers; their entry storage is not
+	// theirs but the slot's block of varena, so all view payloads of the
+	// population form two contiguous arrays (entries + packed ID
+	// mirror). self caches each node's SelfEntry (refreshed by
+	// refreshSelfEntries; see there for the staleness contract).
+	ids    []core.ID
+	ons    []ordering.Node
+	rns    []ranking.Node
+	views  []*view.View
+	self   []view.Entry
+	varena *view.Arena
+	// newscast resolves the membership substrate's exchange semantics
+	// once: partner = random (vs oldest), replies advertise self, merges
+	// keep the freshest duplicate. The oracle substrate bypasses
+	// exchanges entirely (oracleRound).
+	newscast bool
+
 	// slots maps core.ID → arena slot. IDs are assigned sequentially
 	// from 1, so the table is indexed directly by ID — an ID lookup is a
 	// bounds check and a slice load, never a hash. Departed IDs hold
@@ -359,33 +364,38 @@ type Engine struct {
 	membersBuf  []core.Member // double buffer for the membership merge
 	deferredBuf []deferredEnv
 	// Membership-round buffers: the per-slot partner choice, the frozen
-	// per-initiator request payloads and the per-initiator materialized
-	// replies (both strided ViewSize+1 per slot), per-slot self entries,
-	// and the counting-sorted per-target initiator lists that give the
-	// commit its deterministic order.
-	memTarget  []int32
-	reqStore   []view.Entry
-	reqLen     []int32
-	replyStore []view.Entry
-	replyLen   []int32
-	selfSnap   []view.Entry
-	initHead   []int32
-	initPos    []int32
-	initList   []int32
-	// Protocol-round buffers: each slot's ticked envelopes (stride
-	// maxTickEnvs) and overlap flag, copied out of the per-node scratch
-	// so a commit-phase Handle cannot clobber a later slot's pending
-	// envelopes.
-	envStore   []proto.Envelope
-	envCount   []int8
+	// per-initiator payload windows (strided ViewSize+1 per slot — a
+	// window carries the initiator's request on the way in and, once the
+	// target has absorbed it, is reused for that initiator's reply on
+	// the way back), per-slot self entries, and the counting-sorted
+	// per-target initiator lists that give the commit its deterministic
+	// order.
+	memTarget []int32
+	reqStore  []view.Entry
+	reqLen    []int32
+	selfSnap  []view.Entry
+	initHead  []int32
+	initPos   []int32
+	initList  []int32
+	// Protocol-round staging, unboxed per protocol: each ordering slot's
+	// ticked swap target (0 = no request this cycle) with its frozen
+	// payload and overlap flag; each ranking slot's two UPD targets
+	// (stride 2, 0 = none) with their resolved destination slots.
+	swapTo     []core.ID
+	swapR      []float64
+	swapAttr   []core.Attr
 	overlapBuf []bool
+	updTo      []core.ID
+	rankDst    []int32
 	// Measurement buffers: fixed-chunk partial sums plus the GDM rank
-	// scratch.
-	chunkSums []float64
-	alphaBuf  []int32
-	rhoBuf    []int32
-	rBuf      []float64
-	idxBuf    []int32
+	// scratch (bucketHead backs the bucket sort of measureGDM).
+	chunkSums  []float64
+	alphaBuf   []int32
+	rhoBuf     []int32
+	rBuf       []float64
+	idxBuf     []int32
+	bucketBuf  []int32
+	bucketHead []int32
 	// sampler backs the engine-stream uniform draws (bootstrap views);
 	// each worker carries its own for the oracle round.
 	sampler sampler
@@ -430,22 +440,32 @@ func New(cfg Config) (*Engine, error) {
 		workers = 1
 	}
 	e := &Engine{
-		cfg:     cfg,
-		part:    part,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		nodes:   make([]simNode, 0, cfg.N),
-		slots:   make([]int32, 1, cfg.N+1), // slot 0 is the unused ID 0
-		workers: workers,
-		ws:      make([]simWorker, workers),
-		sdm:     metrics.Series{Name: "sdm"},
-		gdm:     metrics.Series{Name: "gdm"},
-		unsucc:  metrics.Series{Name: "unsuccessful%"},
-		size:    metrics.Series{Name: "n"},
+		cfg:      cfg,
+		part:     part,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		ids:      make([]core.ID, 0, cfg.N),
+		views:    make([]*view.View, 0, cfg.N),
+		self:     make([]view.Entry, 0, cfg.N),
+		varena:   view.NewArena(cfg.ViewSize, cfg.N),
+		newscast: cfg.Membership == NewscastViews,
+		slots:    make([]int32, 1, cfg.N+1), // slot 0 is the unused ID 0
+		workers:  workers,
+		ws:       make([]simWorker, workers),
+		sdm:      metrics.Series{Name: "sdm"},
+		gdm:      metrics.Series{Name: "gdm"},
+		unsucc:   metrics.Series{Name: "unsuccessful%"},
+		size:     metrics.Series{Name: "n"},
 
 		pollution: metrics.Series{Name: "pollution"},
 		saltDrift: fault.DriftSalt(cfg.Seed),
 		saltByz:   fault.ByzantineSalt(cfg.Seed),
 		saltPart:  fault.PartitionSalt(cfg.Seed),
+	}
+	switch cfg.Protocol {
+	case Ordering:
+		e.ons = make([]ordering.Node, 0, cfg.N)
+	case Ranking:
+		e.rns = make([]ranking.Node, 0, cfg.N)
 	}
 	e.slots[0] = noSlot
 	if cfg.Telemetry != nil {
@@ -460,8 +480,8 @@ func New(cfg Config) (*Engine, error) {
 	// The one full membership sort of a run; churn events maintain the
 	// order incrementally from here on.
 	e.members = make([]core.Member, 0, cfg.N)
-	for i := range e.nodes {
-		e.members = append(e.members, e.nodes[i].node.Member())
+	for i := range e.ids {
+		e.members = append(e.members, e.memberAt(int32(i)))
 	}
 	core.SortMembers(e.members)
 	e.bootstrapViews(0)
@@ -479,13 +499,38 @@ func (e *Engine) slotOf(id core.ID) (int32, bool) {
 	return s, s >= 0
 }
 
-// lookup returns the live node for id, or nil if it has departed.
-func (e *Engine) lookup(id core.ID) *simNode {
-	s, ok := e.slotOf(id)
-	if !ok {
-		return nil
+// memberAt reads slot s's identity and current attribute.
+func (e *Engine) memberAt(s int32) core.Member {
+	if e.cfg.Protocol == Ordering {
+		return e.ons[s].Member()
 	}
-	return &e.nodes[s]
+	return e.rns[s].Member()
+}
+
+// estimateAt reads slot s's live coordinate (random value or rank
+// estimate). Cold paths only; hot loops specialize per protocol.
+func (e *Engine) estimateAt(s int32) float64 {
+	if e.cfg.Protocol == Ordering {
+		return e.ons[s].Estimate()
+	}
+	return e.rns[s].Estimate()
+}
+
+// setAttrAt routes a forced attribute change to slot s's protocol node.
+func (e *Engine) setAttrAt(s int32, a core.Attr) {
+	if e.cfg.Protocol == Ordering {
+		e.ons[s].SetAttr(a)
+	} else {
+		e.rns[s].SetAttr(a)
+	}
+}
+
+// selfEntryAt builds slot s's current gossip self entry.
+func (e *Engine) selfEntryAt(s int32) view.Entry {
+	if e.cfg.Protocol == Ordering {
+		return e.ons[s].SelfEntry()
+	}
+	return e.rns[s].SelfEntry()
 }
 
 // addNode creates a node with the next identifier and appends it to the
@@ -494,8 +539,16 @@ func (e *Engine) lookup(id core.ID) *simNode {
 func (e *Engine) addNode(attr core.Attr) error {
 	e.nextID++
 	id := e.nextID
-	v := view.MustNew(e.cfg.ViewSize)
-	var node proto.Node
+	slot := len(e.ids)
+	if e.varena.EnsureSlots(slot + 1) {
+		// The backing arrays moved; every bound view still points into
+		// the old ones. Rebind each onto its (already copied) block.
+		for s, v := range e.views {
+			v.Rebind(e.varena.Block(s))
+		}
+	}
+	eb, ib := e.varena.Block(slot)
+	v := view.NewBound(e.cfg.ViewSize, eb, ib)
 	switch e.cfg.Protocol {
 	case Ordering:
 		n, err := ordering.NewNode(ordering.Config{
@@ -506,7 +559,7 @@ func (e *Engine) addNode(attr core.Attr) error {
 		if err != nil {
 			return err
 		}
-		node = n
+		e.ons = append(e.ons, *n)
 	case Ranking:
 		var est ranking.Estimator
 		switch e.cfg.Estimator {
@@ -528,25 +581,12 @@ func (e *Engine) addNode(attr core.Attr) error {
 		if err != nil {
 			return err
 		}
-		node = n
+		e.rns = append(e.rns, *n)
 	}
-	var mem membership.Protocol
-	selfEntry := node.SelfEntry
-	switch e.cfg.Membership {
-	case NewscastViews:
-		mem = membership.NewNewscast(id, selfEntry, v)
-	case UniformOracle:
-		mem = membership.NewOracle(id, e.sampleEntries, v)
-	default:
-		mem = membership.NewCyclon(id, selfEntry, v)
-	}
-	// The engine drives gossip through the compute/commit split rather
-	// than the envelope API, so payloads are engine-owned and the
-	// protocols' own scratch stays untouched. The oracle has no
-	// exchanges; its re-draws run engine-side (oracleRound).
-	ex, _ := mem.(membership.Exchanger)
-	e.slots = append(e.slots, int32(len(e.nodes)))
-	e.nodes = append(e.nodes, simNode{id: id, node: node, mem: mem, ex: ex, self: node.SelfEntry()})
+	e.slots = append(e.slots, int32(slot))
+	e.ids = append(e.ids, id)
+	e.views = append(e.views, v)
+	e.self = append(e.self, e.selfEntryAt(int32(slot)))
 	return nil
 }
 
@@ -554,38 +594,45 @@ func (e *Engine) addNode(attr core.Attr) error {
 // per cycle for uniform-oracle runs (before the membership phase, so
 // oracle draws see coordinates at most one phase old — exactly what a
 // fresh gossip entry would carry) and once per joining churn event
-// (before bootstrap views are sampled). Cyclon and Newscast read their
-// own SelfEntry funcs directly and never consume the cache. Each slot
-// is written by exactly one worker, so the pass parallelizes trivially.
+// (before bootstrap views are sampled). Cyclon and Newscast exchanges
+// read the live node state directly and never consume the cache. Each
+// slot is written by exactly one worker, so the pass parallelizes
+// trivially.
 func (e *Engine) refreshSelfEntries() {
-	e.parallelFor(len(e.nodes), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sn := &e.nodes[i]
-			sn.self = sn.node.SelfEntry()
-		}
-	})
+	if e.cfg.Protocol == Ordering {
+		e.parallelFor(len(e.ids), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.self[i] = e.ons[i].SelfEntry()
+			}
+		})
+	} else {
+		e.parallelFor(len(e.ids), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.self[i] = e.rns[i].SelfEntry()
+			}
+		})
+	}
 }
 
-// bootstrapViews fills the view of every node in nodes[from:] with
+// bootstrapViews fills the view of every node in slots [from, len) with
 // ViewSize random other nodes.
 func (e *Engine) bootstrapViews(from int) {
-	for i := from; i < len(e.nodes); i++ {
-		sn := &e.nodes[i]
-		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, sn.id) {
-			sn.mem.View().Add(entry)
+	for i := from; i < len(e.ids); i++ {
+		v := e.views[i]
+		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, e.ids[i]) {
+			v.Add(entry)
 		}
 	}
 }
 
 // sampleEntries returns cached self entries for up to k distinct random
 // live nodes, excluding one id, through the engine's serial sampler. It
-// backs view bootstrapping (engine stream) and remains the SampleFunc
-// of the nominal Oracle instances; the per-cycle oracle re-draws run on
-// per-worker samplers instead (oracleRound). The returned slice is a
-// reusable buffer, valid until the next call; callers copy the entries
-// into a view immediately.
+// backs view bootstrapping (engine stream); the per-cycle oracle
+// re-draws run on per-worker samplers instead (oracleRound). The
+// returned slice is a reusable buffer, valid until the next call;
+// callers copy the entries into a view immediately.
 func (e *Engine) sampleEntries(rng core.RNG, k int, exclude core.ID) []view.Entry {
-	return e.sampler.sample(e.nodes, rng, k, exclude)
+	return e.sampler.sample(e.ids, e.self, rng, k, exclude)
 }
 
 // sampler is the rejection-sampling scratch behind uniform draws of
@@ -601,18 +648,19 @@ type sampler struct {
 	buf     []view.Entry
 }
 
-// sample fills the sampler's reusable buffer with the self entries of
-// up to k distinct uniformly drawn live nodes, excluding one id.
-func (sp *sampler) sample(nodes []simNode, rng core.RNG, k int, exclude core.ID) []view.Entry {
-	n := len(nodes)
+// sample fills the sampler's reusable buffer with the cached self
+// entries of up to k distinct uniformly drawn live slots, excluding one
+// id. ids and selfs are the engine's slot-parallel slices.
+func (sp *sampler) sample(ids []core.ID, selfs []view.Entry, rng core.RNG, k int, exclude core.ID) []view.Entry {
+	n := len(ids)
 	out := sp.buf[:0]
 	if n == 0 || k <= 0 {
 		return out
 	}
 	if k >= n {
-		for i := range nodes {
-			if nodes[i].id != exclude {
-				out = append(out, nodes[i].self)
+		for i := range ids {
+			if ids[i] != exclude {
+				out = append(out, selfs[i])
 			}
 		}
 		sp.buf = out
@@ -636,10 +684,10 @@ func (sp *sampler) sample(nodes []simNode, rng core.RNG, k int, exclude core.ID)
 		}
 		sp.seenGen[i] = gen
 		drawn++
-		if nodes[i].id == exclude {
+		if ids[i] == exclude {
 			continue
 		}
-		out = append(out, nodes[i].self)
+		out = append(out, selfs[i])
 	}
 	sp.buf = out
 	return out

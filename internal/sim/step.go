@@ -7,6 +7,8 @@ import (
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
 	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/ranking"
+	"github.com/gossipkit/slicing/internal/view"
 )
 
 // Step runs one simulation cycle: churn, the membership round, the
@@ -64,7 +66,7 @@ func (e *Engine) applyChurn() (refreshed bool) {
 	if e.cfg.Schedule == nil || e.cfg.Pattern == nil {
 		return false
 	}
-	ev := e.cfg.Schedule.At(e.cycle, len(e.nodes))
+	ev := e.cfg.Schedule.At(e.cycle, len(e.ids))
 	if ev.Leave == 0 && ev.Join == 0 {
 		return false
 	}
@@ -90,7 +92,7 @@ func (e *Engine) applyChurn() (refreshed bool) {
 		// Bootstrap views sample the cached self entries; re-cache so
 		// joiners see current coordinates, not cycle-of-creation ones.
 		e.refreshSelfEntries()
-		e.bootstrapViews(len(e.nodes) - ev.Join)
+		e.bootstrapViews(len(e.ids) - ev.Join)
 		return true
 	}
 	return false
@@ -119,29 +121,58 @@ func (e *Engine) mergeMembers(joiners []core.Member) {
 	e.members, e.membersBuf = out, e.members
 }
 
-// removeNode swap-deletes a node from the arena: the last node moves
-// into the vacated slot and the departed ID's slot entry is tombstoned.
-// O(1) per removal; the attribute-ordered membership is compacted later
-// by mergeMembers.
+// removeNode swap-deletes a node from the arena: the last node's state
+// moves into the vacated slot across every parallel slice, its view is
+// rebound onto the freed arena block (one block copy), and the departed
+// ID's slot entry is tombstoned. O(1) per removal; the attribute-ordered
+// membership is compacted later by mergeMembers.
 func (e *Engine) removeNode(id core.ID) {
 	s, ok := e.slotOf(id)
 	if !ok {
 		return
 	}
-	last := int32(len(e.nodes) - 1)
+	last := int32(len(e.ids) - 1)
 	if s != last {
-		e.nodes[s] = e.nodes[last]
-		e.slots[e.nodes[s].id] = s
+		e.ids[s] = e.ids[last]
+		e.self[s] = e.self[last]
+		// The View header moves with its node (value copy keeps the
+		// node's internal pointer valid); only its backing storage is
+		// re-homed, Rebind copying the survivor's entries from block
+		// `last` into the vacated block `s`.
+		e.views[s] = e.views[last]
+		e.views[s].Rebind(e.varena.Block(int(s)))
+		if e.ons != nil {
+			e.ons[s] = e.ons[last]
+		} else {
+			e.rns[s] = e.rns[last]
+		}
+		e.slots[e.ids[s]] = s
 	}
-	e.nodes[last] = simNode{} // release protocol state to the GC
-	e.nodes = e.nodes[:last]
+	// Release the tail slot's state to the GC and truncate every
+	// parallel slice in lockstep.
+	if e.ons != nil {
+		e.ons[last] = ordering.Node{}
+		e.ons = e.ons[:last]
+	} else {
+		e.rns[last] = ranking.Node{}
+		e.rns = e.rns[:last]
+	}
+	e.views[last] = nil
+	e.views = e.views[:last]
+	e.ids = e.ids[:last]
+	e.self = e.self[:last]
 	e.slots[id] = noSlot
 	delete(e.lying, id)
 }
 
 // exchangeRound is the membership phase for the gossiping substrates
 // (Cyclon, Newscast), restructured from the serial permutation walk
-// into compute/commit rounds.
+// into compute/commit rounds. The exchange semantics are inlined over
+// the arena: Cyclon ages the view and gossips with the oldest entry,
+// merging with keep-known-duplicate semantics; Newscast gossips with a
+// uniformly random entry, advertises itself in replies, and merges with
+// keep-freshest-duplicate semantics. Both drop the partner's entry on a
+// timed-out exchange (§3.3).
 //
 // Compute (parallel over slots): every node ages its view and selects
 // its partner on its own per-cycle stream — each node touches only its
@@ -159,12 +190,14 @@ func (e *Engine) removeNode(id core.ID) {
 // of them the same frozen view instead measurably homogenizes views —
 // clusters of nodes end up holding near-identical neighbor sets, which
 // starves the ranking estimator of sample diversity and stalls its
-// convergence.) Reply payloads are written to per-INITIATOR buffer
-// slots, and every initiator has exactly one target, so no two workers
-// ever write the same slot.
+// convergence.) The reply is staged in a worker-local buffer and then
+// written over the initiator's request window — the request is dead
+// once absorbed, so the round needs one flat payload store, not two.
+// Every initiator has exactly one target, so no two workers ever write
+// the same window.
 //
 // Commit half B (parallel over initiators, after a barrier): every
-// initiator absorbs its materialized reply.
+// initiator absorbs the reply now sitting in its own window.
 //
 // Each view's merge sequence — requests in initiator-slot order in half
 // A, its own reply in half B — is fixed by slot order alone, so the
@@ -174,7 +207,7 @@ func (e *Engine) removeNode(id core.ID) {
 // §4.5.2); what changed versus the serial engine is only that requests
 // read start-of-round views and replies land after all requests.
 func (e *Engine) exchangeRound() {
-	n := len(e.nodes)
+	n := len(e.ids)
 	if n == 0 {
 		return
 	}
@@ -182,8 +215,6 @@ func (e *Engine) exchangeRound() {
 	e.memTarget = grow(e.memTarget, n)
 	e.reqLen = grow(e.reqLen, n)
 	e.reqStore = grow(e.reqStore, n*stride)
-	e.replyLen = grow(e.replyLen, n)
-	e.replyStore = grow(e.replyStore, n*stride)
 	e.selfSnap = grow(e.selfSnap, n)
 	for i := range e.ws {
 		e.ws[i].dropped, e.ws[i].partDrops, e.ws[i].chaosDrops = 0, 0, 0
@@ -193,16 +224,27 @@ func (e *Engine) exchangeRound() {
 	if e.chaosNow != nil {
 		chaosLoss = e.chaosNow.Loss
 	}
+	newscast, isOrdering := e.newscast, e.ons != nil
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
-			sn := &e.nodes[s]
-			st := nodeStream(seed, uint64(sn.id), cycle, phaseMembership)
+			id := e.ids[s]
+			v := e.views[s]
+			ws.stream = nodeStream(seed, uint64(id), cycle, phaseMembership)
+			st := &ws.stream
+			v.AgeAll()
+			var pen view.Entry
+			var pok bool
+			if newscast {
+				pen, pok = v.Random(st)
+			} else {
+				pen, pok = v.Oldest()
+			}
 			tgt := int32(-1)
-			if id, ok := sn.ex.SelectPartner(&st); ok {
-				if ts, live := e.slotOf(id); live {
+			if pok {
+				if ts, live := e.slotOf(pen.ID); live {
 					switch {
-					case e.partitionBlocks(sn.id, id):
+					case e.partitionBlocks(id, pen.ID):
 						// The partner is unreachable across the partition:
 						// the exchange is suppressed, but the view entry is
 						// KEPT — the partner is alive, and those entries are
@@ -220,14 +262,19 @@ func (e *Engine) exchangeRound() {
 					// The partner departed: the request times out and the
 					// initiator drops the stale entry (§3.3).
 					ws.dropped++
-					sn.mem.OnTimeout(id)
+					v.Remove(pen.ID)
 				}
 			}
 			e.memTarget[s] = tgt
-			self := sn.node.SelfEntry()
+			var self view.Entry
+			if isOrdering {
+				self = e.ons[s].SelfEntry()
+			} else {
+				self = e.rns[s].SelfEntry()
+			}
 			e.selfSnap[s] = self
 			off := s * stride
-			req := append(sn.mem.View().AppendEntries(e.reqStore[off:off:off+stride]), self)
+			req := append(v.AppendEntries(e.reqStore[off:off:off+stride]), self)
 			e.reqLen[s] = int32(len(req))
 		}
 	})
@@ -268,36 +315,49 @@ func (e *Engine) exchangeRound() {
 	e.Delivered.ViewReplies += delivered
 
 	// Commit half A: targets reply and absorb, in initiator-slot order.
-	e.parallelFor(n, func(_, lo, hi int) {
+	e.parallelFor(n, func(w, lo, hi int) {
+		ws := &e.ws[w]
 		for t := lo; t < hi; t++ {
-			tn := &e.nodes[t]
 			list := e.initList[head[t]:head[t+1]]
 			if len(list) == 0 {
 				continue
 			}
-			replySelf := tn.ex.ReplyAddsSelf()
-			v := tn.mem.View()
+			v := e.views[t]
+			tid := e.ids[t]
 			for _, s32 := range list {
 				s := int(s32)
 				off := s * stride
-				reply := v.AppendEntries(e.replyStore[off : off : off+stride])
-				if replySelf {
+				reply := v.AppendEntries(ws.replyBuf[:0])
+				if newscast {
 					reply = append(reply, e.selfSnap[t])
 				}
-				e.replyLen[s] = int32(len(reply))
-				tn.ex.Absorb(e.reqStore[s*stride : s*stride+int(e.reqLen[s])])
+				req := e.reqStore[off : off+int(e.reqLen[s])]
+				if newscast {
+					v.MergeFreshUsing(req, tid, &ws.merge)
+				} else {
+					v.MergeUsing(req, tid, &ws.merge)
+				}
+				// The request is absorbed; its window now carries the
+				// reply back to initiator s (len(reply) ≤ stride always).
+				e.reqLen[s] = int32(copy(e.reqStore[off:off+stride], reply))
+				ws.replyBuf = reply[:0]
 			}
 		}
 	})
 	// Commit half B: initiators absorb their replies.
-	e.parallelFor(n, func(_, lo, hi int) {
+	e.parallelFor(n, func(w, lo, hi int) {
+		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
 			if e.memTarget[s] < 0 {
 				continue
 			}
-			sn := &e.nodes[s]
 			off := s * stride
-			sn.ex.Absorb(e.replyStore[off : off+int(e.replyLen[s])])
+			reply := e.reqStore[off : off+int(e.reqLen[s])]
+			if newscast {
+				e.views[s].MergeFreshUsing(reply, e.ids[s], &ws.merge)
+			} else {
+				e.views[s].MergeUsing(reply, e.ids[s], &ws.merge)
+			}
 		}
 	})
 }
@@ -305,23 +365,22 @@ func (e *Engine) exchangeRound() {
 // oracleRound is the membership phase for the uniform oracle (§5.3.2):
 // every view is re-drawn uniformly at random from the live population.
 // Draws run on per-node streams against the frozen self-entry cache, so
-// the round parallelizes over slots with no exchange step at all — the
-// oracle's semantics (fresh uniform sample, no messages) are exactly
-// those of membership.Oracle.Tick, executed engine-side so each worker
-// can use its own rejection-sampling scratch.
+// the round parallelizes over slots with no exchange step at all — a
+// fresh uniform sample, no messages — each worker using its own
+// rejection-sampling scratch.
 func (e *Engine) oracleRound() {
 	k := e.cfg.ViewSize
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
-	e.parallelFor(len(e.nodes), func(w, lo, hi int) {
+	e.parallelFor(len(e.ids), func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
-			sn := &e.nodes[s]
-			st := nodeStream(seed, uint64(sn.id), cycle, phaseMembership)
-			fresh := ws.sampler.sample(e.nodes, &st, k, sn.id)
-			v := sn.mem.View()
+			id := e.ids[s]
+			ws.stream = nodeStream(seed, uint64(id), cycle, phaseMembership)
+			fresh := ws.sampler.sample(e.ids, e.self, &ws.stream, k, id)
+			v := e.views[s]
 			v.Clear()
 			for _, en := range fresh {
-				if en.ID != sn.id {
+				if en.ID != id {
 					v.Add(en)
 				}
 			}
@@ -329,32 +388,33 @@ func (e *Engine) oracleRound() {
 	})
 }
 
-// deferredEnv is an overlapping message held back until the end of the
-// cycle (§4.5.2). The sender is recorded by arena slot: churn never runs
-// mid-cycle, so slots are stable for the lifetime of the deferral.
+// deferredEnv is an overlapping or chaos-delayed protocol message held
+// back until the end of the cycle (§4.5.2), flattened to its payload: a
+// swap request's frozen coordinate and attribute (ordering) or the
+// sender's attribute (ranking). The sender is recorded by arena slot:
+// churn never runs mid-cycle, so slots are stable for the lifetime of
+// the deferral.
 type deferredEnv struct {
 	from int32
-	env  proto.Envelope
+	to   core.ID
+	r    float64
+	attr core.Attr
 }
 
-// maxTickEnvs bounds the envelopes one protocol tick can produce: the
-// ordering protocols send at most one swap request, ranking at most two
-// rank updates. The per-slot envelope store is strided by it.
-const maxTickEnvs = 2
-
 // protocolRound runs the slicing step of every node as a compute/commit
-// pair.
+// pair, specialized per protocol — the engine stores protocol nodes by
+// value and calls their unboxed tick/apply entry points, so the round
+// allocates nothing and dispatches nothing.
 //
 // Compute (parallel over slots): every node's coordinate is frozen into
 // a start-of-phase snapshot, then every initiator ticks on its own
 // per-cycle stream against that snapshot — partner choice, outgoing
-// envelopes and (for mod-JK) the local-sequence ranking all read frozen
-// state, so the expensive part of the phase uses all cores. Each slot's
-// envelopes are copied into an engine-owned store: a commit-phase
-// Handle reuses the node's envelope scratch, which must not clobber a
-// later slot's pending tick output.
+// payloads and (for mod-JK) the local-sequence ranking all read frozen
+// state, so the expensive part of the phase uses all cores. Tick
+// outputs land in flat per-slot stores: the swap target/payload for
+// ordering, the two UPD targets for ranking.
 //
-// Commit (serial, deterministic): deliveries apply in slot order.
+// Commit (deterministic): deliveries apply in slot order.
 // Non-overlapping ordering exchanges are atomic (§4.5.2, "the view is
 // up-to-date when a message is sent"): the request re-reads the live
 // random value and re-validates the swap predicate at send time, and a
@@ -366,108 +426,132 @@ const maxTickEnvs = 2
 // in an engine-stream shuffled order, where the swap predicate is
 // re-evaluated against live state — failed predicates are the paper's
 // unsuccessful swaps. Ranking updates are one-way and always useful, so
-// they deliver immediately regardless of Concurrency (§5).
+// they deliver immediately regardless of Concurrency (§5); on
+// chaos-free cycles their commit additionally fans out over the workers
+// (see commitRankingParallel), since which estimator absorbs which
+// update is fixed by the compute phase alone.
 func (e *Engine) protocolRound() {
-	n := len(e.nodes)
+	n := len(e.ids)
 	if n == 0 {
 		return
 	}
 	e.snapBuf = grow(e.snapBuf, n)
-	e.parallelFor(n, func(_, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			e.snapBuf[s] = e.nodes[s].node.Estimate()
+	if e.ons != nil {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				e.snapBuf[s] = e.ons[s].Estimate()
+			}
+		})
+		e.tickOrdering(n)
+		e.commitOrdering(n)
+	} else {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				e.snapBuf[s] = e.rns[s].Estimate()
+			}
+		})
+		e.tickRanking(n)
+		if e.chaosNow == nil {
+			e.commitRankingParallel(n)
+		} else {
+			e.commitRankingSerial(n)
 		}
-	})
-	e.envStore = grow(e.envStore, n*maxTickEnvs)
-	e.envCount = grow(e.envCount, n)
+	}
+}
+
+// tickOrdering runs the ordering compute phase: every node's partner
+// choice and frozen swap payload, plus its overlap draw, in parallel.
+func (e *Engine) tickOrdering(n int) {
+	e.swapTo = grow(e.swapTo, n)
+	e.swapR = grow(e.swapR, n)
+	e.swapAttr = grow(e.swapAttr, n)
 	e.overlapBuf = grow(e.overlapBuf, n)
 	conc := e.cfg.Concurrency
-	drawOverlap := e.cfg.Protocol == Ordering && conc > 0
+	drawOverlap := conc > 0
 	reader := (*snapReader)(e)
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
-	e.parallelFor(n, func(_, lo, hi int) {
+	e.parallelFor(n, func(w, lo, hi int) {
+		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
-			sn := &e.nodes[s]
-			st := nodeStream(seed, uint64(sn.id), cycle, phaseProtocol)
-			overlap := drawOverlap && st.Float64() < conc
-			envs := sn.node.Tick(reader, &st)
-			if len(envs) > maxTickEnvs {
-				panic("sim: protocol tick produced more envelopes than maxTickEnvs")
+			ws.stream = nodeStream(seed, uint64(e.ids[s]), cycle, phaseProtocol)
+			st := &ws.stream
+			e.overlapBuf[s] = drawOverlap && st.Float64() < conc
+			to, req, ok := e.ons[s].TickSwap(reader, st, &ws.oscr)
+			if !ok {
+				e.swapTo[s] = 0
+				continue
 			}
-			copy(e.envStore[s*maxTickEnvs:], envs)
-			e.envCount[s] = int8(len(envs))
-			e.overlapBuf[s] = overlap
+			e.swapTo[s], e.swapR[s], e.swapAttr[s] = to, req.R, req.Attr
 		}
 	})
+}
 
+// commitOrdering applies the ordering deliveries serially in slot
+// order: swap replies mutate the initiator's random value, which later
+// slots' commit-time predicate checks must observe.
+func (e *Engine) commitOrdering(n int) {
 	overlapping := e.deferredBuf[:0]
 	for s := 0; s < n; s++ {
-		k := int(e.envCount[s])
-		if k == 0 {
+		to := e.swapTo[s]
+		if to == 0 {
 			continue
 		}
-		envs := e.envStore[s*maxTickEnvs : s*maxTickEnvs+k]
 		if e.overlapBuf[s] {
-			for _, env := range envs {
-				overlapping = append(overlapping, deferredEnv{from: int32(s), env: env})
-			}
+			overlapping = append(overlapping, deferredEnv{from: int32(s), to: to, r: e.swapR[s], attr: e.swapAttr[s]})
 			continue
 		}
-		sn := &e.nodes[s]
-		for _, env := range envs {
-			if e.partitionBlocks(sn.id, env.To) {
-				e.fc.PartitionDrops++
+		if e.partitionBlocks(e.ids[s], to) {
+			e.fc.PartitionDrops++
+			e.Delivered.Dropped++
+			continue
+		}
+		if ch := e.chaosNow; ch != nil {
+			// Chaos draws run on the engine's serial stream, exactly
+			// like the overlapping-delivery shuffle — this loop is
+			// slot-ordered and single-threaded, so the draw sequence
+			// is worker-count independent. A delayed request joins
+			// the overlapping set: it lands at end of cycle with the
+			// stale-delivery semantics overlap already has.
+			if ch.Loss > 0 && e.rng.Float64() < ch.Loss {
+				e.fc.ChaosDrops++
 				e.Delivered.Dropped++
 				continue
 			}
-			if ch := e.chaosNow; ch != nil {
-				// Chaos draws run on the engine's serial stream, exactly
-				// like the overlapping-delivery shuffle — this loop is
-				// slot-ordered and single-threaded, so the draw sequence
-				// is worker-count independent. A delayed envelope joins
-				// the overlapping set: it lands at end of cycle with the
-				// stale-delivery semantics overlap already has.
-				if ch.Loss > 0 && e.rng.Float64() < ch.Loss {
-					e.fc.ChaosDrops++
-					e.Delivered.Dropped++
-					continue
-				}
-				if ch.Delay > 0 && e.rng.Float64() < ch.Delay {
-					e.fc.ChaosDelays++
-					overlapping = append(overlapping, deferredEnv{from: int32(s), env: env})
-					continue
-				}
-			}
-			if req, ok := env.Msg.(proto.SwapRequest); ok {
-				// Atomic exchange: send the live value, and only if the
-				// swap still helps.
-				req.R = sn.node.Estimate()
-				env.Msg = req
-				if tgt := e.lookup(env.To); tgt != nil && !swapStillHelps(tgt, req) {
-					if on, ok := sn.orderingNode(); ok {
-						on.AbandonSwap()
-					}
-					continue
-				}
-			}
-			e.deliver(sn.id, env)
-			if ch := e.chaosNow; ch != nil && ch.Dup > 0 && e.rng.Float64() < ch.Dup {
-				// Duplication: the same envelope lands twice.
-				e.fc.ChaosDups++
-				e.deliver(sn.id, env)
+			if ch.Delay > 0 && e.rng.Float64() < ch.Delay {
+				e.fc.ChaosDelays++
+				overlapping = append(overlapping, deferredEnv{from: int32(s), to: to, r: e.swapR[s], attr: e.swapAttr[s]})
+				continue
 			}
 		}
+		// Atomic exchange: send the live value, and only if the swap
+		// still helps.
+		r := e.ons[s].Estimate()
+		attr := e.swapAttr[s]
+		if ts, live := e.slotOf(to); live && !e.swapStillHelps(ts, r, attr) {
+			e.ons[s].AbandonSwap()
+			continue
+		}
+		e.deliverSwap(int32(s), to, r, attr)
+		if ch := e.chaosNow; ch != nil && ch.Dup > 0 && e.rng.Float64() < ch.Dup {
+			// Duplication: the same request lands twice.
+			e.fc.ChaosDups++
+			e.deliverSwap(int32(s), to, r, attr)
+		}
 	}
+	e.flushDeferred(overlapping)
+}
+
+// flushDeferred delivers the cycle's overlapping and chaos-delayed
+// messages in an engine-stream shuffled order; by then their payload
+// and partner choice may be stale.
+func (e *Engine) flushDeferred(overlapping []deferredEnv) {
 	e.deferredBuf = overlapping[:0]
-	// Overlapping messages land in random order at the end of the cycle;
-	// by then their payload and partner choice may be stale.
 	e.rng.Shuffle(len(overlapping), func(i, j int) {
 		overlapping[i], overlapping[j] = overlapping[j], overlapping[i]
 	})
+	isOrdering := e.ons != nil
 	for _, d := range overlapping {
-		sn := &e.nodes[d.from]
-		env := d.env
-		if e.partitionBlocks(sn.id, env.To) {
+		if e.partitionBlocks(e.ids[d.from], d.to) {
 			e.fc.PartitionDrops++
 			e.Delivered.Dropped++
 			continue
@@ -477,60 +561,193 @@ func (e *Engine) protocolRound() {
 			e.Delivered.Dropped++
 			continue
 		}
-		if req, ok := env.Msg.(proto.SwapRequest); ok && !e.cfg.StalePayloads {
+		if !isOrdering {
+			e.deliverRank(d.from, d.to, d.attr)
+			continue
+		}
+		r := d.r
+		if !e.cfg.StalePayloads {
 			// The exchange executes on live values; only the partner
 			// selection was stale. This keeps the swap two-sided and the
 			// random-value multiset conserved, matching the paper's
 			// Fig. 4(d).
-			req.R = sn.node.Estimate()
-			env.Msg = req
+			r = e.ons[d.from].Estimate()
 		}
-		e.deliver(sn.id, env)
+		e.deliverSwap(d.from, d.to, r, d.attr)
 	}
 }
 
 // swapStillHelps re-evaluates the receiver-side swap predicate of a
 // refreshed request against the target's live state: the commit-time
 // validation of an atomic exchange.
-func swapStillHelps(target *simNode, req proto.SwapRequest) bool {
-	m := target.node.Member()
-	return ordering.Misplaced(m.Attr, req.Attr, target.node.Estimate(), req.R)
+func (e *Engine) swapStillHelps(ts int32, r float64, attr core.Attr) bool {
+	tn := &e.ons[ts]
+	m := tn.Member()
+	return ordering.Misplaced(m.Attr, attr, tn.Estimate(), r)
 }
 
-// deliver routes one protocol envelope to its destination, delivering
-// any replies back to the sender (the REQ/ACK round of Fig. 2, or the
-// one-way UPD of Fig. 5).
-func (e *Engine) deliver(from core.ID, env proto.Envelope) {
-	target := e.lookup(env.To)
-	if target == nil {
+// deliverSwap routes one swap request to its destination and its reply
+// straight back (the REQ/ACK round of Fig. 2). The initiator is live by
+// construction — it ticked this cycle and churn never runs mid-cycle —
+// so only the target can have departed.
+func (e *Engine) deliverSwap(from int32, to core.ID, r float64, attr core.Attr) {
+	ts, ok := e.slotOf(to)
+	if !ok {
 		e.Delivered.Dropped++
 		return
 	}
-	e.countMessage(env.Msg)
-	for _, rep := range target.node.Handle(from, env.Msg, e.rng) {
-		sender := e.lookup(rep.To)
-		if sender == nil {
-			e.Delivered.Dropped++
-			continue
-		}
-		e.countMessage(rep.Msg)
-		sender.node.Handle(env.To, rep.Msg, e.rng)
-	}
+	e.Delivered.SwapRequests++
+	rep := e.ons[ts].ApplySwapRequest(e.ids[from], proto.SwapRequest{R: r, Attr: attr})
+	e.Delivered.SwapReplies++
+	e.ons[from].ApplySwapReply(to, rep)
 }
 
-func (e *Engine) countMessage(msg proto.Message) {
-	switch msg.(type) {
-	case proto.SwapRequest:
-		e.Delivered.SwapRequests++
-	case proto.SwapReply:
-		e.Delivered.SwapReplies++
-	case proto.RankUpdate:
-		e.Delivered.RankUpdates++
-	case proto.ViewRequest:
-		e.Delivered.ViewRequests++
-	case proto.ViewReply:
-		e.Delivered.ViewReplies++
+// deliverRank routes one UPD message (Fig. 5) carrying the sender's
+// attribute to its destination.
+func (e *Engine) deliverRank(from int32, to core.ID, attr core.Attr) {
+	ts, ok := e.slotOf(to)
+	if !ok {
+		e.Delivered.Dropped++
+		return
 	}
+	e.Delivered.RankUpdates++
+	e.rns[ts].ApplyRankUpdate(e.ids[from], attr)
+}
+
+// tickRanking runs the ranking compute phase: the view scan feeding
+// each estimator and the two UPD target choices, in parallel. Targets
+// land in the flat updTo store, stride 2 per slot, 0 = no update.
+func (e *Engine) tickRanking(n int) {
+	e.updTo = grow(e.updTo, 2*n)
+	reader := (*snapReader)(e)
+	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	e.parallelFor(n, func(w, lo, hi int) {
+		ws := &e.ws[w]
+		for s := lo; s < hi; s++ {
+			ws.stream = nodeStream(seed, uint64(e.ids[s]), cycle, phaseProtocol)
+			j1, j2, ok := e.rns[s].TickTargets(reader, &ws.stream, &ws.rscr)
+			if !ok {
+				e.updTo[2*s], e.updTo[2*s+1] = 0, 0
+				continue
+			}
+			e.updTo[2*s], e.updTo[2*s+1] = j1, j2
+		}
+	})
+}
+
+// commitRankingSerial applies the ranking deliveries in slot order on
+// the engine's serial stream — the path chaos windows require, since
+// loss/delay/dup draws must be worker-count independent.
+func (e *Engine) commitRankingSerial(n int) {
+	overlapping := e.deferredBuf[:0]
+	ch := e.chaosNow
+	for s := 0; s < n; s++ {
+		attr := e.rns[s].Member().Attr
+		for k := 0; k < 2; k++ {
+			to := e.updTo[2*s+k]
+			if to == 0 {
+				continue
+			}
+			if e.partitionBlocks(e.ids[s], to) {
+				e.fc.PartitionDrops++
+				e.Delivered.Dropped++
+				continue
+			}
+			if ch != nil {
+				if ch.Loss > 0 && e.rng.Float64() < ch.Loss {
+					e.fc.ChaosDrops++
+					e.Delivered.Dropped++
+					continue
+				}
+				if ch.Delay > 0 && e.rng.Float64() < ch.Delay {
+					e.fc.ChaosDelays++
+					overlapping = append(overlapping, deferredEnv{from: int32(s), to: to, attr: attr})
+					continue
+				}
+			}
+			e.deliverRank(int32(s), to, attr)
+			if ch != nil && ch.Dup > 0 && e.rng.Float64() < ch.Dup {
+				e.fc.ChaosDups++
+				e.deliverRank(int32(s), to, attr)
+			}
+		}
+	}
+	e.flushDeferred(overlapping)
+}
+
+// commitRankingParallel applies the ranking deliveries across the
+// workers. Legal on chaos-free cycles because the commit then draws no
+// randomness and each delivery writes only its TARGET's estimator state
+// while reading its sender's attribute, which is immutable for the rest
+// of the cycle — so deliveries to different targets are independent. A
+// serial counting pre-pass resolves each update's destination slot
+// (tallying partition and departed-target drops in slot order, exactly
+// as the serial path would) and builds per-target delivery lists in
+// ascending sender order; each worker then applies its targets' lists.
+// Per-target delivery order equals the serial order restricted to that
+// target, and estimator absorption is per-target state, so the result
+// is bit-identical to commitRankingSerial.
+func (e *Engine) commitRankingParallel(n int) {
+	e.rankDst = grow(e.rankDst, 2*n)
+	dst := e.rankDst
+	delivered := uint64(0)
+	for s := 0; s < n; s++ {
+		for k := 0; k < 2; k++ {
+			i := 2*s + k
+			to := e.updTo[i]
+			if to == 0 {
+				dst[i] = -1
+				continue
+			}
+			if e.partitionBlocks(e.ids[s], to) {
+				e.fc.PartitionDrops++
+				e.Delivered.Dropped++
+				dst[i] = -1
+				continue
+			}
+			ts, live := e.slotOf(to)
+			if !live {
+				e.Delivered.Dropped++
+				dst[i] = -1
+				continue
+			}
+			dst[i] = ts
+			delivered++
+		}
+	}
+	e.Delivered.RankUpdates += delivered
+	// Counting sort of the resolved updates by target slot; the encoded
+	// index 2·sender+k ascends within each target's list, preserving the
+	// serial delivery order.
+	e.initHead = grow(e.initHead, n+1)
+	e.initPos = grow(e.initPos, n)
+	e.initList = grow(e.initList, 2*n)
+	head := e.initHead
+	clear(head[:n+1])
+	for i := 0; i < 2*n; i++ {
+		if t := dst[i]; t >= 0 {
+			head[t+1]++
+		}
+	}
+	for t := 0; t < n; t++ {
+		head[t+1] += head[t]
+	}
+	pos := e.initPos
+	copy(pos, head[:n])
+	for i := 0; i < 2*n; i++ {
+		if t := dst[i]; t >= 0 {
+			e.initList[pos[t]] = int32(i)
+			pos[t]++
+		}
+	}
+	e.parallelFor(n, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			for _, enc := range e.initList[head[t]:head[t+1]] {
+				s := enc >> 1
+				e.rns[t].ApplyRankUpdate(e.ids[s], e.rns[s].Member().Attr)
+			}
+		}
+	})
 }
 
 // snapReader serves the phase-start coordinate snapshot captured by
@@ -557,14 +774,22 @@ func (sr *snapReader) R(id core.ID) (float64, bool) {
 // the worker count. SDM reads the incrementally maintained attribute
 // order: O(n), no sort.
 func (e *Engine) record() {
-	n := len(e.nodes)
+	n := len(e.ids)
 	e.believedBuf = grow(e.believedBuf, n)
 	believed := e.believedBuf
-	e.parallelFor(n, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			believed[i] = e.nodes[e.slots[e.members[i].ID]].node.SliceIndex()
-		}
-	})
+	if e.ons != nil {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				believed[i] = e.ons[e.slots[e.members[i].ID]].SliceIndex()
+			}
+		})
+	} else {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				believed[i] = e.rns[e.slots[e.members[i].ID]].SliceIndex()
+			}
+		})
+	}
 	sdm := e.chunkedSum(n, func(lo, hi int) float64 {
 		return metrics.SDMSortedRange(believed, e.part, lo, hi)
 	})
@@ -584,7 +809,7 @@ func (e *Engine) record() {
 			e.tel.gdm.Set(gdm)
 		}
 	}
-	if e.cfg.Protocol == Ordering {
+	if e.ons != nil {
 		for i := range e.ws {
 			e.ws[i].reqReceived, e.ws[i].reqFailed = 0, 0
 		}
@@ -592,11 +817,9 @@ func (e *Engine) record() {
 			ws := &e.ws[w]
 			var recv, fail uint64
 			for i := lo; i < hi; i++ {
-				if on, ok := e.nodes[i].orderingNode(); ok {
-					st := on.Stats()
-					recv += st.ReqReceived
-					fail += st.SwapFailedAtReceiver
-				}
+				st := e.ons[i].Stats()
+				recv += st.ReqReceived
+				fail += st.SwapFailedAtReceiver
 			}
 			ws.reqReceived, ws.reqFailed = recv, fail
 		})
@@ -618,11 +841,24 @@ func (e *Engine) record() {
 // measureGDM computes the global disorder measure (§4.2) from the
 // engine's own rank buffers: attribute ranks come straight off the
 // incrementally maintained membership order (no sort), coordinate ranks
-// from one serial (R, ID) sort — a strict total order, so any correct
-// sort yields the same permutation — and the squared-distance sum
+// from a bucket sort of the (R, ID) keys, and the squared-distance sum
 // reduces over fixed chunks. Equivalent to metrics.GDM over States().
+//
+// The bucket sort replaces the comparison sort that dominated
+// RecordGDM runs at scale (profiling at N=100k put it at over a third
+// of the cycle): coordinates live in [0,1], so slots scatter into n
+// buckets by ⌊r·n⌋ with a counting sort — stable in slot order — and
+// each bucket's segment is refined by (R, ID) independently. ⌊r·n⌋ is
+// monotone in r and equal coordinates share a bucket, so sorted
+// segments concatenate into exactly the permutation the full sort
+// produced — a strict total order has only one — while near-uniform
+// coordinates (what the protocols converge to) make every segment O(1)
+// and the whole pass O(n), with the refinement fanning out over the
+// workers. Degenerate distributions (e.g. ranking's first cycles, when
+// every estimate is still 0) collapse into one segment and fall back to
+// the comparison sort's complexity, never worse.
 func (e *Engine) measureGDM() float64 {
-	n := len(e.nodes)
+	n := len(e.ids)
 	if n == 0 {
 		return 0
 	}
@@ -630,19 +866,63 @@ func (e *Engine) measureGDM() float64 {
 	e.rhoBuf = grow(e.rhoBuf, n)
 	e.rBuf = grow(e.rBuf, n)
 	e.idxBuf = grow(e.idxBuf, n)
+	e.bucketBuf = grow(e.bucketBuf, n)
+	e.bucketHead = grow(e.bucketHead, n+1)
 	alpha, rho, r, idx := e.alphaBuf, e.rhoBuf, e.rBuf, e.idxBuf
+	bucket, head := e.bucketBuf, e.bucketHead
 	e.parallelFor(n, func(_, lo, hi int) {
 		for pos := lo; pos < hi; pos++ {
 			alpha[e.slots[e.members[pos].ID]] = int32(pos + 1)
 		}
 	})
+	fn := float64(n)
+	assign := func(s int, ri float64) {
+		r[s] = ri
+		b := int(ri * fn)
+		if b < 0 {
+			b = 0
+		} else if b >= n {
+			b = n - 1
+		}
+		bucket[s] = int32(b)
+	}
+	if e.ons != nil {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				assign(s, e.ons[s].Estimate())
+			}
+		})
+	} else {
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				assign(s, e.rns[s].Estimate())
+			}
+		})
+	}
+	// Counting scatter, stable in ascending slot order.
+	clear(head[:n+1])
+	for s := 0; s < n; s++ {
+		head[bucket[s]+1]++
+	}
+	for b := 0; b < n; b++ {
+		head[b+1] += head[b]
+	}
+	pos := grow(e.initPos, n)
+	e.initPos = pos
+	copy(pos, head[:n])
+	for s := 0; s < n; s++ {
+		b := bucket[s]
+		idx[pos[b]] = int32(s)
+		pos[b]++
+	}
+	// Per-bucket refinement: independent segments, any worker split.
 	e.parallelFor(n, func(_, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			r[s] = e.nodes[s].node.Estimate()
-			idx[s] = int32(s)
+		for b := lo; b < hi; b++ {
+			if seg := idx[head[b]:head[b+1]]; len(seg) > 1 {
+				sortByRID(seg, r, e.ids)
+			}
 		}
 	})
-	sort.Sort(&rhoSorter{idx: idx, r: r, nodes: e.nodes})
 	e.parallelFor(n, func(_, lo, hi int) {
 		for pos := lo; pos < hi; pos++ {
 			rho[idx[pos]] = int32(pos + 1)
@@ -653,35 +933,50 @@ func (e *Engine) measureGDM() float64 {
 	}) / float64(n)
 }
 
-// rhoSorter orders arena slots by (coordinate, ID): the random-value
-// sequence of the GDM definition, ties broken by the unique identifier.
-type rhoSorter struct {
-	idx   []int32
-	r     []float64
-	nodes []simNode
-}
-
-func (rs *rhoSorter) Len() int      { return len(rs.idx) }
-func (rs *rhoSorter) Swap(i, j int) { rs.idx[i], rs.idx[j] = rs.idx[j], rs.idx[i] }
-func (rs *rhoSorter) Less(i, j int) bool {
-	a, b := rs.idx[i], rs.idx[j]
-	if rs.r[a] != rs.r[b] {
-		return rs.r[a] < rs.r[b]
+// sortByRID orders a segment of arena slots by (coordinate, ID): the
+// random-value sequence of the GDM definition, ties broken by the
+// unique identifier. Buckets are tiny at steady state, so small
+// segments take an insertion sort instead of sort.Slice's machinery.
+func sortByRID(seg []int32, r []float64, ids []core.ID) {
+	less := func(a, b int32) bool {
+		if r[a] != r[b] {
+			return r[a] < r[b]
+		}
+		return ids[a] < ids[b]
 	}
-	return rs.nodes[a].id < rs.nodes[b].id
+	if len(seg) <= 24 {
+		for i := 1; i < len(seg); i++ {
+			for j := i; j > 0 && less(seg[j], seg[j-1]); j-- {
+				seg[j], seg[j-1] = seg[j-1], seg[j]
+			}
+		}
+		return
+	}
+	sort.Slice(seg, func(i, j int) bool { return less(seg[i], seg[j]) })
 }
 
 // States snapshots every live node for measurement, in arena order. The
 // caller owns the returned slice.
 func (e *Engine) States() []metrics.NodeState {
-	states := make([]metrics.NodeState, 0, len(e.nodes))
-	for i := range e.nodes {
-		sn := &e.nodes[i]
-		states = append(states, metrics.NodeState{
-			Member:     sn.node.Member(),
-			R:          sn.node.Estimate(),
-			SliceIndex: sn.node.SliceIndex(),
-		})
+	states := make([]metrics.NodeState, 0, len(e.ids))
+	if e.ons != nil {
+		for i := range e.ons {
+			n := &e.ons[i]
+			states = append(states, metrics.NodeState{
+				Member:     n.Member(),
+				R:          n.Estimate(),
+				SliceIndex: n.SliceIndex(),
+			})
+		}
+	} else {
+		for i := range e.rns {
+			n := &e.rns[i]
+			states = append(states, metrics.NodeState{
+				Member:     n.Member(),
+				R:          n.Estimate(),
+				SliceIndex: n.SliceIndex(),
+			})
+		}
 	}
 	return states
 }
@@ -690,7 +985,7 @@ func (e *Engine) States() []metrics.NodeState {
 func (e *Engine) Cycle() int { return e.cycle }
 
 // N returns the current live system size.
-func (e *Engine) N() int { return len(e.nodes) }
+func (e *Engine) N() int { return len(e.ids) }
 
 // Partition returns the slice partition in force.
 func (e *Engine) Partition() core.Partition { return e.part }
@@ -715,16 +1010,14 @@ func (e *Engine) Size() metrics.Series { return e.size }
 // OrderingStats sums the event counters over all live ordering nodes.
 func (e *Engine) OrderingStats() ordering.Stats {
 	var total ordering.Stats
-	for i := range e.nodes {
-		if on, ok := e.nodes[i].orderingNode(); ok {
-			st := on.Stats()
-			total.ReqSent += st.ReqSent
-			total.ReqReceived += st.ReqReceived
-			total.SwapFailedAtReceiver += st.SwapFailedAtReceiver
-			total.SwapFailedAtInitiator += st.SwapFailedAtInitiator
-			total.SwapAbandonedAtSender += st.SwapAbandonedAtSender
-			total.Swapped += st.Swapped
-		}
+	for i := range e.ons {
+		st := e.ons[i].Stats()
+		total.ReqSent += st.ReqSent
+		total.ReqReceived += st.ReqReceived
+		total.SwapFailedAtReceiver += st.SwapFailedAtReceiver
+		total.SwapFailedAtInitiator += st.SwapFailedAtInitiator
+		total.SwapAbandonedAtSender += st.SwapAbandonedAtSender
+		total.Swapped += st.Swapped
 	}
 	return total
 }
@@ -741,6 +1034,8 @@ type Result struct {
 	Messages  MessageCounts
 	// Faults tallies the injections the run's fault plan performed.
 	Faults FaultCounts
+	// Mem is the engine's memory budget at the end of the run.
+	Mem    MemReport
 	FinalN int
 	Cycles int
 }
@@ -761,6 +1056,7 @@ func Run(cfg Config, cycles int) (*Result, error) {
 		Pollution:       e.Pollution(),
 		Messages:        e.Delivered,
 		Faults:          e.FaultTally(),
+		Mem:             e.MemReport(),
 		FinalN:          e.N(),
 		Cycles:          e.Cycle(),
 	}, nil

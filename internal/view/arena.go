@@ -1,0 +1,82 @@
+package view
+
+import (
+	"unsafe"
+
+	"github.com/gossipkit/slicing/internal/core"
+)
+
+// Arena is flat backing storage for a population of equal-capacity
+// views: one contiguous Entry array indexed by slot*stride, plus the
+// packed ID mirror in a second contiguous array. Laying every view out
+// back to back turns the simulator's per-cycle scans — the compute and
+// commit halves of a gossip round both walk every view in slot order —
+// into sequential streams instead of a pointer chase through
+// per-node heap allocations.
+//
+// The arena does not own View headers; callers bind a *View onto a slot
+// with View.Rebind(a.Block(slot)). Blocks are zero-length, full-capacity
+// slices, so a bound view can never grow past its stride: in-place
+// mutations (Add, Remove, Clear, UpdateR, AgeAll) stay inside the block,
+// and bulk merges that over-fill before trimming go through the
+// MergeUsing/MergeFreshUsing scratch variants.
+type Arena struct {
+	stride  int
+	entries []Entry
+	ids     []core.ID
+}
+
+// NewArena returns an arena with capacity for slots views of the given
+// stride (the shared view capacity).
+func NewArena(stride, slots int) *Arena {
+	if stride < 1 {
+		panic(ErrCapacity)
+	}
+	return &Arena{
+		stride:  stride,
+		entries: make([]Entry, slots*stride),
+		ids:     make([]core.ID, slots*stride),
+	}
+}
+
+// Stride returns the per-slot capacity.
+func (a *Arena) Stride() int { return a.stride }
+
+// Slots returns the number of slots currently backed.
+func (a *Arena) Slots() int { return len(a.entries) / a.stride }
+
+// Block returns slot's backing storage as zero-length, full-capacity
+// slices — appends stay inside the slot, and exceeding the stride
+// panics instead of silently corrupting the neighbor slot.
+func (a *Arena) Block(slot int) ([]Entry, []core.ID) {
+	lo, hi := slot*a.stride, (slot+1)*a.stride
+	return a.entries[lo:lo:hi], a.ids[lo:lo:hi]
+}
+
+// EnsureSlots grows the arena to back at least n slots, doubling to
+// amortize joins. It reports whether the backing arrays moved: after a
+// move every bound View still points into the old arrays, and the
+// caller must rebind each one onto its Block again.
+func (a *Arena) EnsureSlots(n int) bool {
+	need := n * a.stride
+	if need <= len(a.entries) {
+		return false
+	}
+	newCap := 2 * len(a.entries)
+	if newCap < need {
+		newCap = need
+	}
+	entries := make([]Entry, newCap)
+	copy(entries, a.entries)
+	ids := make([]core.ID, newCap)
+	copy(ids, a.ids)
+	a.entries, a.ids = entries, ids
+	return true
+}
+
+// Bytes returns the arena's backing storage size in bytes — the
+// deterministic part of the engine's memory budget (see sim.MemReport).
+func (a *Arena) Bytes() int64 {
+	return int64(len(a.entries))*int64(unsafe.Sizeof(Entry{})) +
+		int64(len(a.ids))*int64(unsafe.Sizeof(core.ID(0)))
+}

@@ -87,6 +87,17 @@ func MustNew(capacity int) *View {
 	return v
 }
 
+// NewBound returns an empty view of the given capacity over
+// caller-provided backing storage: an arena block, passed as zero-length
+// slices whose capacity is the arena stride (at least the view
+// capacity). The view never allocates entry storage of its own.
+func NewBound(capacity int, entries []Entry, ids []core.ID) *View {
+	if capacity < 1 || cap(entries) < capacity || cap(ids) < capacity {
+		panic(ErrCapacity)
+	}
+	return &View{capacity: capacity, entries: entries[:0], ids: ids[:0]}
+}
+
 // Len returns the number of entries currently held.
 func (v *View) Len() int { return len(v.entries) }
 
@@ -256,27 +267,118 @@ func (v *View) Merge(incoming []Entry, self core.ID) {
 	v.trimOldest(len(v.entries) - v.capacity)
 }
 
+// MergeScratch is reusable working storage for the scratch-based merge
+// variants: one per worker in the simulator, so merging into
+// arena-backed views allocates nothing at steady state. The work set
+// carries its own packed ID mirror, so the per-incoming-entry duplicate
+// scan walks 8-byte identifiers instead of 32-byte entries — the merge
+// scan is the single hottest instruction stream of a simulation cycle,
+// and a quarter of the memory traffic is a quarter of the time.
+type MergeScratch struct {
+	work []Entry
+	wids []core.ID
+	ages []uint32
+}
+
+// MergeUsing is Merge for views whose backing storage cannot grow past
+// capacity (arena blocks): the over-filled intermediate set lives in
+// scr, and only the trimmed survivors — at most capacity entries — are
+// written back. The result is identical to Merge entry for entry.
+func (v *View) MergeUsing(incoming []Entry, self core.ID, scr *MergeScratch) {
+	work := append(scr.work[:0], v.entries...)
+	wids := append(scr.wids[:0], v.ids...)
+	for _, e := range incoming {
+		if e.ID == self {
+			continue
+		}
+		if i := indexOf(wids, e.ID); i >= 0 {
+			if work[i].Placeholder() && !e.Placeholder() {
+				work[i] = e
+			}
+			continue
+		}
+		work = append(work, e)
+		wids = append(wids, e.ID)
+	}
+	scr.wids = wids
+	work = trimOldestEntries(work, len(work)-v.capacity, &scr.ages)
+	v.entries = append(v.entries[:0], work...)
+	v.reindex()
+	scr.work = work
+}
+
+// MergeFreshUsing is MergeFresh on scratch storage — see MergeUsing.
+func (v *View) MergeFreshUsing(incoming []Entry, self core.ID, scr *MergeScratch) {
+	work := append(scr.work[:0], v.entries...)
+	wids := append(scr.wids[:0], v.ids...)
+	for _, e := range incoming {
+		if e.ID == self {
+			continue
+		}
+		if i := indexOf(wids, e.ID); i >= 0 {
+			if e.Age < work[i].Age {
+				work[i] = e
+			}
+			continue
+		}
+		work = append(work, e)
+		wids = append(wids, e.ID)
+	}
+	scr.wids = wids
+	if len(work) > v.capacity {
+		sort.SliceStable(work, func(i, j int) bool {
+			return work[i].Age < work[j].Age
+		})
+		work = work[:v.capacity]
+	}
+	v.entries = append(v.entries[:0], work...)
+	v.reindex()
+	scr.work = work
+}
+
+// indexOf scans a packed ID mirror for id — the scratch-path twin of
+// View.index.
+func indexOf(ids []core.ID, id core.ID) int {
+	for i, w := range ids {
+		if w == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // trimBuckets histograms ages 0..trimMaxAge; older ages (and the
 // AgeUnknown placeholder marker) clamp into the overflow bucket.
 const trimMaxAge = 63
 
-// trimOldest removes the k oldest entries in one compaction pass,
-// producing exactly the survivors k repeated evictOldest calls would
-// leave (entries strictly older than the k-th-largest age all go; ties
-// at that age go earliest-stored first) while preserving the survivors'
-// order. Repeated evictOldest is O(k·n) with a memmove per eviction —
-// measurably the hottest membership cost at simulation scale, since
-// every gossip merge over-fills the view by up to capacity+1 entries.
-// The k-th-largest-age threshold comes from a small counting histogram:
-// gossiped entries are nearly always young (an entry older than the
-// view turnover time has long been evicted), so ages concentrate near
-// zero and the O(n + trimMaxAge) count beats any comparison select.
+// trimOldest removes the k oldest entries — see trimOldestEntries.
 func (v *View) trimOldest(k int) {
 	if k <= 0 {
 		return
 	}
+	v.entries = trimOldestEntries(v.entries, k, &v.ageScratch)
+	v.reindex()
+}
+
+// trimOldestEntries removes the k oldest entries in one compaction
+// pass, producing exactly the survivors k repeated evictOldest calls
+// would leave (entries strictly older than the k-th-largest age all go;
+// ties at that age go earliest-stored first) while preserving the
+// survivors' order. Repeated evictOldest is O(k·n) with a memmove per
+// eviction — measurably the hottest membership cost at simulation
+// scale, since every gossip merge over-fills the view by up to
+// capacity+1 entries. The k-th-largest-age threshold comes from a small
+// counting histogram: gossiped entries are nearly always young (an
+// entry older than the view turnover time has long been evicted), so
+// ages concentrate near zero and the O(n + trimMaxAge) count beats any
+// comparison select. Shared by the in-place and scratch merge paths so
+// both trim identically.
+func trimOldestEntries(entries []Entry, k int, ageScratch *[]uint32) []Entry {
+	if k <= 0 {
+		return entries
+	}
 	var buckets [trimMaxAge + 2]int32
-	for _, e := range v.entries {
+	for _, e := range entries {
 		a := e.Age
 		if a > trimMaxAge {
 			a = trimMaxAge + 1
@@ -288,8 +390,7 @@ func (v *View) trimOldest(k int) {
 	if k <= int(buckets[trimMaxAge+1]) {
 		// The threshold falls inside the clamped bucket: resolve it
 		// exactly among the (rare) over-limit ages.
-		v.trimOldestExact(k)
-		return
+		return trimOldestExactEntries(entries, k, ageScratch)
 	}
 	// Every over-limit entry ranks above any in-range age; all of them
 	// go, and the threshold lies in the in-range buckets.
@@ -305,16 +406,16 @@ func (v *View) trimOldest(k int) {
 		}
 		remaining -= n
 	}
-	v.removeByThreshold(thresh, removeAtThresh)
+	return removeByThreshold(entries, thresh, removeAtThresh)
 }
 
 // removeByThreshold drops every entry older than thresh plus the first
 // removeAtThresh entries aged exactly thresh, preserving the survivors'
 // order — the shared compaction of both trim paths, encoding the
 // evictOldest tie-break (earliest-stored goes first) exactly once.
-func (v *View) removeByThreshold(thresh uint32, removeAtThresh int) {
-	kept := v.entries[:0]
-	for _, e := range v.entries {
+func removeByThreshold(entries []Entry, thresh uint32, removeAtThresh int) []Entry {
+	kept := entries[:0]
+	for _, e := range entries {
 		if e.Age > thresh {
 			continue
 		}
@@ -324,19 +425,18 @@ func (v *View) removeByThreshold(thresh uint32, removeAtThresh int) {
 		}
 		kept = append(kept, e)
 	}
-	v.entries = kept
-	v.reindex()
+	return kept
 }
 
-// trimOldestExact is trimOldest's fallback when the age threshold lands
-// beyond trimMaxAge: a descending insertion sort of the raw ages finds
-// the exact k-th largest.
-func (v *View) trimOldestExact(k int) {
-	ages := v.ageScratch[:0]
-	for _, e := range v.entries {
+// trimOldestExactEntries is trimOldestEntries' fallback when the age
+// threshold lands beyond trimMaxAge: a descending insertion sort of the
+// raw ages finds the exact k-th largest.
+func trimOldestExactEntries(entries []Entry, k int, ageScratch *[]uint32) []Entry {
+	ages := (*ageScratch)[:0]
+	for _, e := range entries {
 		ages = append(ages, e.Age)
 	}
-	v.ageScratch = ages
+	*ageScratch = ages
 	for i := 1; i < len(ages); i++ {
 		a := ages[i]
 		j := i - 1
@@ -353,7 +453,7 @@ func (v *View) trimOldestExact(k int) {
 			removeAtThresh++
 		}
 	}
-	v.removeByThreshold(thresh, removeAtThresh)
+	return removeByThreshold(entries, thresh, removeAtThresh)
 }
 
 // MergeFresh incorporates entries keeping, for duplicated IDs, the entry
@@ -389,6 +489,16 @@ func (v *View) reindex() {
 	for i := range v.entries {
 		v.ids = append(v.ids, v.entries[i].ID)
 	}
+}
+
+// Rebind moves the view's contents onto new backing storage — an arena
+// block (see Arena.Block) passed as zero-length slices with capacity of
+// at least the current length. Overlapping old and new storage is fine
+// (churn's swap-delete moves a view between slots of the same arena);
+// the copies are memmove-safe.
+func (v *View) Rebind(entries []Entry, ids []core.ID) {
+	v.entries = append(entries, v.entries...)
+	v.ids = append(ids, v.ids...)
 }
 
 // Clone returns a deep copy of the view.
