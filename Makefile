@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serial test-hot bench bench-json bench-compare scale-smoke serve-bench obs-smoke chaos-smoke lint ci
+.PHONY: all build test test-serial test-hot bench bench-json bench-compare profile scale-smoke serve-bench obs-smoke chaos-smoke lint ci
 
 all: build
 
@@ -43,9 +43,12 @@ bench:
 # cycles/sec land in BENCH_sweep.json (CI uploads it as an artifact).
 # The scale-* family additionally runs at FULL scale — N=10k/50k/100k
 # plus the million-node tier (scale-1m, ~1.9 GB of engine state), one
-# run at a time with the parallel cycle engine inside each run
-# (-simworkers 4; results are bit-identical at any worker count) — so
-# BENCH_scale.json tracks the engine's cycles/sec as a function of N
+# run at a time. The engine runs serial here (-simworkers 1): the CI
+# box has one core, where worker goroutines only add handoff overhead,
+# and results are bit-identical at any worker count — the parallel path
+# is pinned by TestWorkerCountInvariance and the equivalence suite, not
+# by this sweep. BENCH_scale.json tracks the engine's cycles/sec
+# (per-phase wall split included) as a function of N
 # from build to build, with per-run memory budgets (arena/state/staging
 # bytes per node) recorded alongside timing. The four raw files then
 # consolidate into
@@ -57,7 +60,7 @@ bench-json:
 		-out BENCH_sweep.json -quiet
 	@echo "wrote BENCH_sweep.json"
 	$(GO) run ./cmd/slicebench sweep -scenarios scale-10k,scale-50k,scale-100k,scale-1m \
-		-workers 1 -simworkers 4 -out BENCH_scale.json -quiet
+		-workers 1 -simworkers 1 -out BENCH_scale.json -quiet
 	@echo "wrote BENCH_scale.json"
 	$(GO) run ./cmd/slicebench sweep -backend live -scale 0.1 -workers 2 \
 		-out BENCH_live.json -quiet
@@ -82,6 +85,24 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/slicebench compare BENCH_baseline.json BENCH_summary.json \
 		-fail-above 15 -min-wall-ms 1000
+
+# Profile a spec's hot loop: capture CPU + heap profiles of one run
+# (defaults: the N=100k ordering run, 10 cycles, serial engine — the
+# same kernel mix the scale sweep gates) and print the top-20 flat CPU
+# report. Override with PROFILE_SPEC / PROFILE_CYCLES /
+# PROFILE_SIMWORKERS, e.g.
+#   make profile PROFILE_SPEC=scale-1m PROFILE_CYCLES=5
+# cpu.prof / mem.prof land in the working tree (gitignored) so CI can
+# upload them as on-demand artifacts; drill past the flat report with
+# `go tool pprof cpu.prof`.
+PROFILE_SPEC ?= scale-100k
+PROFILE_CYCLES ?= 10
+PROFILE_SIMWORKERS ?= 1
+profile:
+	$(GO) run ./cmd/slicebench run $(PROFILE_SPEC) -cycles $(PROFILE_CYCLES) \
+		-simworkers $(PROFILE_SIMWORKERS) -cpuprofile cpu.prof -memprofile mem.prof \
+		-format csv
+	$(GO) tool pprof -top -nodecount=20 cpu.prof
 
 # The million-node memory gate: run the scale-1m family at a reduced
 # cycle count — enough to build the 1M-slot arena, run the parallel

@@ -129,7 +129,20 @@ func (p Partition) NearestBoundary(r float64) (boundary, dist float64) {
 	if len(p.bounds) == 0 {
 		return math.NaN(), math.Inf(1)
 	}
-	i := sort.SearchFloat64s(p.bounds, r)
+	// Manual binary search with sort.SearchFloat64s's exact predicate
+	// (bounds[i] >= r, so a NaN rank still resolves to len(bounds)):
+	// the ranking tick calls this per neighbor per cycle, and the
+	// sort.Search closure costs a non-inlinable call per probe.
+	lo, hi := 0, len(p.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if !(p.bounds[mid] >= r) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
 	boundary, dist = math.NaN(), math.Inf(1)
 	if i < len(p.bounds) {
 		boundary, dist = p.bounds[i], p.bounds[i]-r

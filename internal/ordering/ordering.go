@@ -16,6 +16,7 @@ package ordering
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/gossipkit/slicing/internal/core"
 	"github.com/gossipkit/slicing/internal/proto"
@@ -122,6 +123,18 @@ type Node struct {
 type Scratch struct {
 	entries []view.Entry
 	members []localMember
+	ridx    []int32
+	aidx    []int16
+	// misp holds the member indices the prescan flagged misplaced — the
+	// only ranks (besides self's) the swap decision reads.
+	misp []int32
+	// Packed-key pairwise rank buffers (rankMembersPacked).
+	keyA, keyR []uint64
+	las, lrs   []int32
+	// noPack latches when a population exposes systematic key ties
+	// (discrete attribute distributions): the packed pass cannot order
+	// ties by ID, so retrying it every tick would only double the work.
+	noPack bool
 }
 
 var _ proto.Node = (*Node)(nil)
@@ -290,7 +303,14 @@ func (n *Node) selectMaxGain(selfR float64, state proto.StateReader, scr *Scratc
 	if !anyMisplaced {
 		return 0, false
 	}
-	local := n.rankMembers(members)
+	return n.argmaxGain(n.rankMembers(members), selfR)
+}
+
+// argmaxGain returns the misplaced member with the largest gain G_{i,j},
+// first occurrence winning ties (strict >) — the shared tail of the
+// counted-rank and indexed-rank paths, so the two cannot diverge on the
+// selection rule.
+func (n *Node) argmaxGain(local localSeq, selfR float64) (core.ID, bool) {
 	bestGain := 0.0
 	var best core.ID
 	found := false
@@ -304,6 +324,347 @@ func (n *Node) selectMaxGain(selfR float64, state proto.StateReader, scr *Scratc
 		}
 	}
 	return best, found
+}
+
+// TickSwapFast is TickSwap specialized for the cycle engine's
+// SelectMaxGain fast path: the engine resolves the node's own
+// coordinate (selfR) and hands the snapshot as a concrete CoordTable,
+// and the rank count rides the view's maintained attribute-order
+// permutation instead of the fused O(c²) pairwise pass. Decision
+// equivalence with TickSwap over the engine's snapshot reader is exact:
+// the member set, per-member coordinates, rank orders, gain argmax, and
+// stats/trace side effects are all identical (pinned by
+// TestTickSwapFastMatchesTickSwap).
+func (n *Node) TickSwapFast(selfR float64, coords proto.CoordTable, scr *Scratch) (core.ID, proto.SwapRequest, bool) {
+	// Gather N_i ∪ {i} in storage order with the misplaced prescan fused
+	// in: a converged neighborhood — the steady state — exits after this
+	// single O(c) pass without touching the permutation.
+	members := append(scr.members[:0], localMember{id: n.id, attr: n.attr, r: selfR})
+	misp := scr.misp[:0]
+	placeholders := false
+	for _, e := range n.v.Raw() {
+		if e.Placeholder() {
+			placeholders = true
+			continue
+		}
+		r := e.R
+		if cr, ok := coords.Coord(e.ID); ok {
+			r = cr
+		}
+		if Misplaced(n.attr, e.Attr, selfR, r) {
+			misp = append(misp, int32(len(members)))
+		}
+		members = append(members, localMember{id: e.ID, attr: e.Attr, r: r})
+	}
+	scr.members, scr.misp = members, misp
+	if len(misp) == 0 {
+		return 0, proto.SwapRequest{}, false
+	}
+	var local localSeq
+	if placeholders {
+		// Placeholders are excluded from the local sequences but present
+		// in the view's permutation; the indexed path cannot line the two
+		// up, so count ranks pairwise. Bootstrap-only: placeholders
+		// upgrade to full entries within the first few exchanges.
+		local = n.rankMembers(members)
+	} else {
+		local = n.rankMembersMisplaced(members, scr, misp)
+	}
+	target, ok := n.argmaxGain(local, selfR)
+	if !ok {
+		return 0, proto.SwapRequest{}, false
+	}
+	n.stats.ReqSent++
+	n.trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TraceSwapRequest, Node: uint64(n.id), Peer: uint64(target), Rank: selfR,
+	})
+	return target, proto.SwapRequest{R: selfR, Attr: n.attr}, true
+}
+
+// rankMembersIndexed fills ℓα and ℓρ in O(c log c): ℓα reads off the
+// view's maintained (attr, id) permutation — self spliced in by binary
+// search — and ℓρ comes from an insertion sort of member indices by
+// (r, id), which is O(c) on the nearly-sorted views of a converging
+// system. Requires members[1+j] to mirror view entry j exactly (no
+// placeholders skipped). Both orders are the same strict total orders
+// rankMembers counts, so the assigned ranks are equal by construction.
+//
+// The permutation is consumed only when the merge repairs have kept it
+// current. When it lapsed — the usual case at large N, where views
+// barely overlap and every merge blows the repair budget — the ℓα
+// order is insertion-sorted locally instead: sorting c int16 indices in
+// scratch costs less than rebuilding the permutation in place, and
+// identical output is guaranteed because both produce the unique
+// (attr, id)-ascending order.
+func (n *Node) rankMembersIndexed(members []localMember, scr *Scratch) localSeq {
+	perm := n.v.AttrOrderIfValid()
+	if perm == nil {
+		// Stale permutation. First choice: branch-free pairwise counting
+		// over bit-packed keys — comparison sorts on data-random input
+		// pay a branch mispredict per compare, so 2·(c²/2) predicated
+		// compares beat 2·(c²/4) branchy ones. It bails (rarely) on
+		// inputs the packed keys cannot order; then the insertion sorts
+		// below run instead.
+		if !scr.noPack {
+			switch rankMembersPacked(members, scr) {
+			case packedOK:
+				return localSeq{self: members[0], others: members[1:], size: len(members)}
+			case packedTied:
+				scr.noPack = true
+			}
+		}
+		aidx := scr.aidx[:0]
+		for i := 1; i < len(members); i++ {
+			x := int16(i - 1)
+			mx := &members[i]
+			j := len(aidx) - 1
+			aidx = append(aidx, 0)
+			for j >= 0 {
+				my := &members[1+int(aidx[j])]
+				if my.attr < mx.attr || (my.attr == mx.attr && my.id < mx.id) {
+					break
+				}
+				aidx[j+1] = aidx[j]
+				j--
+			}
+			aidx[j+1] = x
+		}
+		scr.aidx = aidx
+		perm = aidx
+	}
+	// Self's attribute rank: the number of entries strictly (attr, id)
+	// before it, via binary search over the sorted permutation.
+	lo, hi := 0, len(perm)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &members[1+int(perm[mid])]
+		if m.attr < n.attr || (m.attr == n.attr && m.id < n.id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	selfPos := int32(lo)
+	members[0].la = selfPos
+	for k, ei := range perm {
+		la := int32(k)
+		if la >= selfPos {
+			la++
+		}
+		members[1+int(ei)].la = la
+	}
+	// ℓρ: insertion-sort member indices by (r, id); position = rank.
+	ridx := scr.ridx[:0]
+	for i := range members {
+		ridx = append(ridx, int32(i))
+	}
+	for i := 1; i < len(ridx); i++ {
+		x := ridx[i]
+		mx := &members[x]
+		j := i - 1
+		for j >= 0 {
+			my := &members[ridx[j]]
+			if my.r < mx.r || (my.r == mx.r && my.id < mx.id) {
+				break
+			}
+			ridx[j+1] = ridx[j]
+			j--
+		}
+		ridx[j+1] = x
+	}
+	scr.ridx = ridx
+	for k, mi := range ridx {
+		members[mi].lr = int32(k)
+	}
+	return localSeq{self: members[0], others: members[1:], size: len(members)}
+}
+
+// packedRank is rankMembersPacked's outcome.
+type packedRank int
+
+const (
+	packedOK packedRank = iota
+	// packedTied: two members share an attr or coordinate key — the
+	// packed compare cannot apply the ID tiebreak. Systematic for
+	// discrete attribute distributions, so callers latch off the path.
+	packedTied
+	// packedGated: a key transform precondition failed (NaN, or an exact
+	// zero whose two float encodings compare unequal as bits). Transient,
+	// so callers just fall back for this tick.
+	packedGated
+)
+
+// floatKey maps a float64 to a uint64 whose unsigned order equals the
+// float order, for all non-NaN inputs with a single encoding (the
+// caller gates NaNs and zeros): flip all bits of negatives, set the
+// sign bit of non-negatives.
+func floatKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	return b ^ (uint64(int64(b)>>63) | 1<<63)
+}
+
+// rankMembersPacked assigns both rank axes by branch-free pairwise
+// counting over bit-packed keys: ℓα over attr keys, ℓρ over coordinate
+// keys, each a single uint64 compare per pair instead of a float
+// compare plus ID tiebreak. Because key equality is bailed out (the
+// tiebreak cannot be packed), every counted order is the same strict
+// total order the indexed sorts produce — identical ranks, pinned by
+// TestRankKernelsEquivalence.
+func rankMembersPacked(members []localMember, scr *Scratch) packedRank {
+	c := len(members)
+	if !packKeys(members, scr) {
+		return packedGated
+	}
+	ka, kr := scr.keyA[:c], scr.keyR[:c]
+	las, lrs := scr.las[:c], scr.lrs[:c]
+	// Triangular pairwise count, both axes per pair: each unordered pair
+	// is visited once, crediting the greater key's rank and the lesser's
+	// complement. A tied pair still hands out exactly one credit, so the
+	// rank-sum is no tie detector here — equality is tested per pair
+	// (predicated, like the compares) and the call bails after the loop.
+	for i := range las {
+		las[i], lrs[i] = 0, 0
+	}
+	ties := 0
+	for x := 1; x < c; x++ {
+		kax, krx := ka[x], kr[x]
+		var lax, lrx int32
+		for y := 0; y < x; y++ {
+			kay, kry := ka[y], kr[y]
+			var aw, rw int32
+			if kay < kax {
+				aw = 1
+			}
+			if kry < krx {
+				rw = 1
+			}
+			if kay == kax {
+				ties = 1
+			}
+			if kry == krx {
+				ties = 1
+			}
+			lax += aw
+			las[y] += 1 - aw
+			lrx += rw
+			lrs[y] += 1 - rw
+		}
+		las[x] += lax
+		lrs[x] += lrx
+	}
+	if ties != 0 {
+		return packedTied
+	}
+	for i := range members {
+		members[i].la = las[i]
+		members[i].lr = lrs[i]
+	}
+	return packedOK
+}
+
+// packKeys fills the scratch key arrays with the members' order keys,
+// reporting false when any input is gated (NaN, or an exact zero whose
+// two float encodings break the key transform's monotonicity).
+func packKeys(members []localMember, scr *Scratch) bool {
+	c := len(members)
+	if cap(scr.keyA) < c {
+		scr.keyA = make([]uint64, c+8)
+		scr.keyR = make([]uint64, c+8)
+		scr.las = make([]int32, c+8)
+		scr.lrs = make([]int32, c+8)
+	}
+	ka, kr := scr.keyA[:c], scr.keyR[:c]
+	bad := 0
+	for i := range members {
+		m := &members[i]
+		a, r := float64(m.attr), m.r
+		if a != a || a == 0 || r != r || r == 0 {
+			bad = 1
+		}
+		ka[i] = floatKey(a)
+		kr[i] = floatKey(r)
+	}
+	return bad == 0
+}
+
+// rankMembersPackedPartial ranks only the members whose ranks the swap
+// decision actually reads — self and the prescan's misplaced set — each
+// by one full strict-less scan of the packed keys, O(c·(1+|misplaced|))
+// instead of O(c²). Unscanned members keep the zero ranks the gather
+// gave them; argmaxGain skips well-placed members before touching a
+// rank, so those zeros are never consulted. Key equality is tested on
+// every scanned pair — exactly the pairs that could shift a computed
+// rank — and a tie (or gate) bails with the staged ranks uncommitted,
+// leaving the members untouched for the fallback sorts. A tie confined
+// to two unscanned members goes undetected, which is sound for the same
+// reason the zero ranks are: no consulted value depends on their order.
+func rankMembersPackedPartial(members []localMember, scr *Scratch, misp []int32) packedRank {
+	c := len(members)
+	if !packKeys(members, scr) {
+		return packedGated
+	}
+	ka, kr := scr.keyA[:c], scr.keyR[:c]
+	las, lrs := scr.las[:len(misp)+1], scr.lrs[:len(misp)+1]
+	ties := 0
+	for j := 0; j < len(las); j++ {
+		x := 0
+		if j > 0 {
+			x = int(misp[j-1])
+		}
+		kax, krx := ka[x], kr[x]
+		var la, lr, eqa, eqr int32
+		for y := 0; y < c; y++ {
+			kay, kry := ka[y], kr[y]
+			var aw, rw, ea, er int32
+			if kay < kax {
+				aw = 1
+			}
+			if kry < krx {
+				rw = 1
+			}
+			if kay == kax {
+				ea = 1
+			}
+			if kry == krx {
+				er = 1
+			}
+			la += aw
+			lr += rw
+			eqa += ea
+			eqr += er
+		}
+		// The scan includes y == x, which always counts one equality.
+		if eqa > 1 || eqr > 1 {
+			ties = 1
+		}
+		las[j], lrs[j] = la, lr
+	}
+	if ties != 0 {
+		return packedTied
+	}
+	members[0].la, members[0].lr = las[0], lrs[0]
+	for j, xi := range misp {
+		members[xi].la, members[xi].lr = las[j+1], lrs[j+1]
+	}
+	return packedOK
+}
+
+// rankMembersMisplaced is the swap tick's rank dispatch: the partial
+// packed kernel when the maintained permutation has lapsed (the usual
+// case at scale) and the misplaced set is small enough that 1+m rows of
+// c compares undercut the triangular c²/2 — roughly m < c/2, the
+// converging regime; larger sets (cold start) go through the full
+// paths. Every branch assigns the same consulted ranks.
+func (n *Node) rankMembersMisplaced(members []localMember, scr *Scratch, misp []int32) localSeq {
+	if 2*(len(misp)+1) <= len(members) && !scr.noPack && n.v.AttrOrderIfValid() == nil {
+		switch rankMembersPackedPartial(members, scr, misp) {
+		case packedOK:
+			return localSeq{self: members[0], others: members[1:], size: len(members)}
+		case packedTied:
+			scr.noPack = true
+		}
+	}
+	return n.rankMembersIndexed(members, scr)
 }
 
 // localMember is one element of the node's local sequences. The int32
@@ -425,7 +786,8 @@ func (n *Node) LDM(state proto.StateReader) float64 {
 func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envelope {
 	switch m := msg.(type) {
 	case proto.SwapRequest:
-		n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: n.ApplySwapRequest(from, m)})
+		rep, _ := n.ApplySwapRequest(from, m)
+		n.envBuf = append(n.envBuf[:0], proto.Envelope{To: from, Msg: rep})
 		return n.envBuf
 	case proto.SwapReply:
 		n.ApplySwapReply(from, m)
@@ -440,8 +802,10 @@ func (n *Node) Handle(from core.ID, msg proto.Message, _ core.RNG) []proto.Envel
 // with the current random value, then adopt the initiator's value if the
 // swap predicate holds (Fig. 2 lines 15-19). The reply is returned by
 // value; Handle boxes it into an envelope for the wire-level runtime,
-// while the cycle engine delivers it to the initiator directly.
-func (n *Node) ApplySwapRequest(from core.ID, req proto.SwapRequest) proto.SwapReply {
+// while the cycle engine delivers it to the initiator directly. The
+// second result reports whether the value was adopted, letting the
+// engine maintain its coordinate mirror without re-reading Estimate.
+func (n *Node) ApplySwapRequest(from core.ID, req proto.SwapRequest) (proto.SwapReply, bool) {
 	n.stats.ReqReceived++
 	reply := proto.SwapReply{R: n.r}
 	if Misplaced(n.attr, req.Attr, n.r, req.R) {
@@ -450,15 +814,15 @@ func (n *Node) ApplySwapRequest(from core.ID, req proto.SwapRequest) proto.SwapR
 		n.trace.Record(telemetry.TraceEvent{
 			Kind: telemetry.TraceSwapApplied, Node: uint64(n.id), Peer: uint64(from), Rank: n.r,
 		})
-	} else {
-		// The initiator believed the swap would help but the local state
-		// moved on: an unsuccessful swap (§4.5.2).
-		n.stats.SwapFailedAtReceiver++
-		n.trace.Record(telemetry.TraceEvent{
-			Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: req.R,
-		})
+		return reply, true
 	}
-	return reply
+	// The initiator believed the swap would help but the local state
+	// moved on: an unsuccessful swap (§4.5.2).
+	n.stats.SwapFailedAtReceiver++
+	n.trace.Record(telemetry.TraceEvent{
+		Kind: telemetry.TraceSwapFailed, Node: uint64(n.id), Peer: uint64(from), Rank: req.R,
+	})
+	return reply, false
 }
 
 // ApplySwapReply applies the initiator side: refresh the view's record

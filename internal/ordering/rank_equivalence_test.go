@@ -1,0 +1,227 @@
+package ordering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gossipkit/slicing/internal/core"
+	"github.com/gossipkit/slicing/internal/proto"
+	"github.com/gossipkit/slicing/internal/view"
+)
+
+// mapReader is a StateReader over a map: the reference resolution path
+// the equivalence properties compare the CoordTable fast path against.
+type mapReader map[core.ID]float64
+
+func (m mapReader) R(id core.ID) (float64, bool) {
+	r, ok := m[id]
+	return r, ok
+}
+
+// randomRankState draws one tick state: a view sprinkled with
+// placeholder entries and neighbors the snapshot does not know
+// (departed nodes falling back to the view's recorded coordinate).
+// tieHeavy trials draw attributes and coordinates from small discrete
+// pools — forcing the attribute/coordinate ties and zero attributes
+// that make the packed kernels refuse — while the rest draw continuous
+// values, the distinct-key regime the packed kernels accept.
+func randomRankState(rng *rand.Rand, tieHeavy bool) (*Node, mapReader, proto.CoordTable) {
+	c := 1 + rng.Intn(25)
+	v, err := view.New(c)
+	if err != nil {
+		panic(err)
+	}
+	maxID := core.ID(2*c + 2)
+	coords := make(proto.CoordTable, int(maxID)+1)
+	for i := range coords {
+		coords[i] = math.NaN()
+	}
+	reader := mapReader{}
+	drawAttr := func() core.Attr {
+		if !tieHeavy {
+			return core.Attr(rng.Float64()*1000 + 1)
+		}
+		if rng.Intn(12) == 0 {
+			return 0 // exact zero: the floatKey gate
+		}
+		return core.Attr(rng.Intn(2*c) + 1) // small pool: frequent ties
+	}
+	drawR := func() float64 {
+		if !tieHeavy {
+			return rng.Float64()
+		}
+		return float64(rng.Intn(2*c)+1) / float64(2*c+1) // small pool: frequent ties
+	}
+	ids := rng.Perm(int(maxID) - 1)
+	selfID := core.ID(ids[0] + 1)
+	for i := 1; i <= c; i++ {
+		e := view.Entry{
+			ID:   core.ID(ids[i] + 1),
+			Attr: drawAttr(),
+			R:    drawR(),
+			Age:  uint32(rng.Intn(6)),
+		}
+		if rng.Intn(10) == 0 {
+			e.Age = view.AgeUnknown // placeholder contact
+		}
+		v.Add(e)
+		// ~70% of neighbors are known to the snapshot, with a coordinate
+		// that may disagree with the view's recorded one; the rest are
+		// departed (NaN in the table, absent from the reader).
+		if rng.Intn(10) < 7 {
+			live := drawR()
+			coords[e.ID] = live
+			reader[e.ID] = live
+		}
+	}
+	selfR := drawR()
+	coords[selfID] = selfR
+	reader[selfID] = selfR
+	n, err := NewNode(Config{
+		ID: selfID, Attr: drawAttr() + 1, Partition: core.MustEqual(4),
+		Policy: SelectMaxGain, View: v, InitialR: selfR,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return n, reader, coords
+}
+
+// TestTickSwapFastMatchesTickSwap is the swap-decision property pin:
+// over adversarial random states — attribute and coordinate ties,
+// zero attributes, placeholders, departed neighbors, valid and lapsed
+// attribute permutations — TickSwapFast (packed, partial-scan and
+// indexed rank kernels, CoordTable resolution) must make EXACTLY the
+// swap decision TickSwap (fused O(c²) pairwise count, StateReader
+// resolution) makes: same partner, same payload, same no-swap ticks.
+func TestTickSwapFastMatchesTickSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	scrRef, scrFast := &Scratch{}, &Scratch{}
+	decided := 0
+	for trial := 0; trial < 3000; trial++ {
+		n, reader, coords := randomRankState(rng, trial%3 == 1)
+		if trial%3 == 0 {
+			// Exercise the maintained-permutation rank path too.
+			n.v.AttrOrder()
+		}
+		selfR, _ := reader.R(n.ID())
+		refTo, refReq, refOK := n.TickSwap(reader, rng, scrRef)
+		refStats := n.stats
+		n.stats = Stats{}
+		fastTo, fastReq, fastOK := n.TickSwapFast(selfR, coords, scrFast)
+		if refOK != fastOK || refTo != fastTo || refReq != fastReq {
+			t.Fatalf("trial %d: decision diverges:\n reference: to=%v req=%+v ok=%v\n fast:      to=%v req=%+v ok=%v",
+				trial, refTo, refReq, refOK, fastTo, fastReq, fastOK)
+		}
+		if n.stats != refStats {
+			t.Fatalf("trial %d: stats side effects diverge: %+v vs %+v", trial, n.stats, refStats)
+		}
+		if refOK {
+			decided++
+		}
+	}
+	if decided < 500 {
+		t.Fatalf("only %d/3000 trials produced a swap decision; the property barely exercises the kernels", decided)
+	}
+}
+
+// TestRankKernelsEquivalence pins the rank assignments themselves:
+// the packed-key pairwise kernel and the indexed kernel must assign
+// exactly the ranks the fused reference count assigns whenever they
+// accept an input, and the packed kernel must refuse (tie/gate) rather
+// than ever committing different ranks.
+func TestRankKernelsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	accepted := 0
+	for trial := 0; trial < 3000; trial++ {
+		n, reader, _ := randomRankState(rng, trial%3 == 1)
+		selfR, _ := reader.R(n.ID())
+		scr := &Scratch{}
+		members := n.localMembers(selfR, reader, scr)
+		if len(members) < 2 {
+			continue
+		}
+		ref := make([]localMember, len(members))
+		copy(ref, members)
+		n.rankMembers(ref)
+
+		packed := make([]localMember, len(members))
+		copy(packed, members)
+		pscr := &Scratch{}
+		if rankMembersPacked(packed, pscr) == packedOK {
+			accepted++
+			for i := range ref {
+				if packed[i].la != ref[i].la || packed[i].lr != ref[i].lr {
+					t.Fatalf("trial %d: packed ranks diverge at member %d: (%d,%d) vs (%d,%d)",
+						trial, i, packed[i].la, packed[i].lr, ref[i].la, ref[i].lr)
+				}
+			}
+		}
+
+		indexed := make([]localMember, len(members))
+		copy(indexed, members)
+		iscr := &Scratch{}
+		n.rankMembersIndexed(indexed, iscr)
+		for i := range ref {
+			if indexed[i].la != ref[i].la || indexed[i].lr != ref[i].lr {
+				t.Fatalf("trial %d: indexed ranks diverge at member %d: (%d,%d) vs (%d,%d)",
+					trial, i, indexed[i].la, indexed[i].lr, ref[i].la, ref[i].lr)
+			}
+		}
+	}
+	if accepted < 300 {
+		t.Fatalf("packed kernel accepted only %d/3000 trials; the property barely exercises it", accepted)
+	}
+}
+
+// TestRankMembersPartialEquivalence pins the partial-scan kernel: for
+// the rows it scans (self plus every misplaced member) the assigned
+// ranks must equal the fused reference count's, and on tie inputs it
+// must refuse rather than commit.
+func TestRankMembersPartialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	accepted := 0
+	for trial := 0; trial < 3000; trial++ {
+		n, reader, _ := randomRankState(rng, trial%3 == 1)
+		selfR, _ := reader.R(n.ID())
+		scr := &Scratch{}
+		members := n.localMembers(selfR, reader, scr)
+		if len(members) < 2 {
+			continue
+		}
+		misp := []int32{}
+		for i := 1; i < len(members); i++ {
+			if Misplaced(n.attr, members[i].attr, selfR, members[i].r) {
+				misp = append(misp, int32(i))
+			}
+		}
+		if len(misp) == 0 {
+			continue
+		}
+		ref := make([]localMember, len(members))
+		copy(ref, members)
+		n.rankMembers(ref)
+
+		partial := make([]localMember, len(members))
+		copy(partial, members)
+		pscr := &Scratch{}
+		if rankMembersPackedPartial(partial, pscr, misp) != packedOK {
+			continue
+		}
+		accepted++
+		if partial[0].la != ref[0].la || partial[0].lr != ref[0].lr {
+			t.Fatalf("trial %d: partial self ranks diverge: (%d,%d) vs (%d,%d)",
+				trial, partial[0].la, partial[0].lr, ref[0].la, ref[0].lr)
+		}
+		for _, xi := range misp {
+			if partial[xi].la != ref[xi].la || partial[xi].lr != ref[xi].lr {
+				t.Fatalf("trial %d: partial ranks diverge at member %d: (%d,%d) vs (%d,%d)",
+					trial, xi, partial[xi].la, partial[xi].lr, ref[xi].la, ref[xi].lr)
+			}
+		}
+	}
+	if accepted < 200 {
+		t.Fatalf("partial kernel accepted only %d/3000 trials; the property barely exercises it", accepted)
+	}
+}

@@ -118,6 +118,28 @@ type FuncReader func(core.ID) (float64, bool)
 // R implements StateReader.
 func (f FuncReader) R(id core.ID) (float64, bool) { return f(id) }
 
+// CoordTable is the cycle engine's concrete coordinate table: the
+// phase-start coordinate snapshot indexed directly by node ID, with NaN
+// marking departed or never-assigned IDs. It carries the same answers
+// as the engine's snapshot StateReader, but as a flat array: the
+// per-neighbor resolve in a protocol tick becomes one load and one
+// NaN test instead of an interface dispatch plus an ID→slot→coordinate
+// double indirection — half the cache misses of the hottest random
+// access a million-node tick performs.
+type CoordTable []float64
+
+// Coord returns the coordinate for id and whether id is live. The
+// semantics mirror the engine's snapshot StateReader bit for bit:
+// unknown and departed IDs are reported unknown, and callers fall back
+// to the coordinate recorded in their own view.
+func (c CoordTable) Coord(id core.ID) (float64, bool) {
+	if id < 1 || int(id) >= len(c) {
+		return 0, false
+	}
+	r := c[id]
+	return r, r == r // NaN ⇒ departed or never assigned
+}
+
 // Node is a slicing protocol state machine bound to one network node.
 // Implementations: ordering.Node (JK / mod-JK) and ranking.Node.
 type Node interface {

@@ -120,6 +120,10 @@ type Timing struct {
 	WallMS float64 `json:"wallMS"`
 	// CyclesPerSec is Cycles / wall time: the sweep-as-benchmark number.
 	CyclesPerSec float64 `json:"cyclesPerSec"`
+	// Phases is the engine's per-phase wall breakdown over all cycles
+	// (sim backend only; zero for live runs). The sum is engine-loop time;
+	// the gap to WallMS is construction plus final-measure overhead.
+	Phases sim.PhaseNanos `json:"phases"`
 }
 
 // RunResult is the outcome of one run: the run identity, the backend
@@ -205,6 +209,7 @@ func (r Runner) execute(run Run) RunResult {
 		res.Timing = &Timing{
 			WallMS:       float64(elapsed.Microseconds()) / 1000,
 			CyclesPerSec: float64(run.Spec.Cycles) / elapsed.Seconds(),
+			Phases:       out.Phases,
 		}
 		if out.Mem.Nodes > 0 {
 			mem := out.Mem

@@ -38,7 +38,7 @@ func checkArenaConsistency(t *testing.T, e *Engine) {
 		}
 		// The view header must be bound onto this slot's arena block:
 		// same backing pointer, capacity clamped to the stride.
-		eb, _ := e.varena.Block(i)
+		eb, ib, _ := e.varena.Block(i)
 		raw := e.views[i].Raw()
 		if cap(raw) == 0 || unsafe.SliceData(raw[:cap(raw)]) != unsafe.SliceData(eb[:cap(eb)]) {
 			t.Fatalf("cycle %d: slot %d's view is not bound to its arena block", e.cycle, i)
@@ -46,6 +46,22 @@ func checkArenaConsistency(t *testing.T, e *Engine) {
 		if cap(raw) > e.varena.Stride() {
 			t.Fatalf("cycle %d: slot %d's view capacity %d exceeds the arena stride %d",
 				e.cycle, i, cap(raw), e.varena.Stride())
+		}
+		// The packed ID mirror must live in the same slot's padded ID
+		// block, with every word past the live length held at the zero
+		// sentinel (what findID's 4-wide scan relies on).
+		for w, id := range ib[:cap(ib)] {
+			switch {
+			case w < len(raw) && id != raw[w].ID:
+				t.Fatalf("cycle %d: slot %d mirror word %d is %v, entry says %v",
+					e.cycle, i, w, id, raw[w].ID)
+			case w >= len(raw) && id != 0:
+				t.Fatalf("cycle %d: slot %d mirror tail word %d not zeroed: %v",
+					e.cycle, i, w, id)
+			}
+		}
+		if err := e.views[i].Validate(); err != nil {
+			t.Fatalf("cycle %d: slot %d: %v", e.cycle, i, err)
 		}
 	}
 	live := 0

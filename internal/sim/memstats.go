@@ -55,10 +55,16 @@ func (e *Engine) MemReport() MemReport {
 		sliceBytes(e.self, view.Entry{}) +
 		sliceBytes(e.slots, int32(0)) +
 		sliceBytes(e.members, core.Member{}) +
-		sliceBytes(e.membersBuf, core.Member{})
+		sliceBytes(e.membersBuf, core.Member{}) +
+		sliceBytes(e.rs, 0.0) +
+		sliceBytes(e.attrs, core.Attr(0)) +
+		sliceBytes(e.sliceR, 0.0) +
+		sliceBytes(e.sliceIdx, int32(0))
 
 	m.StagingBytes = sliceBytes(e.snapBuf, 0.0) +
 		sliceBytes(e.believedBuf, 0) +
+		sliceBytes(e.slotBelieved, int32(0)) +
+		sliceBytes(e.coordTab, 0.0) +
 		sliceBytes(e.joinersBuf, core.Member{}) +
 		sliceBytes(e.deferredBuf, deferredEnv{}) +
 		sliceBytes(e.memTarget, int32(0)) +

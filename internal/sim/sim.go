@@ -75,6 +75,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/gossipkit/slicing/internal/churn"
@@ -83,6 +84,7 @@ import (
 	"github.com/gossipkit/slicing/internal/fault"
 	"github.com/gossipkit/slicing/internal/metrics"
 	"github.com/gossipkit/slicing/internal/ordering"
+	"github.com/gossipkit/slicing/internal/proto"
 	"github.com/gossipkit/slicing/internal/ranking"
 	"github.com/gossipkit/slicing/internal/telemetry"
 	"github.com/gossipkit/slicing/internal/view"
@@ -222,6 +224,16 @@ type Config struct {
 	// registry. Timing never touches the engine's RNG streams, so an
 	// instrumented run is bit-identical to an uninstrumented one.
 	Telemetry *telemetry.Registry
+	// ReferenceKernels forces the straightforward reference
+	// implementations of the protocol kernels — the scratch-based
+	// two-pass view merge, the StateReader-dispatched O(c²) mod-JK rank
+	// count, per-entry bootstrap inserts and the per-node measurement
+	// scan — instead of the fused fast paths the engine runs by default.
+	// The fast kernels are bit-identical by contract; this switch exists
+	// so the equivalence suite can prove that on every config
+	// (kernels_test.go). Purely a throughput knob: results never depend
+	// on it.
+	ReferenceKernels bool
 }
 
 // Config validation errors.
@@ -301,6 +313,16 @@ type Engine struct {
 	views  []*view.View
 	self   []view.Entry
 	varena *view.Arena
+	// Dense per-slot mirrors of the ordering nodes' hot scalars
+	// (ordering runs only; nil under ranking). An ordering.Node is
+	// ~170 bytes, so any per-slot scan through the node array pulls one
+	// cache line per node; the exchange compute, coordinate snapshot,
+	// commit re-validation and GDM assignment read these 8-byte mirrors
+	// instead. rs tracks each node's live random value (updated at the
+	// single swap-delivery choke point), attrs its attribute (updated by
+	// the fault plane's setAttrAt).
+	rs    []float64
+	attrs []core.Attr
 	// newscast resolves the membership substrate's exchange semantics
 	// once: partner = random (vs oldest), replies advertise self, merges
 	// keep the freshest duplicate. The oracle substrate bypasses
@@ -331,6 +353,18 @@ type Engine struct {
 
 	prevReqReceived uint64
 	prevFailed      uint64
+	// Engine-side mirrors of the ordering Stats sums the per-cycle
+	// unsuccessful-swap series needs: bumped at the swap-delivery choke
+	// point (deliverSwap), so the fast measurement path reads two
+	// counters instead of scanning a million Node structs every cycle.
+	// Identical to the Stats sums by construction — deliverSwap is the
+	// only ApplySwapRequest caller in the engine.
+	recvTotal     uint64
+	failRecvTotal uint64
+	// Cumulative wall-clock nanoseconds per cycle phase; see
+	// telemetry.go. Always on (four clock reads per cycle), exported
+	// through Result so every perf artifact carries its own breakdown.
+	phaseNS [phaseCount]int64
 
 	// Fault-plane state; see faults.go. The salts are derived from the
 	// run seed at construction, partNow/chaosNow cache the cycle's
@@ -358,8 +392,23 @@ type Engine struct {
 	// keeps the hot path (snapshot, freeze, measure) allocation-free at
 	// steady state. Buffers written inside parallel rounds are strictly
 	// partitioned: every slot is written by exactly one worker.
-	snapBuf     []float64     // per-slot phase-start coordinates
-	believedBuf []int         // per-cycle believed slice indices, attr order
+	snapBuf     []float64 // per-slot phase-start coordinates
+	believedBuf []int     // per-cycle believed slice indices, attr order
+	// Slice-index cache for the fast measurement path (ordering runs):
+	// sliceR[s] is the coordinate sliceIdx[s] was computed from (NaN =
+	// never computed), so a converged node's partition lookup is one
+	// float compare per cycle instead of a binary search. slotBelieved
+	// stages the per-slot believed slice of the current measurement in
+	// slot order before the members-order gather.
+	sliceR       []float64
+	sliceIdx     []int32
+	slotBelieved []int32
+	// coordTab is the ID-indexed coordinate snapshot handed to the fast
+	// ordering tick (see proto.CoordTable): live IDs refreshed from
+	// snapBuf each protocol round, departed IDs pinned at NaN by
+	// removeNode, the growth tail NaN-initialized. One random load per
+	// neighbor resolve instead of the slot-table double hop.
+	coordTab    proto.CoordTable
 	joinersBuf  []core.Member // joiners of the current churn event
 	membersBuf  []core.Member // double buffer for the membership merge
 	deferredBuf []deferredEnv
@@ -516,10 +565,13 @@ func (e *Engine) estimateAt(s int32) float64 {
 	return e.rns[s].Estimate()
 }
 
-// setAttrAt routes a forced attribute change to slot s's protocol node.
+// setAttrAt routes a forced attribute change to slot s's protocol node
+// — the single hook the fault plane mutates attributes through, which
+// is what keeps the dense attribute mirror honest.
 func (e *Engine) setAttrAt(s int32, a core.Attr) {
 	if e.cfg.Protocol == Ordering {
 		e.ons[s].SetAttr(a)
+		e.attrs[s] = a
 	} else {
 		e.rns[s].SetAttr(a)
 	}
@@ -547,19 +599,24 @@ func (e *Engine) addNode(attr core.Attr) error {
 			v.Rebind(e.varena.Block(s))
 		}
 	}
-	eb, ib := e.varena.Block(slot)
-	v := view.NewBound(e.cfg.ViewSize, eb, ib)
+	eb, ib, ob := e.varena.Block(slot)
+	v := view.NewBound(e.cfg.ViewSize, eb, ib, ob)
 	switch e.cfg.Protocol {
 	case Ordering:
+		r0 := 1 - e.rng.Float64() // uniform in (0,1]
 		n, err := ordering.NewNode(ordering.Config{
 			ID: id, Attr: attr, Partition: e.part,
 			Policy: e.cfg.Policy, View: v,
-			InitialR: 1 - e.rng.Float64(), // uniform in (0,1]
+			InitialR: r0,
 		})
 		if err != nil {
 			return err
 		}
 		e.ons = append(e.ons, *n)
+		e.rs = append(e.rs, r0)
+		e.attrs = append(e.attrs, attr)
+		e.sliceR = append(e.sliceR, math.NaN())
+		e.sliceIdx = append(e.sliceIdx, 0)
 	case Ranking:
 		var est ranking.Estimator
 		switch e.cfg.Estimator {
@@ -615,13 +672,21 @@ func (e *Engine) refreshSelfEntries() {
 }
 
 // bootstrapViews fills the view of every node in slots [from, len) with
-// ViewSize random other nodes.
+// ViewSize random other nodes. The sampler's output is distinct and
+// excludes the owner, so the bulk Reset is identical to the reference
+// Add loop minus its per-entry duplicate scans — at construction that
+// is O(c²) saved per node, a visible slice of a million-node run's
+// wall time (a scenario's cycles/sec includes engine construction).
 func (e *Engine) bootstrapViews(from int) {
 	for i := from; i < len(e.ids); i++ {
-		v := e.views[i]
-		for _, entry := range e.sampleEntries(e.rng, e.cfg.ViewSize, e.ids[i]) {
-			v.Add(entry)
+		fresh := e.sampleEntries(e.rng, e.cfg.ViewSize, e.ids[i])
+		if e.cfg.ReferenceKernels {
+			for _, entry := range fresh {
+				e.views[i].Add(entry)
+			}
+			continue
 		}
+		e.views[i].Reset(fresh)
 	}
 }
 
@@ -646,6 +711,14 @@ type sampler struct {
 	seenGen []uint32
 	gen     uint32
 	buf     []view.Entry
+	// idx and sink back the draw-ahead warm pass in sample: the k slot
+	// indices a call will consume are drawn up front and their seenGen
+	// and self-entry cache lines touched in a dependency-free loop, so
+	// the ~2k random-access misses overlap instead of serializing behind
+	// the accept loop's seen-check branch. sink keeps the compiler from
+	// eliding the warming loads.
+	idx  []int
+	sink uint64
 }
 
 // sample fills the sampler's reusable buffer with the cached self
@@ -676,9 +749,34 @@ func (sp *sampler) sample(ids []core.ID, selfs []view.Entry, rng core.RNG, k int
 		sp.gen = 1
 	}
 	gen := sp.gen
-	drawn := 0
-	for len(out) < k && drawn < n {
+	// Draw the first k indices ahead of the accept loop and touch their
+	// seenGen and self-entry lines with independent loads. The accept
+	// loop's seen check is a branch on a random-access load; issued one
+	// at a time those misses serialize, while this pass lets the CPU
+	// keep many in flight. The RNG consumption order is unchanged — the
+	// accept loop replays the same draws from idx before falling back to
+	// live draws for the (rare) rejection overflow.
+	if cap(sp.idx) < k {
+		sp.idx = make([]int, k)
+	}
+	idx := sp.idx[:k]
+	warm := sp.sink
+	for j := range idx {
 		i := rng.Intn(n)
+		idx[j] = i
+		warm += uint64(sp.seenGen[i]) + uint64(selfs[i].ID)
+	}
+	sp.sink = warm
+	drawn := 0
+	j := 0
+	for len(out) < k && drawn < n {
+		var i int
+		if j < len(idx) {
+			i = idx[j]
+			j++
+		} else {
+			i = rng.Intn(n)
+		}
 		if sp.seenGen[i] == gen {
 			continue
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"sort"
 
 	"github.com/gossipkit/slicing/internal/core"
@@ -132,6 +133,16 @@ func (e *Engine) removeNode(id core.ID) {
 		return
 	}
 	last := int32(len(e.ids) - 1)
+	if e.ons != nil {
+		// The departing node carries its swap counters away: the
+		// unsuccessful-swap series sums over LIVE nodes (the reference
+		// path re-scans Stats each cycle), so the engine-side running
+		// totals must forget this node's history to keep reporting the
+		// same live-only sums.
+		st := e.ons[s].Stats()
+		e.recvTotal -= st.ReqReceived
+		e.failRecvTotal -= st.SwapFailedAtReceiver
+	}
 	if s != last {
 		e.ids[s] = e.ids[last]
 		e.self[s] = e.self[last]
@@ -143,6 +154,10 @@ func (e *Engine) removeNode(id core.ID) {
 		e.views[s].Rebind(e.varena.Block(int(s)))
 		if e.ons != nil {
 			e.ons[s] = e.ons[last]
+			e.rs[s] = e.rs[last]
+			e.attrs[s] = e.attrs[last]
+			e.sliceR[s] = e.sliceR[last]
+			e.sliceIdx[s] = e.sliceIdx[last]
 		} else {
 			e.rns[s] = e.rns[last]
 		}
@@ -153,6 +168,10 @@ func (e *Engine) removeNode(id core.ID) {
 	if e.ons != nil {
 		e.ons[last] = ordering.Node{}
 		e.ons = e.ons[:last]
+		e.rs = e.rs[:last]
+		e.attrs = e.attrs[:last]
+		e.sliceR = e.sliceR[:last]
+		e.sliceIdx = e.sliceIdx[:last]
 	} else {
 		e.rns[last] = ranking.Node{}
 		e.rns = e.rns[:last]
@@ -162,6 +181,9 @@ func (e *Engine) removeNode(id core.ID) {
 	e.ids = e.ids[:last]
 	e.self = e.self[:last]
 	e.slots[id] = noSlot
+	if int(id) < len(e.coordTab) {
+		e.coordTab[id] = math.NaN()
+	}
 	delete(e.lying, id)
 }
 
@@ -225,6 +247,7 @@ func (e *Engine) exchangeRound() {
 		chaosLoss = e.chaosNow.Loss
 	}
 	newscast, isOrdering := e.newscast, e.ons != nil
+	ref := e.cfg.ReferenceKernels
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
@@ -232,13 +255,19 @@ func (e *Engine) exchangeRound() {
 			v := e.views[s]
 			ws.stream = nodeStream(seed, uint64(id), cycle, phaseMembership)
 			st := &ws.stream
-			v.AgeAll()
 			var pen view.Entry
 			var pok bool
-			if newscast {
+			switch {
+			case newscast:
+				v.AgeAll()
 				pen, pok = v.Random(st)
-			} else {
+			case ref:
+				v.AgeAll()
 				pen, pok = v.Oldest()
+			default:
+				// Cyclon always picks the oldest entry right after aging:
+				// one fused read-modify pass instead of two view walks.
+				pen, pok = v.AgeAllOldest()
 			}
 			tgt := int32(-1)
 			if pok {
@@ -267,9 +296,14 @@ func (e *Engine) exchangeRound() {
 			}
 			e.memTarget[s] = tgt
 			var self view.Entry
-			if isOrdering {
+			switch {
+			case isOrdering && !ref:
+				// Build the self entry from the dense mirrors — identical to
+				// SelfEntry without pulling the ~170-byte Node cache line.
+				self = view.Entry{ID: id, Attr: e.attrs[s], R: e.rs[s]}
+			case isOrdering:
 				self = e.ons[s].SelfEntry()
-			} else {
+			default:
 				self = e.rns[s].SelfEntry()
 			}
 			e.selfSnap[s] = self
@@ -315,8 +349,23 @@ func (e *Engine) exchangeRound() {
 	e.Delivered.ViewReplies += delivered
 
 	// Commit half A: targets reply and absorb, in initiator-slot order.
+	// The Cyclon fast path fuses the reply capture into the merge itself
+	// (MergeReply): the absorbed request's window is rewritten with the
+	// target's pre-merge entries in the same kernel, so each commit
+	// touches the arena block once and the reply needs no staging copy.
+	// Newscast keeps the two-step path — its keep-freshest merge mutates
+	// existing entries, so the reply must be captured before merging —
+	// and the reference toggle keeps the scratch merge for both.
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
+		// g walks the worker's span of initList globally, one step per
+		// (target, initiator) pair, so the next pair's request window —
+		// a random ~670-byte read the merge would otherwise stall on —
+		// can be touched one full merge ahead of its use. The ~400 ns a
+		// MergeReply takes is enough to overlap the next window's cache
+		// misses, and the warming loads land in ws.sink so they survive
+		// compilation.
+		g, ghi := head[lo], head[hi]
 		for t := lo; t < hi; t++ {
 			list := e.initList[head[t]:head[t+1]]
 			if len(list) == 0 {
@@ -325,14 +374,25 @@ func (e *Engine) exchangeRound() {
 			v := e.views[t]
 			tid := e.ids[t]
 			for _, s32 := range list {
+				if g++; g < ghi {
+					noff := int(e.initList[g]) * stride
+					win := e.reqStore[noff : noff+stride]
+					pf := uint64(0)
+					for x := 0; x < len(win); x += 2 {
+						pf += uint64(win[x].ID)
+					}
+					ws.sink += pf
+				}
 				s := int(s32)
 				off := s * stride
+				req := e.reqStore[off : off+int(e.reqLen[s])]
+				if !newscast && !ref {
+					e.reqLen[s] = int32(v.MergeReply(req, tid, &ws.merge, e.reqStore[off:off+stride]))
+					continue
+				}
 				reply := v.AppendEntries(ws.replyBuf[:0])
 				if newscast {
 					reply = append(reply, e.selfSnap[t])
-				}
-				req := e.reqStore[off : off+int(e.reqLen[s])]
-				if newscast {
 					v.MergeFreshUsing(req, tid, &ws.merge)
 				} else {
 					v.MergeUsing(req, tid, &ws.merge)
@@ -353,10 +413,13 @@ func (e *Engine) exchangeRound() {
 			}
 			off := s * stride
 			reply := e.reqStore[off : off+int(e.reqLen[s])]
-			if newscast {
+			switch {
+			case newscast:
 				e.views[s].MergeFreshUsing(reply, e.ids[s], &ws.merge)
-			} else {
+			case ref:
 				e.views[s].MergeUsing(reply, e.ids[s], &ws.merge)
+			default:
+				e.views[s].MergeCompact(reply, e.ids[s], &ws.merge)
 			}
 		}
 	})
@@ -371,6 +434,7 @@ func (e *Engine) exchangeRound() {
 func (e *Engine) oracleRound() {
 	k := e.cfg.ViewSize
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	ref := e.cfg.ReferenceKernels
 	e.parallelFor(len(e.ids), func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
@@ -378,12 +442,18 @@ func (e *Engine) oracleRound() {
 			ws.stream = nodeStream(seed, uint64(id), cycle, phaseMembership)
 			fresh := ws.sampler.sample(e.ids, e.self, &ws.stream, k, id)
 			v := e.views[s]
-			v.Clear()
-			for _, en := range fresh {
-				if en.ID != id {
-					v.Add(en)
+			if ref {
+				v.Clear()
+				for _, en := range fresh {
+					if en.ID != id {
+						v.Add(en)
+					}
 				}
+				continue
 			}
+			// The sample is distinct and already excludes id; the bulk
+			// Reset is the Clear+Add loop minus its duplicate scans.
+			v.Reset(fresh)
 		}
 	})
 }
@@ -437,11 +507,17 @@ func (e *Engine) protocolRound() {
 	}
 	e.snapBuf = grow(e.snapBuf, n)
 	if e.ons != nil {
-		e.parallelFor(n, func(_, lo, hi int) {
-			for s := lo; s < hi; s++ {
-				e.snapBuf[s] = e.ons[s].Estimate()
-			}
-		})
+		if e.cfg.ReferenceKernels {
+			e.parallelFor(n, func(_, lo, hi int) {
+				for s := lo; s < hi; s++ {
+					e.snapBuf[s] = e.ons[s].Estimate()
+				}
+			})
+		} else {
+			// The dense mirror IS the live coordinate array; the snapshot
+			// is one memmove instead of a strided walk over Node structs.
+			copy(e.snapBuf[:n], e.rs)
+		}
 		e.tickOrdering(n)
 		e.commitOrdering(n)
 	} else {
@@ -469,6 +545,15 @@ func (e *Engine) tickOrdering(n int) {
 	conc := e.cfg.Concurrency
 	drawOverlap := conc > 0
 	reader := (*snapReader)(e)
+	// The fast tick only specializes SelectMaxGain — the policy whose
+	// O(c²) rank count dominates million-node cycles. Random policies
+	// draw from the stream inside selectPartner, so they keep the
+	// reference entry point (which is already cheap for them).
+	fast := !e.cfg.ReferenceKernels && e.cfg.Policy == ordering.SelectMaxGain
+	var coords proto.CoordTable
+	if fast {
+		coords = e.refreshCoordTab(n)
+	}
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
@@ -476,7 +561,16 @@ func (e *Engine) tickOrdering(n int) {
 			ws.stream = nodeStream(seed, uint64(e.ids[s]), cycle, phaseProtocol)
 			st := &ws.stream
 			e.overlapBuf[s] = drawOverlap && st.Float64() < conc
-			to, req, ok := e.ons[s].TickSwap(reader, st, &ws.oscr)
+			var (
+				to  core.ID
+				req proto.SwapRequest
+				ok  bool
+			)
+			if fast {
+				to, req, ok = e.ons[s].TickSwapFast(e.snapBuf[s], coords, &ws.oscr)
+			} else {
+				to, req, ok = e.ons[s].TickSwap(reader, st, &ws.oscr)
+			}
 			if !ok {
 				e.swapTo[s] = 0
 				continue
@@ -484,6 +578,36 @@ func (e *Engine) tickOrdering(n int) {
 			e.swapTo[s], e.swapR[s], e.swapAttr[s] = to, req.R, req.Attr
 		}
 	})
+}
+
+// refreshCoordTab rebuilds the ID-indexed coordinate table from the
+// cycle's snapshot: the growth tail (IDs minted since the table last
+// grew) initializes to NaN, every live ID takes its slot's snapshot
+// value, and departed IDs keep the NaN removeNode pinned. Writes are
+// per-slot disjoint (IDs are unique), so the fill parallelizes without
+// affecting worker-count invariance.
+func (e *Engine) refreshCoordTab(n int) proto.CoordTable {
+	if len(e.coordTab) < len(e.slots) {
+		old := len(e.coordTab)
+		if cap(e.coordTab) < len(e.slots) {
+			// Reallocation loses the departed-ID NaN pins; refill from
+			// scratch (the live fill below rewrites every live ID anyway).
+			e.coordTab = make(proto.CoordTable, len(e.slots))
+			old = 0
+		} else {
+			e.coordTab = e.coordTab[:len(e.slots)]
+		}
+		nan := math.NaN()
+		for i := old; i < len(e.coordTab); i++ {
+			e.coordTab[i] = nan
+		}
+	}
+	e.parallelFor(n, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			e.coordTab[e.ids[s]] = e.snapBuf[s]
+		}
+	})
+	return e.coordTab
 }
 
 // commitOrdering applies the ordering deliveries serially in slot
@@ -525,7 +649,7 @@ func (e *Engine) commitOrdering(n int) {
 		}
 		// Atomic exchange: send the live value, and only if the swap
 		// still helps.
-		r := e.ons[s].Estimate()
+		r := e.rs[s]
 		attr := e.swapAttr[s]
 		if ts, live := e.slotOf(to); live && !e.swapStillHelps(ts, r, attr) {
 			e.ons[s].AbandonSwap()
@@ -571,19 +695,17 @@ func (e *Engine) flushDeferred(overlapping []deferredEnv) {
 			// selection was stale. This keeps the swap two-sided and the
 			// random-value multiset conserved, matching the paper's
 			// Fig. 4(d).
-			r = e.ons[d.from].Estimate()
+			r = e.rs[d.from]
 		}
 		e.deliverSwap(d.from, d.to, r, d.attr)
 	}
 }
 
 // swapStillHelps re-evaluates the receiver-side swap predicate of a
-// refreshed request against the target's live state: the commit-time
-// validation of an atomic exchange.
+// refreshed request against the target's live state (read from the
+// dense mirrors): the commit-time validation of an atomic exchange.
 func (e *Engine) swapStillHelps(ts int32, r float64, attr core.Attr) bool {
-	tn := &e.ons[ts]
-	m := tn.Member()
-	return ordering.Misplaced(m.Attr, attr, tn.Estimate(), r)
+	return ordering.Misplaced(e.attrs[ts], attr, e.rs[ts], r)
 }
 
 // deliverSwap routes one swap request to its destination and its reply
@@ -597,9 +719,20 @@ func (e *Engine) deliverSwap(from int32, to core.ID, r float64, attr core.Attr) 
 		return
 	}
 	e.Delivered.SwapRequests++
-	rep := e.ons[ts].ApplySwapRequest(e.ids[from], proto.SwapRequest{R: r, Attr: attr})
+	rep, adopted := e.ons[ts].ApplySwapRequest(e.ids[from], proto.SwapRequest{R: r, Attr: attr})
+	// Maintain the engine-side mirrors at the one choke point swaps
+	// mutate coordinates through: the receiver adopted r (or refused),
+	// and the initiator's reply application is read back below. The
+	// counters mirror the Stats sums the unsuccessful-swap series needs.
+	e.recvTotal++
+	if adopted {
+		e.rs[ts] = r
+	} else {
+		e.failRecvTotal++
+	}
 	e.Delivered.SwapReplies++
 	e.ons[from].ApplySwapReply(to, rep)
+	e.rs[from] = e.ons[from].Estimate()
 }
 
 // deliverRank routes one UPD message (Fig. 5) carrying the sender's
@@ -621,11 +754,25 @@ func (e *Engine) tickRanking(n int) {
 	e.updTo = grow(e.updTo, 2*n)
 	reader := (*snapReader)(e)
 	seed, cycle := e.cfg.Seed, uint64(e.cycle)
+	// The fast tick reads neighbor estimates off the ID-indexed snapshot
+	// table instead of dispatching through the snapshot reader — same
+	// answers, half the dependent cache misses per neighbor.
+	fast := !e.cfg.ReferenceKernels
+	var coords proto.CoordTable
+	if fast {
+		coords = e.refreshCoordTab(n)
+	}
 	e.parallelFor(n, func(w, lo, hi int) {
 		ws := &e.ws[w]
 		for s := lo; s < hi; s++ {
 			ws.stream = nodeStream(seed, uint64(e.ids[s]), cycle, phaseProtocol)
-			j1, j2, ok := e.rns[s].TickTargets(reader, &ws.stream, &ws.rscr)
+			var j1, j2 core.ID
+			var ok bool
+			if fast {
+				j1, j2, ok = e.rns[s].TickTargetsFast(coords, &ws.stream, &ws.rscr)
+			} else {
+				j1, j2, ok = e.rns[s].TickTargets(reader, &ws.stream, &ws.rscr)
+			}
 			if !ok {
 				e.updTo[2*s], e.updTo[2*s+1] = 0, 0
 				continue
@@ -777,16 +924,53 @@ func (e *Engine) record() {
 	n := len(e.ids)
 	e.believedBuf = grow(e.believedBuf, n)
 	believed := e.believedBuf
-	if e.ons != nil {
+	switch {
+	case e.cfg.ReferenceKernels && e.ons != nil:
 		e.parallelFor(n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				believed[i] = e.ons[e.slots[e.members[i].ID]].SliceIndex()
 			}
 		})
-	} else {
+	case e.ons != nil:
+		// Two passes: believed slices materialize in slot order first —
+		// sequential reads, and a node whose coordinate is unchanged
+		// since the last measurement reuses its cached partition index
+		// (at steady state that is nearly everyone) — then the
+		// members-order gather reads 4-byte staged values instead of
+		// striding 170-byte Node structs.
+		sb := grow(e.slotBelieved, n)
+		e.slotBelieved = sb
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				if r := e.rs[s]; r != e.sliceR[s] {
+					e.sliceR[s] = r
+					e.sliceIdx[s] = int32(e.part.Index(r))
+				}
+				sb[s] = e.sliceIdx[s]
+			}
+		})
+		e.parallelFor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				believed[i] = int(sb[e.slots[e.members[i].ID]])
+			}
+		})
+	case e.cfg.ReferenceKernels:
 		e.parallelFor(n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				believed[i] = e.rns[e.slots[e.members[i].ID]].SliceIndex()
+			}
+		})
+	default:
+		sb := grow(e.slotBelieved, n)
+		e.slotBelieved = sb
+		e.parallelFor(n, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				sb[s] = int32(e.rns[s].SliceIndex())
+			}
+		})
+		e.parallelFor(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				believed[i] = int(sb[e.slots[e.members[i].ID]])
 			}
 		})
 	}
@@ -810,23 +994,31 @@ func (e *Engine) record() {
 		}
 	}
 	if e.ons != nil {
-		for i := range e.ws {
-			e.ws[i].reqReceived, e.ws[i].reqFailed = 0, 0
-		}
-		e.parallelFor(n, func(w, lo, hi int) {
-			ws := &e.ws[w]
-			var recv, fail uint64
-			for i := lo; i < hi; i++ {
-				st := e.ons[i].Stats()
-				recv += st.ReqReceived
-				fail += st.SwapFailedAtReceiver
-			}
-			ws.reqReceived, ws.reqFailed = recv, fail
-		})
 		var received, failed uint64
-		for i := range e.ws {
-			received += e.ws[i].reqReceived
-			failed += e.ws[i].reqFailed
+		if e.cfg.ReferenceKernels {
+			for i := range e.ws {
+				e.ws[i].reqReceived, e.ws[i].reqFailed = 0, 0
+			}
+			e.parallelFor(n, func(w, lo, hi int) {
+				ws := &e.ws[w]
+				var recv, fail uint64
+				for i := lo; i < hi; i++ {
+					st := e.ons[i].Stats()
+					recv += st.ReqReceived
+					fail += st.SwapFailedAtReceiver
+				}
+				ws.reqReceived, ws.reqFailed = recv, fail
+			})
+			for i := range e.ws {
+				received += e.ws[i].reqReceived
+				failed += e.ws[i].reqFailed
+			}
+		} else {
+			// The engine-side delivery counters hold exactly the sums the
+			// Stats scan produces: deliverSwap is the only increment site,
+			// and removeNode subtracts a departing node's counts so the
+			// totals stay live-only — the same population the scan walks.
+			received, failed = e.recvTotal, e.failRecvTotal
 		}
 		dr, df := received-min(received, e.prevReqReceived), failed-min(failed, e.prevFailed)
 		pct := 0.0
@@ -1035,7 +1227,10 @@ type Result struct {
 	// Faults tallies the injections the run's fault plan performed.
 	Faults FaultCounts
 	// Mem is the engine's memory budget at the end of the run.
-	Mem    MemReport
+	Mem MemReport
+	// Phases is the cumulative per-phase wall-clock breakdown of the run
+	// — every perf artifact carries its own "where the cycle time goes".
+	Phases PhaseNanos
 	FinalN int
 	Cycles int
 }
@@ -1057,6 +1252,7 @@ func Run(cfg Config, cycles int) (*Result, error) {
 		Messages:        e.Delivered,
 		Faults:          e.FaultTally(),
 		Mem:             e.MemReport(),
+		Phases:          e.Phases(),
 		FinalN:          e.N(),
 		Cycles:          e.Cycle(),
 	}, nil

@@ -93,29 +93,57 @@ func newEngineTel(reg *telemetry.Registry) *engineTel {
 	return t
 }
 
-// phaseClock times the phases of one cycle. The zero value (telemetry
-// off) never reads the clock.
+// phaseClock times the phases of one cycle. Every lap accumulates into
+// the engine's phaseNS totals (so sweep artifacts can report where the
+// cycle time goes even with telemetry off) and additionally feeds the
+// phase histograms when a registry is attached.
 type phaseClock struct {
-	tel  *engineTel
+	e    *Engine
 	mark time.Time
 }
 
 func (e *Engine) startPhases() phaseClock {
-	if e.tel == nil {
-		return phaseClock{}
-	}
-	return phaseClock{tel: e.tel, mark: time.Now()}
+	return phaseClock{e: e, mark: time.Now()}
 }
 
-// lap observes the time since the previous mark into the indexed phase
-// histogram and re-marks. Timing reads the wall clock only — never the
-// engine's RNG streams — so instrumented and uninstrumented runs are
-// bit-identical.
+// lap adds the time since the previous mark to the indexed phase total
+// (and histogram, if instrumented) and re-marks. Timing reads the wall
+// clock only — never the engine's RNG streams — so instrumented and
+// uninstrumented runs are bit-identical.
 func (pc *phaseClock) lap(ix int) {
-	if pc.tel == nil {
-		return
-	}
 	now := time.Now()
-	pc.tel.phases[ix].Observe(now.Sub(pc.mark).Seconds())
+	d := now.Sub(pc.mark)
+	pc.e.phaseNS[ix] += d.Nanoseconds()
+	if pc.e.tel != nil {
+		pc.e.tel.phases[ix].Observe(d.Seconds())
+	}
 	pc.mark = now
+}
+
+// PhaseNanos is the cumulative wall-clock time spent in each cycle
+// phase since the engine was built. The split mirrors the telemetry
+// phase histograms: churn (join/leave/replace plus fault injection),
+// membership (the view-exchange compute+commit round), protocol (the
+// slicing tick and swap/update delivery), and measure (per-cycle
+// disorder measurements).
+type PhaseNanos struct {
+	ChurnNS      int64 `json:"churn_ns"`
+	MembershipNS int64 `json:"membership_ns"`
+	ProtocolNS   int64 `json:"protocol_ns"`
+	MeasureNS    int64 `json:"measure_ns"`
+}
+
+// Total returns the summed phase time.
+func (p PhaseNanos) Total() int64 {
+	return p.ChurnNS + p.MembershipNS + p.ProtocolNS + p.MeasureNS
+}
+
+// Phases returns the engine's cumulative per-phase wall-clock totals.
+func (e *Engine) Phases() PhaseNanos {
+	return PhaseNanos{
+		ChurnNS:      e.phaseNS[phaseIxChurn],
+		MembershipNS: e.phaseNS[phaseIxMembership],
+		ProtocolNS:   e.phaseNS[phaseIxProtocol],
+		MeasureNS:    e.phaseNS[phaseIxMeasure],
+	}
 }

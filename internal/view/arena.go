@@ -7,24 +7,36 @@ import (
 )
 
 // Arena is flat backing storage for a population of equal-capacity
-// views: one contiguous Entry array indexed by slot*stride, plus the
-// packed ID mirror in a second contiguous array. Laying every view out
-// back to back turns the simulator's per-cycle scans — the compute and
-// commit halves of a gossip round both walk every view in slot order —
-// into sequential streams instead of a pointer chase through
-// per-node heap allocations.
+// views: one contiguous Entry array indexed by slot*stride, the packed
+// ID mirror in a second contiguous array, and the attribute-order
+// permutation in a third. Laying every view out back to back turns the
+// simulator's per-cycle scans — the compute and commit halves of a
+// gossip round both walk every view in slot order — into sequential
+// streams instead of a pointer chase through per-node heap allocations.
+//
+// The ID mirror is padded: each slot's ID block spans pad4(stride)
+// words, and the words past a view's live length are held at zero.
+// core.IDs start at 1, so zero is a free sentinel — the duplicate scan
+// of a gossip merge (findID) can then compare four words per step with
+// no tail loop, the branch-free layout ROADMAP item 2 asks for.
 //
 // The arena does not own View headers; callers bind a *View onto a slot
 // with View.Rebind(a.Block(slot)). Blocks are zero-length, full-capacity
 // slices, so a bound view can never grow past its stride: in-place
 // mutations (Add, Remove, Clear, UpdateR, AgeAll) stay inside the block,
-// and bulk merges that over-fill before trimming go through the
-// MergeUsing/MergeFreshUsing scratch variants.
+// and bulk merges go through the scratch (MergeUsing/MergeFreshUsing) or
+// fused (MergeCompact/MergeReply) variants.
 type Arena struct {
-	stride  int
-	entries []Entry
-	ids     []core.ID
+	stride   int
+	idStride int
+	entries  []Entry
+	ids      []core.ID
+	ord      []int16
 }
+
+// pad4 rounds n up to a multiple of four — the group width of findID's
+// unrolled duplicate scan.
+func pad4(n int) int { return (n + 3) &^ 3 }
 
 // NewArena returns an arena with capacity for slots views of the given
 // stride (the shared view capacity).
@@ -32,10 +44,13 @@ func NewArena(stride, slots int) *Arena {
 	if stride < 1 {
 		panic(ErrCapacity)
 	}
+	idStride := pad4(stride)
 	return &Arena{
-		stride:  stride,
-		entries: make([]Entry, slots*stride),
-		ids:     make([]core.ID, slots*stride),
+		stride:   stride,
+		idStride: idStride,
+		entries:  make([]Entry, slots*stride),
+		ids:      make([]core.ID, slots*idStride),
+		ord:      make([]int16, slots*idStride),
 	}
 }
 
@@ -47,10 +62,12 @@ func (a *Arena) Slots() int { return len(a.entries) / a.stride }
 
 // Block returns slot's backing storage as zero-length, full-capacity
 // slices — appends stay inside the slot, and exceeding the stride
-// panics instead of silently corrupting the neighbor slot.
-func (a *Arena) Block(slot int) ([]Entry, []core.ID) {
+// panics instead of silently corrupting the neighbor slot. The ID and
+// permutation blocks carry the padded stride (see Arena).
+func (a *Arena) Block(slot int) ([]Entry, []core.ID, []int16) {
 	lo, hi := slot*a.stride, (slot+1)*a.stride
-	return a.entries[lo:lo:hi], a.ids[lo:lo:hi]
+	ilo, ihi := slot*a.idStride, (slot+1)*a.idStride
+	return a.entries[lo:lo:hi], a.ids[ilo:ilo:ihi], a.ord[ilo:ilo:ihi]
 }
 
 // EnsureSlots grows the arena to back at least n slots, doubling to
@@ -58,19 +75,20 @@ func (a *Arena) Block(slot int) ([]Entry, []core.ID) {
 // move every bound View still points into the old arrays, and the
 // caller must rebind each one onto its Block again.
 func (a *Arena) EnsureSlots(n int) bool {
-	need := n * a.stride
-	if need <= len(a.entries) {
+	if n*a.stride <= len(a.entries) {
 		return false
 	}
-	newCap := 2 * len(a.entries)
-	if newCap < need {
-		newCap = need
+	slots := 2 * a.Slots()
+	if slots < n {
+		slots = n
 	}
-	entries := make([]Entry, newCap)
+	entries := make([]Entry, slots*a.stride)
 	copy(entries, a.entries)
-	ids := make([]core.ID, newCap)
+	ids := make([]core.ID, slots*a.idStride)
 	copy(ids, a.ids)
-	a.entries, a.ids = entries, ids
+	ord := make([]int16, slots*a.idStride)
+	copy(ord, a.ord)
+	a.entries, a.ids, a.ord = entries, ids, ord
 	return true
 }
 
@@ -78,5 +96,6 @@ func (a *Arena) EnsureSlots(n int) bool {
 // deterministic part of the engine's memory budget (see sim.MemReport).
 func (a *Arena) Bytes() int64 {
 	return int64(len(a.entries))*int64(unsafe.Sizeof(Entry{})) +
-		int64(len(a.ids))*int64(unsafe.Sizeof(core.ID(0)))
+		int64(len(a.ids))*int64(unsafe.Sizeof(core.ID(0))) +
+		int64(len(a.ord))*int64(unsafe.Sizeof(int16(0)))
 }

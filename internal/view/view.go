@@ -17,6 +17,11 @@ import (
 // requested.
 var ErrCapacity = errors.New("view: capacity must be positive")
 
+// maxCapacity bounds the view capacity so entry indices fit the int16
+// attribute-order permutation. Far above any gossip view size (the
+// paper uses c ≈ log n; the repo's largest scenario uses 40).
+const maxCapacity = 1<<15 - 1
+
 // AgeUnknown marks a placeholder entry: a contact address learned out of
 // band (operator-supplied bootstrap) whose attribute and coordinate are
 // not yet known. Placeholders are valid gossip targets — being maximally
@@ -55,11 +60,37 @@ type View struct {
 	capacity int
 	entries  []Entry
 	// ids mirrors entries[i].ID in a packed slice: the duplicate scan of
-	// index() — run once per incoming entry on every gossip merge — then
+	// findID — run once per incoming entry on every gossip merge — then
 	// touches 8 bytes per probe instead of a 32-byte Entry, and never
 	// falls out of lockstep because every insert, delete and reorder
-	// below updates both slices.
+	// below updates both slices. The words between len(entries) and the
+	// slice capacity are held at zero (IDs start at 1), letting findID
+	// compare four words per step with no tail loop; every shrinking
+	// mutation re-zeroes the freed tail.
 	ids []core.ID
+	// ord is the (attr, id)-ascending permutation of entry indices,
+	// maintained lazily against gen: valid iff ordGen == gen. Mutators
+	// only bump gen (invalidation is one increment); the fused merge
+	// repairs ord in place when the entry-set delta is small, and
+	// AttrOrder rebuilds it on demand otherwise. mod-JK's fast rank path
+	// reads it instead of recounting pairwise ranks every tick.
+	ord []int16
+	// gen stamps the entry set: it advances whenever the set of
+	// (ID, Attr) rows can have changed — adds, removals, merges, trims,
+	// placeholder upgrades — and stays put under pure age or coordinate
+	// refreshes (AgeAll, UpdateR), which do not move the permutation.
+	gen    uint32
+	ordGen uint32
+	// ordCredit is the permutation-maintenance heuristic: AttrOrder
+	// recharges it, every in-merge repair spends one unit, and a merge
+	// finding it empty just lets the permutation go stale. Owners that
+	// consult the order every cycle (unconverged mod-JK nodes) keep it
+	// repaired — always cheaper than the rebuild their next tick would
+	// pay — while owners that stop consulting (converged neighborhoods,
+	// ranking nodes) stop paying within a cycle's worth of merges. Purely
+	// a cost dial: the permutation AttrOrder returns is the unique
+	// (attr, id)-sorted order however it was produced.
+	ordCredit uint8
 	// ageScratch backs trimOldestExact's threshold selection; reused
 	// across merges so trimming allocates nothing at steady state.
 	ageScratch []uint32
@@ -68,13 +99,13 @@ type View struct {
 // New returns an empty view with the given capacity c (the paper's view
 // size; all nodes share the same c).
 func New(capacity int) (*View, error) {
-	if capacity < 1 {
+	if capacity < 1 || capacity > maxCapacity {
 		return nil, ErrCapacity
 	}
 	return &View{
 		capacity: capacity,
 		entries:  make([]Entry, 0, capacity),
-		ids:      make([]core.ID, 0, capacity),
+		ids:      make([]core.ID, 0, pad4(capacity)),
 	}, nil
 }
 
@@ -88,15 +119,31 @@ func MustNew(capacity int) *View {
 }
 
 // NewBound returns an empty view of the given capacity over
-// caller-provided backing storage: an arena block, passed as zero-length
-// slices whose capacity is the arena stride (at least the view
-// capacity). The view never allocates entry storage of its own.
-func NewBound(capacity int, entries []Entry, ids []core.ID) *View {
-	if capacity < 1 || cap(entries) < capacity || cap(ids) < capacity {
+// caller-provided backing storage: an arena block (see Arena.Block),
+// passed as zero-length slices whose capacities are at least the view
+// capacity — pad4(capacity) for the ID mirror, whose unused words the
+// view zeroes here to establish the sentinel-padding invariant (the
+// block may have been vacated by a departed node). The view never
+// allocates entry storage of its own.
+func NewBound(capacity int, entries []Entry, ids []core.ID, ord []int16) *View {
+	if capacity < 1 || capacity > maxCapacity ||
+		cap(entries) < capacity || cap(ids) < pad4(capacity) || cap(ord) < capacity {
 		panic(ErrCapacity)
 	}
-	return &View{capacity: capacity, entries: entries[:0], ids: ids[:0]}
+	ids = ids[:0]
+	clear(ids[:cap(ids)])
+	return &View{capacity: capacity, entries: entries[:0], ids: ids, ord: ord[:0]}
 }
+
+// touch records a mutation of the entry set, invalidating the
+// attribute-order permutation until AttrOrder rebuilds it or a fused
+// merge repairs it.
+func (v *View) touch() { v.gen++ }
+
+// Gen returns the entry-set generation stamp: unchanged between two
+// calls iff no entry was added, removed or replaced in between. Pure
+// age and coordinate refreshes do not advance it.
+func (v *View) Gen() uint32 { return v.gen }
 
 // Len returns the number of entries currently held.
 func (v *View) Len() int { return len(v.entries) }
@@ -145,9 +192,33 @@ func (v *View) Get(id core.ID) (Entry, bool) {
 func (v *View) Has(id core.ID) bool { return v.index(id) >= 0 }
 
 func (v *View) index(id core.ID) int {
-	for i, vid := range v.ids {
-		if vid == id {
-			return i
+	n := len(v.entries)
+	if cap(v.ids) < pad4(n) {
+		// A heap-backed view mid-Merge can overgrow its padded mirror;
+		// fall back to the plain scan until the trim restores capacity.
+		return indexOf(v.ids, id)
+	}
+	return findID(v.ids, n, id)
+}
+
+// findID scans the first n words of a sentinel-padded packed ID mirror
+// for id. The mirror holds zeroes from n up to at least pad4(n) (IDs
+// start at 1, so zero never aliases a member), which lets the scan run
+// full four-word groups with one combined compare per group and no tail
+// loop — each probe is a pure 8-byte load, and the OR-of-equalities
+// compiles branch-free.
+func findID(ids []core.ID, n int, id core.ID) int {
+	p := ids[:pad4(n)]
+	for i := 0; i < len(p); i += 4 {
+		if p[i] == id || p[i+1] == id || p[i+2] == id || p[i+3] == id {
+			for j := i; ; j++ {
+				if p[j] == id {
+					if j < n {
+						return j
+					}
+					return -1 // matched the zero pad (id==0 probe)
+				}
+			}
 		}
 	}
 	return -1
@@ -158,6 +229,7 @@ func (v *View) index(id core.ID) int {
 func (v *View) Add(e Entry) {
 	if i := v.index(e.ID); i >= 0 {
 		v.entries[i] = e
+		v.touch()
 		return
 	}
 	if len(v.entries) >= v.capacity {
@@ -165,12 +237,15 @@ func (v *View) Add(e Entry) {
 	}
 	v.entries = append(v.entries, e)
 	v.ids = append(v.ids, e.ID)
+	v.touch()
 }
 
 // Clear removes every entry, keeping the allocated storage.
 func (v *View) Clear() {
+	clear(v.ids)
 	v.entries = v.entries[:0]
 	v.ids = v.ids[:0]
+	v.touch()
 }
 
 // Remove deletes the entry for id, reporting whether it was present.
@@ -179,13 +254,17 @@ func (v *View) Remove(id core.ID) bool {
 	if i < 0 {
 		return false
 	}
+	last := len(v.ids) - 1
 	v.entries = append(v.entries[:i], v.entries[i+1:]...)
 	v.ids = append(v.ids[:i], v.ids[i+1:]...)
+	v.ids[:last+1][last] = 0
+	v.touch()
 	return true
 }
 
 // UpdateR overwrites the rank coordinate recorded for id (Fig. 2 line 11:
-// on receiving an ACK the initiator refreshes r_j in its view).
+// on receiving an ACK the initiator refreshes r_j in its view). The
+// attribute order is untouched, so the generation stamp stays put.
 func (v *View) UpdateR(id core.ID, r float64) bool {
 	i := v.index(id)
 	if i < 0 {
@@ -203,6 +282,30 @@ func (v *View) AgeAll() {
 			v.entries[i].Age++
 		}
 	}
+}
+
+// AgeAllOldest fuses AgeAll with Oldest: one read-modify pass over the
+// entries instead of two, for the gossip pattern that always runs them
+// back to back (age the view, pick the oldest partner). Identical
+// outcomes: ages compare post-increment either way (every real age
+// moves by one) and ties resolve earliest-stored, while placeholders
+// keep AgeUnknown and win the maximum as before.
+func (v *View) AgeAllOldest() (Entry, bool) {
+	if len(v.entries) == 0 {
+		return Entry{}, false
+	}
+	best, bestAge := 0, uint32(0)
+	for i := range v.entries {
+		a := v.entries[i].Age
+		if a != AgeUnknown {
+			a++
+			v.entries[i].Age = a
+		}
+		if i == 0 || a > bestAge {
+			best, bestAge = i, a
+		}
+	}
+	return v.entries[best], true
 }
 
 // Oldest returns the entry with the maximal age (Fig. 3 line 2). Ties
@@ -240,8 +343,32 @@ func (v *View) evictOldest() {
 			best = i
 		}
 	}
+	last := len(v.ids) - 1
 	v.entries = append(v.entries[:best], v.entries[best+1:]...)
 	v.ids = append(v.ids[:best], v.ids[best+1:]...)
+	v.ids[:last+1][last] = 0
+	v.touch()
+}
+
+// Reset replaces the view's contents wholesale with the given entries —
+// the bulk bootstrap path. The entries must be at most capacity, carry
+// distinct IDs and not describe the view's owner (a sampler's output
+// already is all three); the result is then identical to Clear followed
+// by Add of each entry, minus Add's per-entry duplicate scan.
+func (v *View) Reset(entries []Entry) {
+	if len(entries) > v.capacity {
+		panic(ErrCapacity)
+	}
+	old := len(v.ids)
+	v.entries = append(v.entries[:0], entries...)
+	v.ids = v.ids[:0]
+	for i := range v.entries {
+		v.ids = append(v.ids, v.entries[i].ID)
+	}
+	if len(v.ids) < old {
+		clear(v.ids[len(v.ids):old])
+	}
+	v.touch()
 }
 
 // Merge incorporates entries received from a gossip exchange, following
@@ -250,6 +377,8 @@ func (v *View) evictOldest() {
 // self are dropped, and the result is trimmed back to capacity by
 // evicting the oldest entries. A local placeholder is always replaced by
 // a real incoming entry — a contact address is not data worth keeping.
+// Grows past capacity before trimming, so it requires heap-backed
+// storage; arena-bound views use MergeCompact.
 func (v *View) Merge(incoming []Entry, self core.ID) {
 	for _, e := range incoming {
 		if e.ID == self {
@@ -265,25 +394,38 @@ func (v *View) Merge(incoming []Entry, self core.ID) {
 		v.ids = append(v.ids, e.ID)
 	}
 	v.trimOldest(len(v.entries) - v.capacity)
+	v.touch()
 }
 
-// MergeScratch is reusable working storage for the scratch-based merge
-// variants: one per worker in the simulator, so merging into
-// arena-backed views allocates nothing at steady state. The work set
-// carries its own packed ID mirror, so the per-incoming-entry duplicate
-// scan walks 8-byte identifiers instead of 32-byte entries — the merge
-// scan is the single hottest instruction stream of a simulation cycle,
-// and a quarter of the memory traffic is a quarter of the time.
+// MergeScratch is reusable working storage for the scratch-based and
+// fused merge variants: one per worker in the simulator, so merging
+// into arena-backed views allocates nothing at steady state. The work
+// set carries its own packed ID mirror, so the per-incoming-entry
+// duplicate scan walks 8-byte identifiers instead of 32-byte entries —
+// the merge scan is the single hottest instruction stream of a
+// simulation cycle, and a quarter of the memory traffic is a quarter of
+// the time.
 type MergeScratch struct {
 	work []Entry
 	wids []core.ID
 	ages []uint32
+	// Fused-merge classification buffers (MergeCompact/MergeReply).
+	fresh  []Entry
+	upgIx  []int32
+	upgEnt []Entry
+	remap  []int16
+	// trimHist backs unionTrimThreshold's bounded age histogram; keeping
+	// it here (per worker) lets the kernel clear only the populated
+	// prefix instead of re-zeroing a stack table every merge.
+	trimHist [trimMaxAge + 1]int32
 }
 
 // MergeUsing is Merge for views whose backing storage cannot grow past
 // capacity (arena blocks): the over-filled intermediate set lives in
 // scr, and only the trimmed survivors — at most capacity entries — are
-// written back. The result is identical to Merge entry for entry.
+// written back. The result is identical to Merge entry for entry. This
+// is the reference path the fused MergeCompact/MergeReply kernels are
+// property-tested against.
 func (v *View) MergeUsing(incoming []Entry, self core.ID, scr *MergeScratch) {
 	work := append(scr.work[:0], v.entries...)
 	wids := append(scr.wids[:0], v.ids...)
@@ -305,6 +447,7 @@ func (v *View) MergeUsing(incoming []Entry, self core.ID, scr *MergeScratch) {
 	v.entries = append(v.entries[:0], work...)
 	v.reindex()
 	scr.work = work
+	v.touch()
 }
 
 // MergeFreshUsing is MergeFresh on scratch storage — see MergeUsing.
@@ -334,10 +477,349 @@ func (v *View) MergeFreshUsing(incoming []Entry, self core.ID, scr *MergeScratch
 	v.entries = append(v.entries[:0], work...)
 	v.reindex()
 	scr.work = work
+	v.touch()
+}
+
+// MergeCompact is MergeUsing fused into a single pass over the view's
+// own storage: incoming entries are classified against the packed ID
+// mirror first (keep-known-duplicate, placeholder upgrade), the trim
+// threshold comes from one age histogram over the union, and the
+// survivors are compacted in place — the arena block is touched once
+// per commit instead of the copy-out / trim / copy-back of the scratch
+// path. Entry-for-entry identical to MergeUsing on ID-unique incoming
+// batches — the only kind a gossip exchange produces (one view's
+// entries plus at most the sender's fresh self entry; views cannot hold
+// duplicates) — which is a precondition here: the scratch variants scan
+// the growing work set per entry, this one does not. When the owner has
+// been consulting AttrOrder it also repairs the attribute-order
+// permutation in place instead of invalidating it.
+func (v *View) MergeCompact(incoming []Entry, self core.ID, scr *MergeScratch) {
+	v.mergeCompact(incoming, self, scr, nil)
+}
+
+// MergeReply is MergeCompact fused with the exchange round's reply
+// capture: before anything mutates it writes the current entries —
+// exactly what AppendEntries would have produced — into replyDst and
+// returns their count. replyDst may overlap incoming (the engine reuses
+// the absorbed request's payload window): the incoming entries are
+// fully classified before the reply is written.
+func (v *View) MergeReply(incoming []Entry, self core.ID, scr *MergeScratch, replyDst []Entry) int {
+	return v.mergeCompact(incoming, self, scr, replyDst)
+}
+
+// mergeOrdBudget bounds the incremental permutation repair: past this
+// many admitted entries an insertion-repair approaches the cost of the
+// full rebuild, so the permutation is left stale for AttrOrder's lazy
+// fallback instead — which only runs if the owner actually consults it,
+// and converged nodes never do.
+const mergeOrdBudget = 8
+
+func (v *View) mergeCompact(incoming []Entry, self core.ID, scr *MergeScratch, replyDst []Entry) int {
+	n0 := len(v.entries)
+	fresh := scr.fresh[:0]
+	upgIx, upgEnt := scr.upgIx[:0], scr.upgEnt[:0]
+	// Pass 1: classify every incoming entry against the packed mirror.
+	// Nothing is mutated yet — the reply must read the pre-merge view,
+	// and incoming may alias replyDst. Incoming is ID-unique by the
+	// caller's contract (a gossip payload is one view's entries plus at
+	// most the sender's own), so no within-batch duplicate scan runs.
+	// A 64-bit Bloom signature over the resident IDs gates the mirror
+	// scan: at gossip scale views barely overlap, so nearly every
+	// incoming entry is fresh and skips findID on a one-bit test.
+	// The same two loops double as the trim's histogram pass — every
+	// resident and every admitted entry is in hand exactly once here, so
+	// the age counts fall out for free and unionTrimThreshold's separate
+	// walks over the union are skipped (ROADMAP item 2's fused trim).
+	hist := &scr.trimHist
+	clear(hist[:])
+	histMax, histOver := uint32(0), 0
+	var sig uint64
+	for i, id := range v.ids[:n0] {
+		sig |= 1 << (uint64(id) & 63)
+		if age := v.entries[i].Age; age > trimMaxAge {
+			histOver++
+		} else {
+			hist[age]++
+			if age > histMax {
+				histMax = age
+			}
+		}
+	}
+	for _, e := range incoming {
+		if e.ID == self {
+			continue
+		}
+		if sig&(1<<(uint64(e.ID)&63)) != 0 {
+			if i := findID(v.ids, n0, e.ID); i >= 0 {
+				if v.entries[i].Placeholder() && !e.Placeholder() {
+					upgIx = append(upgIx, int32(i))
+					upgEnt = append(upgEnt, e)
+				}
+				continue
+			}
+		}
+		fresh = append(fresh, e)
+		if age := e.Age; age > trimMaxAge {
+			histOver++
+		} else {
+			hist[age]++
+			if age > histMax {
+				histMax = age
+			}
+		}
+	}
+	scr.fresh, scr.upgIx, scr.upgEnt = fresh, upgIx, upgEnt
+	replyLen := 0
+	if replyDst != nil {
+		replyLen = copy(replyDst, v.entries)
+	}
+	// Repair the attribute-order permutation only when it is current,
+	// the owner has been consulting it (credit), and the admitted batch
+	// is small enough that insertion repair undercuts the rebuild the
+	// owner's next consult would pay (budget). Cyclon's big mid-exchange
+	// batches fall through to the lazy rebuild; the trickle merges of a
+	// converging neighborhood repair in place.
+	ordValid := v.ord != nil && v.ordGen == v.gen && v.ordCredit > 0 &&
+		len(fresh) <= mergeOrdBudget
+	if ordValid {
+		v.ordCredit--
+	}
+	// Placeholder upgrades replace in place: same ID, real data. They
+	// join the trim below with their new ages, as the scratch path's
+	// work set did. An upgrade moves within the attribute order, so it
+	// spends the maintained permutation (rare: bootstrap edges only).
+	for k, ix := range upgIx {
+		v.entries[ix] = upgEnt[k]
+		ordValid = false
+	}
+	k := n0 + len(fresh) - v.capacity
+	if k <= 0 {
+		// No trim: append the survivors. The mirror tail holds zeroes, so
+		// plain appends preserve the sentinel padding.
+		for _, e := range fresh {
+			v.entries = append(v.entries, e)
+			v.ids = append(v.ids, e.ID)
+		}
+		v.touch()
+		if ordValid {
+			for i := n0; i < len(v.entries); i++ {
+				v.ordInsert(int16(i))
+			}
+			v.ordGen = v.gen
+		}
+		return replyLen
+	}
+	// Trim: find the k-th-largest-age threshold over the union — the
+	// same histogram walk (or exact fallback) trimOldestEntries runs —
+	// then compact survivors in place: existing entries first, admitted
+	// entries appended, the at-threshold quota consumed earliest-stored
+	// first. That is removeByThreshold's order over [existing..., new...].
+	// The classify loops above already counted the union's age multiset;
+	// only a placeholder upgrade (which rewrites a resident age after the
+	// count) forces the standalone histogram pass.
+	var thresh uint32
+	var quota int
+	if len(upgIx) == 0 {
+		thresh, quota = thresholdFromHist(hist, histMax, histOver, k,
+			v.entries, fresh, &v.ageScratch)
+	} else {
+		thresh, quota = unionTrimThreshold(v.entries, fresh, k, &v.ageScratch, hist)
+	}
+	var remap []int16
+	if ordValid {
+		if cap(scr.remap) < n0 {
+			scr.remap = make([]int16, n0+8)
+		}
+		remap = scr.remap[:n0]
+	}
+	ent := v.entries[:cap(v.entries)]
+	ids := v.ids[:cap(v.ids)]
+	w := 0
+	firstFresh := 0
+	if remap == nil {
+		// Branch-free compaction: the age tests are data-random, so a
+		// predicated write-always/advance-conditionally loop beats
+		// branching (the rankMembers reasoning). The store is guarded by
+		// `w < len(ent)` — the arena block is exactly sized, so once the
+		// survivors fill it the (now pointless) stores must stop. That
+		// branch flips at most once per merge, so it predicts perfectly,
+		// while the data-random age tests stay predicated. Compaction is
+		// in place: the write cursor w never passes the read cursor, and
+		// the fresh entries live in scratch. Semantics are identical to
+		// the branchy remap loop below: evict over-threshold ages plus
+		// the first `quota` at-threshold entries in storage order.
+		for i := 0; i < n0; i++ {
+			e := ent[i]
+			var older, at, hasQ int
+			if e.Age > thresh {
+				older = 1
+			}
+			if e.Age == thresh {
+				at = 1
+			}
+			if quota > 0 {
+				hasQ = 1
+			}
+			use := at & hasQ
+			quota -= use
+			if w < len(ent) {
+				ent[w] = e
+				ids[w] = e.ID
+			}
+			w += 1 - (older | use)
+		}
+		firstFresh = w
+		for _, e := range fresh {
+			var older, at, hasQ int
+			if e.Age > thresh {
+				older = 1
+			}
+			if e.Age == thresh {
+				at = 1
+			}
+			if quota > 0 {
+				hasQ = 1
+			}
+			use := at & hasQ
+			quota -= use
+			if w < len(ent) {
+				ent[w] = e
+				ids[w] = e.ID
+			}
+			w += 1 - (older | use)
+		}
+	} else {
+		for i := 0; i < n0; i++ {
+			e := ent[i]
+			if e.Age > thresh {
+				remap[i] = -1
+				continue
+			}
+			if e.Age == thresh && quota > 0 {
+				quota--
+				remap[i] = -1
+				continue
+			}
+			ent[w] = e
+			ids[w] = e.ID
+			remap[i] = int16(w)
+			w++
+		}
+		firstFresh = w
+		for _, e := range fresh {
+			if e.Age > thresh {
+				continue
+			}
+			if e.Age == thresh && quota > 0 {
+				quota--
+				continue
+			}
+			ent[w] = e
+			ids[w] = e.ID
+			w++
+		}
+	}
+	v.entries = ent[:w]
+	v.ids = ids[:w]
+	if w < len(ids) {
+		// Re-zero the mirror's sentinel tail: the shrink may expose old
+		// words, and the predicated loop stores a trailing dropped
+		// entry's ID at ids[w] before the cursor stops advancing.
+		hi := w + 1
+		if n0 > hi {
+			hi = n0
+		}
+		clear(ids[w:hi])
+	}
+	v.touch()
+	if ordValid {
+		v.repairOrd(remap, firstFresh, w)
+		v.ordGen = v.gen
+	}
+	return replyLen
+}
+
+// unionTrimThreshold computes trimOldestEntries' eviction threshold and
+// at-threshold quota over the union of two entry sets without
+// materializing it: the age histogram (and the exact over-limit
+// fallback) sees the same age multiset either way.
+func unionTrimThreshold(a, b []Entry, k int, ageScratch *[]uint32, hist *[trimMaxAge + 1]int32) (uint32, int) {
+	// hist is persistent per-worker scratch: a first cheap pass finds the
+	// union's max in-range age, and only that prefix is cleared, counted,
+	// and scanned. Gossip ages sit far below the clamp — an entry is
+	// replaced long before its age approaches it — so the bounded walk
+	// skips most of the table on every merge.
+	mx, over := uint32(0), 0
+	for i := range a {
+		if age := a[i].Age; age > trimMaxAge {
+			over++
+		} else if age > mx {
+			mx = age
+		}
+	}
+	for i := range b {
+		if age := b[i].Age; age > trimMaxAge {
+			over++
+		} else if age > mx {
+			mx = age
+		}
+	}
+	buckets := hist[:mx+1]
+	clear(buckets)
+	for i := range a {
+		if age := a[i].Age; age <= trimMaxAge {
+			buckets[age]++
+		}
+	}
+	for i := range b {
+		if age := b[i].Age; age <= trimMaxAge {
+			buckets[age]++
+		}
+	}
+	return thresholdFromHist(hist, mx, over, k, a, b, ageScratch)
+}
+
+// thresholdFromHist finishes the threshold selection over an
+// already-counted age histogram: mx is the largest in-range age, over
+// the number of over-limit (clamped or placeholder) ages in the union
+// a∪b. mergeCompact calls this directly with the counts its classify
+// loops accumulated in passing; unionTrimThreshold builds the histogram
+// standalone first.
+func thresholdFromHist(hist *[trimMaxAge + 1]int32, mx uint32, over, k int, a, b []Entry, ageScratch *[]uint32) (uint32, int) {
+	if k <= over {
+		// Threshold falls among the (rare) over-limit ages: resolve it
+		// exactly, as trimOldestExactEntries does.
+		ages := (*ageScratch)[:0]
+		for i := range a {
+			ages = append(ages, a[i].Age)
+		}
+		for i := range b {
+			ages = append(ages, b[i].Age)
+		}
+		*ageScratch = ages
+		sortAgesDesc(ages)
+		thresh := ages[k-1]
+		quota := 0
+		for _, age := range ages[:k] {
+			if age == thresh {
+				quota++
+			}
+		}
+		return thresh, quota
+	}
+	remaining := k - over
+	for age := int(mx); age >= 0; age-- {
+		n := int(hist[age])
+		if remaining <= n {
+			return uint32(age), remaining
+		}
+		remaining -= n
+	}
+	return 0, 0 // unreachable: k ≤ len(a)+len(b)
 }
 
 // indexOf scans a packed ID mirror for id — the scratch-path twin of
-// View.index.
+// View.index (the scratch mirror is unpadded, so the scan is linear).
 func indexOf(ids []core.ID, id core.ID) int {
 	for i, w := range ids {
 		if w == id {
@@ -437,6 +919,20 @@ func trimOldestExactEntries(entries []Entry, k int, ageScratch *[]uint32) []Entr
 		ages = append(ages, e.Age)
 	}
 	*ageScratch = ages
+	sortAgesDesc(ages)
+	thresh := ages[k-1]
+	removeAtThresh := 0
+	for _, a := range ages[:k] {
+		if a == thresh {
+			removeAtThresh++
+		}
+	}
+	return removeByThreshold(entries, thresh, removeAtThresh)
+}
+
+// sortAgesDesc is the descending insertion sort both exact trim paths
+// share; view-sized inputs are far below any cutover to a fancier sort.
+func sortAgesDesc(ages []uint32) {
 	for i := 1; i < len(ages); i++ {
 		a := ages[i]
 		j := i - 1
@@ -446,14 +942,6 @@ func trimOldestExactEntries(entries []Entry, k int, ageScratch *[]uint32) []Entr
 		}
 		ages[j+1] = a
 	}
-	thresh := ages[k-1]
-	removeAtThresh := 0
-	for _, a := range ages[:k] {
-		if a == thresh {
-			removeAtThresh++
-		}
-	}
-	return removeByThreshold(entries, thresh, removeAtThresh)
 }
 
 // MergeFresh incorporates entries keeping, for duplicated IDs, the entry
@@ -480,30 +968,142 @@ func (v *View) MergeFresh(incoming []Entry, self core.ID) {
 		v.entries = v.entries[:v.capacity]
 		v.reindex()
 	}
+	v.touch()
 }
 
 // reindex rebuilds the packed id mirror after a bulk reorder or
-// compaction of the entry slice.
+// compaction of the entry slice, re-zeroing any freed tail.
 func (v *View) reindex() {
+	old := len(v.ids)
 	v.ids = v.ids[:0]
 	for i := range v.entries {
 		v.ids = append(v.ids, v.entries[i].ID)
 	}
+	if len(v.ids) < old {
+		clear(v.ids[len(v.ids):old])
+	}
+}
+
+// AttrOrder returns the view's (attr, id)-ascending permutation:
+// ord[k] is the index of the k-th entry in attribute order, ties broken
+// by ID — a strict total order, so positions equal counted ranks. The
+// permutation is maintained lazily: fused merges repair it in place
+// when the delta is small, any other mutation just advances the
+// generation stamp, and a stale permutation is rebuilt here by one
+// bounded insertion sort. Valid until the next mutating call.
+func (v *View) AttrOrder() []int16 {
+	if v.ord == nil || v.ordGen != v.gen {
+		v.rebuildOrd()
+	}
+	v.ordCredit = ordCreditFull
+	return v.ord
+}
+
+// AttrOrderIfValid returns the (attr, id) permutation only when it is
+// already current, recharging the repair credit; it never rebuilds. A
+// nil return tells the caller to fall back to its own fused/local sort
+// — at gossip scale view overlap is tiny, so the merge repair budget is
+// routinely exceeded and a local sort of c indices is cheaper than
+// rebuilding the permutation in place every tick.
+func (v *View) AttrOrderIfValid() []int16 {
+	if v.ord == nil || v.ordGen != v.gen {
+		return nil
+	}
+	v.ordCredit = ordCreditFull
+	return v.ord
+}
+
+// ordCreditFull covers the merges one gossip cycle lands on a view
+// (its own request/reply absorption plus a typical responder's load)
+// with headroom, so a consulted-every-cycle permutation never lapses
+// into a rebuild, while an unconsulted one stops being repaired after
+// about a cycle.
+const ordCreditFull = 6
+
+func (v *View) rebuildOrd() {
+	if v.ord == nil {
+		v.ord = make([]int16, 0, v.capacity)
+	}
+	v.ord = v.ord[:0]
+	for i := range v.entries {
+		v.ordInsert(int16(i))
+	}
+	v.ordGen = v.gen
+}
+
+// ordInsert places entry index ix into the permutation by binary
+// search + shift.
+func (v *View) ordInsert(ix int16) {
+	e := &v.entries[ix]
+	lo, hi := 0, len(v.ord)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entryBefore(&v.entries[v.ord[mid]], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	v.ord = append(v.ord, 0)
+	copy(v.ord[lo+1:], v.ord[lo:])
+	v.ord[lo] = ix
+}
+
+// repairOrd renumbers the permutation through a compaction's old→new
+// index map, dropping evicted entries, then inserts the admitted tail
+// [firstFresh, w).
+func (v *View) repairOrd(remap []int16, firstFresh, w int) {
+	ord := v.ord
+	out := 0
+	for _, oi := range ord {
+		ni := remap[oi]
+		if ni < 0 {
+			continue
+		}
+		ord[out] = ni
+		out++
+	}
+	v.ord = ord[:out]
+	for i := firstFresh; i < w; i++ {
+		v.ordInsert(int16(i))
+	}
+}
+
+// entryBefore is the strict (attr, id) order underlying AttrOrder.
+func entryBefore(a, b *Entry) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return a.ID < b.ID
 }
 
 // Rebind moves the view's contents onto new backing storage — an arena
 // block (see Arena.Block) passed as zero-length slices with capacity of
 // at least the current length. Overlapping old and new storage is fine
 // (churn's swap-delete moves a view between slots of the same arena);
-// the copies are memmove-safe.
-func (v *View) Rebind(entries []Entry, ids []core.ID) {
+// the copies are memmove-safe. The new ID block's tail is re-zeroed —
+// the target slot may have belonged to a departed node with a longer
+// view — and the permutation moves along with its validity stamp.
+func (v *View) Rebind(entries []Entry, ids []core.ID, ord []int16) {
 	v.entries = append(entries, v.entries...)
-	v.ids = append(ids, v.ids...)
+	nids := append(ids, v.ids...)
+	clear(nids[len(nids):cap(nids)])
+	v.ids = nids
+	if v.ord != nil {
+		v.ord = append(ord, v.ord...)
+	} else {
+		v.ord = ord[:0]
+		v.ordGen = v.gen - 1 // no permutation yet: storage present, stale
+	}
 }
 
 // Clone returns a deep copy of the view.
 func (v *View) Clone() *View {
-	c := &View{capacity: v.capacity, entries: make([]Entry, len(v.entries))}
+	c := &View{
+		capacity: v.capacity,
+		entries:  make([]Entry, len(v.entries)),
+		ids:      make([]core.ID, 0, pad4(v.capacity)),
+	}
 	copy(c.entries, v.entries)
 	c.reindex()
 	return c
@@ -518,8 +1118,10 @@ func (v *View) IDs() []core.ID {
 	return ids
 }
 
-// Validate checks the view invariants: unique IDs and size within
-// capacity. It is exercised by property tests.
+// Validate checks the view invariants: unique IDs, size within
+// capacity, the packed mirror in lockstep with its tail zeroed, and —
+// when the generation stamps declare it valid — the attribute-order
+// permutation sorted and complete. It is exercised by property tests.
 func (v *View) Validate() error {
 	if len(v.entries) > v.capacity {
 		return fmt.Errorf("view: %d entries exceed capacity %d", len(v.entries), v.capacity)
@@ -537,6 +1139,27 @@ func (v *View) Validate() error {
 	for i, e := range v.entries {
 		if v.ids[i] != e.ID {
 			return fmt.Errorf("view: id mirror diverges at %d: %v vs %v", i, v.ids[i], e.ID)
+		}
+	}
+	tail := v.ids[len(v.ids):cap(v.ids)]
+	for i, w := range tail {
+		if w != 0 {
+			return fmt.Errorf("view: id mirror tail not zeroed at +%d: %v", i, w)
+		}
+	}
+	if v.ord != nil && v.ordGen == v.gen {
+		if len(v.ord) != len(v.entries) {
+			return fmt.Errorf("view: attr order has %d entries, view %d", len(v.ord), len(v.entries))
+		}
+		used := make(map[int16]bool, len(v.ord))
+		for k, ix := range v.ord {
+			if int(ix) >= len(v.entries) || ix < 0 || used[ix] {
+				return fmt.Errorf("view: attr order not a permutation at %d: %d", k, ix)
+			}
+			used[ix] = true
+			if k > 0 && entryBefore(&v.entries[ix], &v.entries[v.ord[k-1]]) {
+				return fmt.Errorf("view: attr order out of order at %d", k)
+			}
 		}
 	}
 	return nil
